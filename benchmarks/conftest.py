@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's artifacts (figure, table
+or in-text result), times the regeneration with pytest-benchmark, and
+asserts the *shape* the paper reports (who wins, where crossovers
+fall).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time one invocation (experiments are deterministic; repeated
+    rounds would only re-measure the same arithmetic)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

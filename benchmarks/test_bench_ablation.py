@@ -1,0 +1,41 @@
+"""Benchmarks for the ablation studies (design choices in the paper)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    ad_file_ablation,
+    refresh_period_ablation,
+    refresh_period_simulation,
+)
+from .conftest import run_once
+
+
+def test_ad_file_design(benchmark):
+    """Section 2.2.2: combined AD file (3 I/Os/update) vs separate A and
+    D files (5 I/Os/update), measured on the simulated engine."""
+    table = run_once(benchmark, ad_file_ablation)
+    print("\n" + table.render())
+
+    combined, separate = table.rows
+    assert combined[3] < separate[3]
+    assert separate[3] - combined[3] > 1.0  # roughly the predicted 2-I/O gap
+
+
+def test_refresh_timing_analytic(benchmark):
+    """Section 4: splitting one deferred refresh into eager slices never
+    touches fewer view pages (Yao subadditivity)."""
+    table = run_once(benchmark, refresh_period_ablation)
+    print("\n" + table.render())
+
+    pages = [row[2] for row in table.rows]
+    assert pages == sorted(pages)
+
+
+def test_refresh_timing_simulated(benchmark):
+    """Same claim measured on the engine: refresh-on-demand is the
+    cheapest policy end to end."""
+    table = run_once(benchmark, refresh_period_simulation)
+    print("\n" + table.render())
+
+    costs = [row[2] for row in table.rows]
+    assert costs[0] == min(costs)

@@ -1,0 +1,68 @@
+"""Microbenchmarks of the analytic layer itself.
+
+The cost model is meant to be cheap enough to sit inside a query
+optimizer's plan choice (Section 3.3's dual-path routing evaluates it
+per query).  These benchmarks time single evaluations, recommendations,
+region grids and crossover searches.
+"""
+
+import pytest
+
+from repro.core import (
+    PAPER_DEFAULTS,
+    Strategy,
+    ViewModel,
+    evaluate,
+    find_crossover_p,
+    recommend,
+)
+from repro.core.regions import compute_region_map, linspace
+
+
+def test_single_evaluation(benchmark):
+    result = benchmark(evaluate, PAPER_DEFAULTS, ViewModel.SELECT_PROJECT)
+    assert len(result) == 5
+
+
+def test_recommendation(benchmark):
+    result = benchmark(recommend, PAPER_DEFAULTS, ViewModel.JOIN)
+    assert result.best.total > 0
+
+
+def test_parameter_sweep_throughput(benchmark):
+    p_values = [p / 200 for p in range(1, 199)]
+
+    def sweep():
+        return [
+            recommend(PAPER_DEFAULTS.with_update_probability(p),
+                      ViewModel.SELECT_PROJECT).strategy
+            for p in p_values
+        ]
+
+    winners = benchmark(sweep)
+    assert Strategy.QM_CLUSTERED in winners
+
+
+def test_region_grid(benchmark):
+    def grid():
+        return compute_region_map(
+            PAPER_DEFAULTS, ViewModel.SELECT_PROJECT,
+            p_values=linspace(0.05, 0.95, 15),
+            f_values=linspace(0.05, 1.0, 15),
+            strategies=(Strategy.DEFERRED, Strategy.IMMEDIATE,
+                        Strategy.QM_CLUSTERED),
+        )
+
+    region = benchmark(grid)
+    assert region.area_fraction(Strategy.QM_CLUSTERED) > 0
+
+
+def test_crossover_bisection(benchmark):
+    def crossover():
+        return find_crossover_p(
+            PAPER_DEFAULTS, ViewModel.JOIN,
+            Strategy.IMMEDIATE, Strategy.QM_LOOPJOIN,
+        )
+
+    p_star = benchmark(crossover)
+    assert 0.6 < p_star < 0.95

@@ -1,0 +1,59 @@
+"""Benchmarks for the future-work extensions (Section 4 / intro)."""
+
+import pytest
+
+from repro.experiments import extensions
+from .conftest import run_once
+
+
+def test_async_refresh_tradeoff(benchmark):
+    """Section 4: async refresh cuts query latency, raises total work."""
+    fig = run_once(benchmark, extensions.async_refresh_figure)
+    print("\n" + fig.render())
+
+    latency = fig.series("query latency")
+    total = fig.series("total work")
+    assert latency[-1] < latency[0]
+    assert total[-1] > total[0]
+    # The improvement is worth having: a substantial latency cut for a
+    # bounded amount of extra background work.
+    assert latency[-1] < 0.8 * latency[0]
+
+
+def test_snapshot_frontier(benchmark):
+    """Intro's snapshot scheme: stale reads buy amortized cost below the
+    always-fresh strategies, verified analytically and on the engine."""
+    fig = run_once(benchmark, extensions.snapshot_frontier_figure)
+    print("\n" + fig.render())
+    table = extensions.snapshot_validation_table(periods=(1, 4))
+    print("\n" + table.render())
+
+    assert fig.rows[-1]["snapshot"] < fig.rows[-1]["immediate (fresh)"]
+    for _, measured, analytic, ratio in table.rows:
+        assert 0.7 <= ratio <= 1.4
+
+
+def test_hybrid_routing(benchmark):
+    """Section 3.3: per-query access-path choice between base and view."""
+    table = run_once(benchmark, extensions.hybrid_routing_table)
+    print("\n" + table.render())
+
+    paths = [row[1] for row in table.rows]
+    assert "view" in paths and "base" in paths
+
+
+def test_five_mechanisms_head_to_head(benchmark):
+    """The introduction's five materialization mechanisms on one
+    workload: query modification, immediate (Blakeley), snapshots
+    (Adiba & Lindsay), analyze-and-recompute (Buneman & Clemons), and
+    the paper's deferred scheme."""
+    table = run_once(benchmark, extensions.five_mechanisms_table)
+    print("\n" + table.render())
+
+    by_label = {row[0]: row[1] for row in table.rows}
+    immediate = next(v for k, v in by_label.items() if "Blak86" in k)
+    deferred = next(v for k, v in by_label.items() if "this paper" in k)
+    recompute = next(v for k, v in by_label.items() if "Bune79" in k)
+    # Incremental maintenance (either flavor) beats full recomputation.
+    assert immediate < recompute
+    assert deferred < recompute

@@ -1,0 +1,38 @@
+"""Benchmarks regenerating the Model 3 figures (Figures 8-9)."""
+
+import pytest
+
+from repro.experiments import figures
+from .conftest import run_once
+
+
+def test_figure8_aggregate_cost_vs_l(benchmark):
+    """Figure 8: maintaining an aggregate costs a small percentage of
+    recomputation in the significant region (small l)."""
+    fig = run_once(benchmark, figures.figure8)
+    print("\n" + fig.render(log_y=True))
+
+    for x, row in zip(fig.x_values, fig.rows):
+        if x <= 100:  # the paper's "most significant part of the curve"
+            assert row["immediate"] < 0.05 * row["clustered"]
+    # Maintenance cost grows with l while recomputation is flat.
+    assert fig.series("immediate")[-1] > fig.series("immediate")[0]
+    clustered = fig.series("clustered")
+    assert max(clustered) == pytest.approx(min(clustered))
+
+
+def test_figure9_equal_cost_curves(benchmark):
+    """Figure 9: equal-cost P declines with l and rises with f —
+    materialized aggregates stay worthwhile even for small f."""
+    fig = run_once(benchmark, figures.figure9)
+    print("\n" + fig.render())
+
+    for label in fig.series_labels:
+        curve = [p for p in fig.series(label) if p is not None]
+        assert curve == sorted(curve, reverse=True)
+    final = fig.rows[-1]
+    assert final["f=1"] > final["f=0.05"]
+    # "Realistically l will probably be small": at l=25 immediate wins
+    # for any plausible update probability.
+    at_25 = fig.rows[fig.x_values.index(25.0)]
+    assert all(p is None or p > 0.9 for p in at_25.values())

@@ -1,0 +1,35 @@
+"""Benchmarks: the headline figures measured on the engine.
+
+Regenerates Figures 1, 5 and 8 by executing the paper's workload on the
+simulated storage engine (scaled parameters) and asserts the paper's
+orderings hold in the measurements, not just the formulas.
+"""
+
+import pytest
+
+from repro.experiments import sim_figures
+from .conftest import run_once
+
+
+def test_simulated_figure1(benchmark):
+    fig = run_once(benchmark, sim_figures.simulated_figure1)
+    print("\n" + fig.render(log_y=True))
+    for row in fig.rows:
+        assert row["clustered"] == min(row.values())
+        assert row["unclustered"] == max(row.values())
+    deferred = fig.series("deferred")
+    assert deferred[-1] > deferred[0]
+
+
+def test_simulated_figure5(benchmark):
+    fig = run_once(benchmark, sim_figures.simulated_figure5)
+    print("\n" + fig.render())
+    assert fig.rows[0]["immediate"] < fig.rows[0]["loopjoin"]
+    assert fig.rows[-1]["loopjoin"] < fig.rows[-1]["immediate"]
+
+
+def test_simulated_figure8(benchmark):
+    fig = run_once(benchmark, sim_figures.simulated_figure8)
+    print("\n" + fig.render(log_y=True))
+    for row in fig.rows:
+        assert row["immediate"] < 0.15 * row["clustered"]

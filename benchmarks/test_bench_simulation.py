@@ -1,0 +1,42 @@
+"""Benchmark: the simulated engine validates the analytic model.
+
+Not a figure from the paper — this is the reproduction's acceptance
+gate: every (model, strategy) pair is executed on the simulated storage
+engine and compared with the formulas at the same (scaled) parameters.
+"""
+
+import pytest
+
+from repro.core.strategies import ViewModel
+from repro.experiments.validation import (
+    RATIO_BANDS,
+    orderings_agree,
+    validate_all,
+    validation_table,
+)
+from .conftest import run_once
+
+
+def test_simulation_tracks_analytic_model(benchmark):
+    rows = run_once(benchmark, validate_all)
+    print("\n" + validation_table().render())
+
+    for row in rows:
+        lo, hi = RATIO_BANDS[row.strategy]
+        assert lo <= row.ratio <= hi, (
+            f"Model {int(row.model)} {row.strategy.label} ratio {row.ratio:.2f}"
+        )
+    for model in ViewModel:
+        assert orderings_agree(rows, model), f"winner mismatch in Model {int(model)}"
+
+
+def test_component_level_validation(benchmark):
+    """Each named deferred cost term measured in isolation against its
+    closed-form formula (deeper than the totals check above)."""
+    from repro.experiments.components import component_validation_table
+
+    table = run_once(benchmark, component_validation_table)
+    print("\n" + table.render())
+
+    refresh = next(r for r in table.rows if r[0] == "C_def_refresh")
+    assert 0.5 <= refresh[3] <= 2.0

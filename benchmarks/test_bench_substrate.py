@@ -1,0 +1,143 @@
+"""Microbenchmarks of the storage substrate.
+
+Unlike the figure benchmarks (which time one deterministic experiment),
+these time the storage structures themselves — B+-tree operations, hash
+probes, Bloom filters, the HR update protocol and materialized-view
+change application — with pytest-benchmark's normal statistics.
+"""
+
+import random
+
+import pytest
+
+from repro.hr.differential import ClusteredRelation, HypotheticalRelation
+from repro.storage.bloom import BloomFilter
+from repro.storage.bplustree import BPlusTree
+from repro.storage.hashindex import HashFile
+from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+from repro.storage.tuples import Schema
+from repro.views.definition import ViewTuple
+from repro.views.matview import MaterializedView
+
+SCHEMA = Schema("r", ("id", "a", "v"), "id", tuple_bytes=100)
+
+
+def make_pool(pages=1024):
+    return BufferPool(SimulatedDisk(CostMeter()), capacity=pages)
+
+
+@pytest.fixture
+def loaded_tree():
+    tree = BPlusTree("t", make_pool(), sort_key=lambda r: r["a"],
+                     records_per_leaf=40, fanout=64)
+    rng = random.Random(0)
+    tree.bulk_load([
+        SCHEMA.new_record(id=i, a=rng.randrange(10_000), v=i)
+        for i in range(20_000)
+    ])
+    return tree
+
+
+def test_btree_point_search(benchmark, loaded_tree):
+    rng = random.Random(1)
+    keys = [rng.randrange(10_000) for _ in range(64)]
+
+    def probe():
+        for key in keys:
+            loaded_tree.search(key)
+
+    benchmark(probe)
+
+
+def test_btree_insert(benchmark):
+    rng = random.Random(2)
+
+    def setup():
+        tree = BPlusTree("t", make_pool(), sort_key=lambda r: r["a"],
+                         records_per_leaf=40, fanout=64)
+        records = [SCHEMA.new_record(id=i, a=rng.randrange(10_000), v=i)
+                   for i in range(500)]
+        return (tree, records), {}
+
+    def insert_all(tree, records):
+        for record in records:
+            tree.insert(record)
+
+    benchmark.pedantic(insert_all, setup=setup, rounds=5)
+
+
+def test_btree_range_scan(benchmark, loaded_tree):
+    def scan():
+        return sum(1 for _ in loaded_tree.range_scan(2_000, 3_000))
+
+    count = benchmark(scan)
+    assert count > 0
+
+
+def test_hash_probe(benchmark):
+    pool = make_pool()
+    hf = HashFile("h", pool, hash_key=lambda r: r["id"],
+                  records_per_page=40, buckets=128)
+    hf.bulk_load([SCHEMA.new_record(id=i, a=0, v=i) for i in range(10_000)])
+    rng = random.Random(3)
+    keys = [rng.randrange(10_000) for _ in range(64)]
+
+    def probe():
+        for key in keys:
+            hf.lookup(key)
+
+    benchmark(probe)
+
+
+def test_bloom_filter_throughput(benchmark):
+    bf = BloomFilter.for_load(10_000, 0.01)
+    for i in range(10_000):
+        bf.add(i)
+
+    def mixed_probes():
+        hits = 0
+        for i in range(0, 20_000, 7):
+            hits += bf.maybe_contains(i)
+        return hits
+
+    benchmark(mixed_probes)
+
+
+def test_hr_update_protocol(benchmark):
+    rng = random.Random(4)
+
+    def setup():
+        base = ClusteredRelation(SCHEMA, make_pool(), "a")
+        base.bulk_load([
+            SCHEMA.new_record(id=i, a=rng.randrange(1_000), v=i)
+            for i in range(5_000)
+        ])
+        return (HypotheticalRelation(base, ad_buckets=8),), {}
+
+    def update_batch(hr):
+        for _ in range(100):
+            hr.update_by_key(rng.randrange(5_000), v=rng.randrange(1_000))
+
+    benchmark.pedantic(update_batch, setup=setup, rounds=5)
+
+
+def test_matview_change_application(benchmark):
+    rng = random.Random(5)
+
+    def setup():
+        mv = MaterializedView("v", make_pool(), "a", records_per_page=80)
+        mv.bulk_load([ViewTuple({"a": i % 500, "id": i}) for i in range(5_000)])
+        from repro.views.delta import ChangeSet
+
+        changes = ChangeSet()
+        for i in range(200):
+            vt_new = ViewTuple({"a": rng.randrange(500), "id": 10_000 + i})
+            changes.insert(vt_new)
+            vt_old = ViewTuple({"a": i % 500, "id": i})
+            changes.delete(vt_old)
+        return (mv, changes), {}
+
+    def apply(mv, changes):
+        mv.apply_changes(changes)
+
+    benchmark.pedantic(apply, setup=setup, rounds=5)

@@ -1,0 +1,63 @@
+"""Benchmarks regenerating the paper's tables and in-text numbers."""
+
+import pytest
+
+from repro.experiments import tables
+from .conftest import run_once
+
+
+def test_parameter_tables(benchmark):
+    """Section 3.1's two parameter tables (definitions + defaults)."""
+    table = run_once(benchmark, tables.parameter_table)
+    print("\n" + table.render())
+
+    values = {row[0]: row[2] for row in table.rows}
+    assert values["N"] == 100_000
+    assert values["S"] == 100
+    assert values["B"] == 4_000
+    assert values["k"] == 100
+    assert values["l"] == 25
+    assert values["q"] == 100
+    assert values["n"] == 20
+    assert values["f"] == 0.1
+    assert values["f_v"] == 0.1
+    assert values["f_r2"] == 0.1
+    assert values["c1"] == 1 and values["c2"] == 30 and values["c3"] == 1
+    # Derived rows the paper's first table defines.
+    assert values["b"] == 2_500 and values["T"] == 40
+    assert values["u"] == 25 and values["P"] == 0.5
+
+
+def test_yao_triangle_inequality(benchmark):
+    """Section 4: y(n,m,a+b) <= y(n,m,a)+y(n,m,b) — the case for
+    refresh-on-demand, quantified on the Model 1 view geometry."""
+    table = run_once(benchmark, tables.yao_triangle_table)
+    print("\n" + table.render())
+
+    for batch, splits, pages_once, saved, holds in table.rows:
+        assert holds is True
+        assert saved >= 0
+
+
+def test_sensitivity_of_conclusions(benchmark):
+    """Section 4's five sensitive parameters, as cost elasticities."""
+    table = run_once(benchmark, tables.sensitivity_table)
+    print("\n" + table.render())
+
+    by_param = {}
+    for row in table.rows:
+        by_param.setdefault(row[0], []).append(row)
+    assert set(by_param) == {"P", "f", "f_v", "l", "c3"}
+
+
+def test_cost_breakdowns(benchmark):
+    """Component-level costs at the default point, all models."""
+    from repro.core.strategies import ViewModel
+
+    def build_all():
+        return [tables.cost_breakdown_table(model=m) for m in ViewModel]
+
+    all_tables = run_once(benchmark, build_all)
+    for table in all_tables:
+        print("\n" + table.render())
+        assert table.rows

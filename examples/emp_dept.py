@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""EMP-DEPT: the paper's canonical join view, analyzed and executed.
+
+Section 3.5 models the classic EMPLOYEE ⋈ DEPARTMENT view where most
+queries fetch a single employee's row (f = 1, l = 1, f_v = 1/N) and
+shows query modification nearly always wins.  This example:
+
+1. reproduces the analytic crossover (paper: P >= ~.08), and
+2. actually *runs* the scenario on the simulated engine — builds the
+   two relations, defines EMP-DEPT under all three strategies, applies
+   HR transactions and prices single-tuple lookups.
+
+Run:  python examples/emp_dept.py
+"""
+
+import random
+
+from repro import PAPER_DEFAULTS, Strategy, ViewModel, find_crossover_p
+from repro.engine import Database, Transaction, Update
+from repro.storage import Schema
+from repro.views import JoinView, TruePredicate
+
+EMPLOYEES = 2_000
+DEPARTMENTS = 40
+
+EMP = Schema("emp", ("eno", "name_len", "dno", "salary"), "eno", tuple_bytes=100)
+DEPT = Schema("dept", ("dno", "budget", "floor"), "dno", tuple_bytes=100)
+
+EMP_DEPT = JoinView(
+    name="emp_dept",
+    outer="emp",
+    inner="dept",
+    join_field="dno",
+    predicate=TruePredicate(),           # f = 1: every employee qualifies
+    outer_projection=("eno", "dno"),
+    inner_projection=("budget",),
+    view_key="eno",                      # queries fetch one employee
+)
+
+
+def build(strategy: Strategy, seed: int = 1) -> Database:
+    rng = random.Random(seed)
+    db = Database(buffer_pages=512, cold_operations=True)
+    kind = "hypothetical" if strategy is Strategy.DEFERRED else "plain"
+    employees = [
+        EMP.new_record(eno=i, name_len=rng.randrange(4, 20),
+                       dno=rng.randrange(DEPARTMENTS), salary=30_000 + i)
+        for i in range(EMPLOYEES)
+    ]
+    departments = [
+        DEPT.new_record(dno=d, budget=d * 1_000, floor=d % 5)
+        for d in range(DEPARTMENTS)
+    ]
+    db.create_relation(EMP, "eno", kind=kind, records=employees, ad_buckets=1)
+    db.create_relation(DEPT, "dno", kind="hashed", records=departments)
+    db.define_view(EMP_DEPT, strategy)
+    db.reset_meter()
+    return db
+
+
+def run_workload(db: Database, updates: int, queries: int, seed: int = 2) -> float:
+    """HR-style workload: single-employee raises, single-row lookups."""
+    rng = random.Random(seed)
+    operations = ["update"] * updates + ["query"] * queries
+    rng.shuffle(operations)
+    for op in operations:
+        if op == "update":
+            eno = rng.randrange(EMPLOYEES)
+            db.apply_transaction(Transaction.of(
+                "emp", [Update(eno, {"salary": rng.randrange(30_000, 90_000)})]
+            ))
+        else:
+            eno = rng.randrange(EMPLOYEES)
+            result = db.query_view("emp_dept", eno, eno)
+            assert len(result) <= 1
+    return db.meter.milliseconds(PAPER_DEFAULTS)
+
+
+def main() -> None:
+    print("=== Analytic crossover (paper: query modification wins for "
+          "P >= ~.08) ===\n")
+    emp_dept_params = PAPER_DEFAULTS.with_updates(
+        f=1.0, l=1.0, f_v=1.0 / PAPER_DEFAULTS.N
+    )
+    for strategy in (Strategy.DEFERRED, Strategy.IMMEDIATE):
+        p_star = find_crossover_p(
+            emp_dept_params, ViewModel.JOIN, strategy, Strategy.QM_LOOPJOIN
+        )
+        print(f"  {strategy.label:<10} vs loopjoin: crossover at P = {p_star:.3f}")
+
+    print("\n=== Measured on the simulated engine "
+          f"({EMPLOYEES} employees, {DEPARTMENTS} departments) ===\n")
+    for updates, queries, label in ((20, 180, "P = 0.10"), (100, 100, "P = 0.50")):
+        print(f"  workload {label}: {updates} raises, {queries} lookups")
+        for strategy in (Strategy.QM_LOOPJOIN, Strategy.IMMEDIATE, Strategy.DEFERRED):
+            db = build(strategy)
+            total_ms = run_workload(db, updates, queries)
+            print(f"    {strategy.label:<10} {total_ms:10.0f} ms total "
+                  f"({total_ms / queries:7.1f} ms per lookup incl. maintenance)")
+        print()
+    print("Single-row lookups against a big join view: keeping the view\n"
+          "materialized buys little and costs maintenance — exactly the\n"
+          "paper's conclusion for EMP-DEPT.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: cost a view three ways and let the advisor pick.
+
+Reproduces the paper's headline decision procedure in a few lines:
+given database/workload parameters and a view structure, evaluate
+query modification, immediate maintenance and deferred maintenance,
+and recommend the cheapest.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PAPER_DEFAULTS, Parameters, Strategy, ViewModel, evaluate, recommend
+
+
+def main() -> None:
+    # 1. The paper's default setting (Section 3.1): 100k tuples, 30 ms
+    #    I/Os, half the operations are updates.
+    params = PAPER_DEFAULTS
+    print("=== Paper defaults (P = 0.5, f = f_v = 0.1) ===\n")
+    for model in ViewModel:
+        rec = recommend(params, model)
+        print(rec.describe())
+        print()
+
+    # 2. Your own workload: a query-heavy application reading large
+    #    chunks of a selective view.
+    mine = Parameters(
+        N=250_000,      # tuples in the base relation
+        f=0.05,         # view selects 5% of them
+        f_v=0.5,        # each query reads half the view
+    ).with_update_probability(0.1)
+    rec = recommend(mine, ViewModel.SELECT_PROJECT)
+    print("=== Query-heavy custom workload ===\n")
+    print(rec.describe())
+
+    # 3. Inspect the full cost breakdown behind the recommendation.
+    print("\nComponent-level costs (ms per view query):\n")
+    for breakdown in evaluate(mine, ViewModel.SELECT_PROJECT).values():
+        print(breakdown.describe())
+        print()
+
+    # 4. Watch the winner flip as the update fraction grows.
+    print("=== Winner vs update probability (join view) ===\n")
+    for p in (0.05, 0.25, 0.5, 0.75, 0.95):
+        rec = recommend(PAPER_DEFAULTS.with_update_probability(p), ViewModel.JOIN)
+        print(f"  P = {p:4.2f}  ->  {rec.strategy.label:<10} "
+              f"({rec.best.total:9.1f} ms/query)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Validate the 1986 cost model against a running engine.
+
+For every (view model, strategy) pair the paper analyzes, this example
+executes the paper's workload shape on the simulated storage engine —
+B+-trees, hash files, Bloom-filtered AD differential files, duplicate-
+counted materialized views — and compares the measured average cost per
+query with the closed-form prediction.
+
+Run:  python examples/simulation_vs_model.py
+"""
+
+from repro.core import ViewModel
+from repro.experiments.validation import (
+    orderings_agree,
+    validate_all,
+    validation_table,
+)
+
+
+def main() -> None:
+    print("Running all 11 scenarios on the simulated engine "
+          "(scaled parameters, same shape as the paper's)...\n")
+    rows = validate_all()
+    print(validation_table().render())
+
+    print("\nWinner agreement per model:")
+    for model in ViewModel:
+        agreed = orderings_agree(rows, model)
+        print(f"  Model {int(model)}: measured winner "
+              f"{'matches' if agreed else 'DIFFERS FROM'} the analytic winner")
+
+    worst = max(rows, key=lambda r: abs(r.ratio - 1.0))
+    print(
+        f"\nLargest deviation: Model {int(worst.model)} {worst.strategy.label} "
+        f"at ratio {worst.ratio:.2f} — the simulator pays physical costs the\n"
+        "1986 formulas simplify away (index descents, clustered tuples moving\n"
+        "when their sort attribute changes); see EXPERIMENTS.md for the audit."
+    )
+
+
+if __name__ == "__main__":
+    main()

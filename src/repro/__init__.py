@@ -1,0 +1,52 @@
+"""repro — Hanson's view materialization performance analysis, rebuilt.
+
+A from-scratch reproduction of Eric Hanson's *A Performance Analysis of
+View Materialization Strategies* (UCB/ERL M86/98, SIGMOD 1987):
+
+* :mod:`repro.core` — the paper's analytic cost model: parameters, the
+  Yao function, the Model 1/2/3 cost formulas, a strategy advisor,
+  region maps and crossover finding.
+* :mod:`repro.storage` / :mod:`repro.hr` / :mod:`repro.views` /
+  :mod:`repro.maintenance` / :mod:`repro.engine` — a simulated storage
+  engine that *executes* query modification, immediate and deferred
+  view maintenance and counts the same I/O/CPU events the formulas
+  price.
+* :mod:`repro.workload` — the paper's workload shapes, runnable.
+* :mod:`repro.experiments` — regeneration of every figure and table.
+
+Quickstart::
+
+    from repro import Parameters, ViewModel, recommend
+
+    params = Parameters(f=0.2, f_v=0.05).with_update_probability(0.3)
+    print(recommend(params, ViewModel.SELECT_PROJECT).describe())
+"""
+
+from .core import (
+    PAPER_DEFAULTS,
+    CostBreakdown,
+    Parameters,
+    Recommendation,
+    Strategy,
+    ViewModel,
+    evaluate,
+    find_crossover_p,
+    recommend,
+    yao,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CostBreakdown",
+    "PAPER_DEFAULTS",
+    "Parameters",
+    "Recommendation",
+    "Strategy",
+    "ViewModel",
+    "__version__",
+    "evaluate",
+    "find_crossover_p",
+    "recommend",
+    "yao",
+]

@@ -1,0 +1,86 @@
+"""Analytic cost model — the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.parameters.Parameters` — Section 3.1's parameter
+  set with the paper's defaults.
+* :func:`~repro.core.yao.yao` — Appendix B's block-access estimator.
+* :mod:`~repro.core.model1` / :mod:`~repro.core.model2` /
+  :mod:`~repro.core.model3` — the per-model cost formulas.
+* :func:`~repro.core.advisor.recommend` — cheapest-strategy selection.
+* :func:`~repro.core.regions.compute_region_map` — Figures 2-4/6-7 grids.
+* :func:`~repro.core.crossover.find_crossover_p` /
+  :func:`~repro.core.crossover.equal_cost_curve` — Figure 9 and the
+  EMP-DEPT crossover.
+"""
+
+from .advisor import Recommendation, evaluate, rank, recommend
+from .costs import CostBreakdown
+from .crossover import (
+    CrossoverNotFound,
+    EqualCostPoint,
+    cost_difference,
+    equal_cost_curve,
+    find_crossover_p,
+)
+from .estimation import Histogram, estimate_parameters, estimate_selectivity
+from .parameters import PAPER_DEFAULTS, ParameterError, Parameters, parameter_definitions
+from .policies import (
+    AsyncRefreshPoint,
+    SnapshotAnalysis,
+    analyze_async_refresh,
+    analyze_snapshot,
+    async_refresh_curve,
+    snapshot_curve,
+)
+from .regions import RegionMap, compute_region_map, linspace, logspace
+from .sensitivity import SENSITIVE_PARAMETERS, SensitivityResult, sensitivity, sweep
+from .strategies import Strategy, ViewModel
+from .yao import (
+    refresh_batching_savings,
+    triangle_inequality_holds,
+    yao,
+    yao_cardenas,
+    yao_exact,
+)
+
+__all__ = [
+    "AsyncRefreshPoint",
+    "CostBreakdown",
+    "SnapshotAnalysis",
+    "analyze_async_refresh",
+    "analyze_snapshot",
+    "async_refresh_curve",
+    "snapshot_curve",
+    "Histogram",
+    "estimate_parameters",
+    "estimate_selectivity",
+    "CrossoverNotFound",
+    "EqualCostPoint",
+    "PAPER_DEFAULTS",
+    "ParameterError",
+    "Parameters",
+    "Recommendation",
+    "RegionMap",
+    "SENSITIVE_PARAMETERS",
+    "SensitivityResult",
+    "Strategy",
+    "ViewModel",
+    "compute_region_map",
+    "cost_difference",
+    "equal_cost_curve",
+    "evaluate",
+    "find_crossover_p",
+    "linspace",
+    "logspace",
+    "parameter_definitions",
+    "rank",
+    "recommend",
+    "refresh_batching_savings",
+    "sensitivity",
+    "sweep",
+    "triangle_inequality_holds",
+    "yao",
+    "yao_cardenas",
+    "yao_exact",
+]

@@ -1,0 +1,115 @@
+"""Strategy advisor: pick the cheapest materialization strategy.
+
+This is the decision procedure the paper's conclusion sketches: given
+the database/workload parameters and a view model, evaluate every
+applicable strategy's analytic cost and recommend the minimum.  The
+advisor also explains *why* (full breakdowns and margins), which the
+region maps (:mod:`repro.core.regions`) and examples build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from . import model1, model2, model3
+from .costs import CostBreakdown
+from .parameters import Parameters
+from .strategies import Strategy, ViewModel
+from .yao import Method
+
+__all__ = ["Recommendation", "evaluate", "recommend", "rank"]
+
+_MODEL_EVALUATORS: Mapping[
+    ViewModel, Callable[[Parameters, Method], dict[Strategy, CostBreakdown]]
+] = {
+    ViewModel.SELECT_PROJECT: lambda p, m: model1.all_totals(p, method=m),
+    ViewModel.JOIN: lambda p, m: model2.all_totals2(p, method=m),
+    ViewModel.AGGREGATE: lambda p, m: model3.all_totals3(p, method=m),
+}
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """The advisor's answer: the winner plus the full ranking."""
+
+    model: ViewModel
+    best: CostBreakdown
+    ranking: tuple[CostBreakdown, ...]
+
+    @property
+    def strategy(self) -> Strategy:
+        return self.best.strategy
+
+    @property
+    def runner_up(self) -> CostBreakdown:
+        """Second-cheapest strategy (the winner itself if it is alone)."""
+        return self.ranking[1] if len(self.ranking) > 1 else self.ranking[0]
+
+    @property
+    def margin(self) -> float:
+        """Cost advantage over the runner-up, in milliseconds."""
+        return self.runner_up.total - self.best.total
+
+    @property
+    def relative_margin(self) -> float:
+        """Margin as a fraction of the runner-up's cost (0 if tied)."""
+        if self.runner_up.total == 0:
+            return 0.0
+        return self.margin / self.runner_up.total
+
+    def describe(self) -> str:
+        """Readable report: winner, margin, and the ranked costs."""
+        lines = [
+            f"Model {int(self.model)} recommendation: {self.strategy.label} "
+            f"({self.best.total:.1f} ms/query, "
+            f"{self.relative_margin:.1%} cheaper than {self.runner_up.strategy.label})"
+        ]
+        for bd in self.ranking:
+            lines.append(f"  {bd.strategy.label:<12} {bd.total:12.1f} ms")
+        return "\n".join(lines)
+
+
+def evaluate(
+    p: Parameters,
+    model: ViewModel,
+    strategies: Iterable[Strategy] | None = None,
+    method: Method = "cardenas",
+) -> dict[Strategy, CostBreakdown]:
+    """Evaluate analytic costs for one view model.
+
+    ``strategies`` restricts the comparison (e.g. Figure 1 omits the
+    off-scale sequential scan); by default every strategy the paper
+    defines for the model is costed.
+    """
+    breakdowns = _MODEL_EVALUATORS[model](p, method)
+    if strategies is not None:
+        wanted = set(strategies)
+        unknown = wanted - set(breakdowns)
+        if unknown:
+            names = ", ".join(sorted(s.value for s in unknown))
+            raise ValueError(f"strategies not defined for Model {int(model)}: {names}")
+        breakdowns = {s: bd for s, bd in breakdowns.items() if s in wanted}
+    return breakdowns
+
+
+def rank(
+    p: Parameters,
+    model: ViewModel,
+    strategies: Iterable[Strategy] | None = None,
+    method: Method = "cardenas",
+) -> tuple[CostBreakdown, ...]:
+    """All applicable strategies sorted cheapest-first (ties by label)."""
+    breakdowns = evaluate(p, model, strategies=strategies, method=method)
+    return tuple(sorted(breakdowns.values(), key=lambda bd: (bd.total, bd.strategy.value)))
+
+
+def recommend(
+    p: Parameters,
+    model: ViewModel,
+    strategies: Iterable[Strategy] | None = None,
+    method: Method = "cardenas",
+) -> Recommendation:
+    """Pick the cheapest strategy for the given parameters and model."""
+    ranking = rank(p, model, strategies=strategies, method=method)
+    return Recommendation(model=model, best=ranking[0], ranking=ranking)

@@ -1,0 +1,65 @@
+"""Cost breakdowns: named components summing to an average cost per query."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from .strategies import Strategy, ViewModel
+
+__all__ = ["CostBreakdown"]
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """An average cost per view query, split into the paper's named terms.
+
+    ``components`` maps the paper's component names (``C_query1``,
+    ``C_AD``, ``C_screen``, ...) to their millisecond values; ``total``
+    is their sum.  Instances compare and order by ``total`` so a list of
+    breakdowns can be ``min()``-ed to find the winning strategy.
+    """
+
+    strategy: Strategy
+    model: ViewModel
+    components: Mapping[str, float]
+    total: float
+
+    @classmethod
+    def build(
+        cls,
+        strategy: Strategy,
+        model: ViewModel,
+        components: Mapping[str, float],
+    ) -> "CostBreakdown":
+        """Create a breakdown whose total is the sum of ``components``."""
+        frozen = MappingProxyType(dict(components))
+        return cls(
+            strategy=strategy,
+            model=model,
+            components=frozen,
+            total=float(sum(frozen.values())),
+        )
+
+    def __lt__(self, other: "CostBreakdown") -> bool:
+        return self.total < other.total
+
+    def component(self, name: str) -> float:
+        """Return one named component (KeyError if absent)."""
+        return self.components[name]
+
+    def fraction(self, name: str) -> float:
+        """Fraction of the total contributed by one component."""
+        if self.total == 0:
+            return 0.0
+        return self.components[name] / self.total
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering, largest component first."""
+        lines = [f"{self.strategy.label} (Model {int(self.model)}): {self.total:.1f} ms"]
+        for name, value in sorted(
+            self.components.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"  {name:<16} {value:10.2f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Equal-cost curves and crossover points between strategies.
+
+Figure 9 plots, for several selectivities ``f``, the curve in the
+``(l, P)`` plane where immediate aggregate maintenance and recomputation
+via a clustered scan cost the same.  Section 3.5's EMP-DEPT result —
+query modification beats materialization for all ``P >= ~.08`` on big
+views with single-tuple queries — is a crossover in ``P``.  Both are
+found here by bisection on a sign change of the cost difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .advisor import evaluate
+from .parameters import Parameters
+from .strategies import Strategy, ViewModel
+from .yao import Method
+
+__all__ = [
+    "CrossoverNotFound",
+    "cost_difference",
+    "find_crossover_p",
+    "equal_cost_curve",
+    "EqualCostPoint",
+]
+
+_P_EPSILON = 1e-6
+
+
+class CrossoverNotFound(RuntimeError):
+    """No sign change of the cost difference exists on the search interval."""
+
+
+def cost_difference(
+    p: Parameters,
+    model: ViewModel,
+    first: Strategy,
+    second: Strategy,
+    method: Method = "cardenas",
+) -> float:
+    """``cost(first) - cost(second)`` at the given parameters (ms)."""
+    costs = evaluate(p, model, strategies=(first, second), method=method)
+    return costs[first].total - costs[second].total
+
+
+def find_crossover_p(
+    base: Parameters,
+    model: ViewModel,
+    first: Strategy,
+    second: Strategy,
+    lo: float = _P_EPSILON,
+    hi: float = 1.0 - _P_EPSILON,
+    tolerance: float = 1e-5,
+    method: Method = "cardenas",
+) -> float:
+    """Find the update probability where two strategies cost the same.
+
+    Bisects ``P`` on ``[lo, hi]`` (holding ``q`` and all other
+    parameters fixed) for a root of the cost difference.  Raises
+    :class:`CrossoverNotFound` when both endpoints have the same sign —
+    i.e. one strategy dominates over the whole interval.
+    """
+    def diff(p_value: float) -> float:
+        params = base.with_update_probability(p_value)
+        return cost_difference(params, model, first, second, method=method)
+
+    d_lo, d_hi = diff(lo), diff(hi)
+    if d_lo == 0.0:
+        return lo
+    if d_hi == 0.0:
+        return hi
+    if (d_lo > 0) == (d_hi > 0):
+        raise CrossoverNotFound(
+            f"{first.label} vs {second.label}: no crossover in P ∈ [{lo:.4g}, {hi:.4g}] "
+            f"(differences {d_lo:.4g} and {d_hi:.4g})"
+        )
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        d_mid = diff(mid)
+        if d_mid == 0.0:
+            return mid
+        if (d_mid > 0) == (d_lo > 0):
+            lo, d_lo = mid, d_mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class EqualCostPoint:
+    """One point on an equal-cost curve: at ``x``, the tie is at ``P = p``.
+
+    ``p`` is ``None`` when one strategy dominates for every ``P`` at
+    that ``x`` (the curve has left the unit square, as happens in
+    Figure 9 for small ``l`` where maintenance always wins).
+    """
+
+    x: float
+    p: float | None
+
+
+def equal_cost_curve(
+    base: Parameters,
+    model: ViewModel,
+    first: Strategy,
+    second: Strategy,
+    x_values: Sequence[float],
+    apply_x: Callable[[Parameters, float], Parameters],
+    method: Method = "cardenas",
+) -> tuple[EqualCostPoint, ...]:
+    """Trace ``P``-crossovers as a second parameter ``x`` sweeps.
+
+    ``apply_x(base, x)`` sets the swept parameter (e.g. ``l`` for
+    Figure 9).  Points where no crossover exists carry ``p=None``.
+    """
+    points = []
+    for x in x_values:
+        params = apply_x(base, x)
+        try:
+            p_star = find_crossover_p(params, model, first, second, method=method)
+        except CrossoverNotFound:
+            points.append(EqualCostPoint(x=x, p=None))
+        else:
+            points.append(EqualCostPoint(x=x, p=p_star))
+    return tuple(points)

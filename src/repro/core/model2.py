@@ -1,0 +1,140 @@
+"""Model 2 cost formulas: two-way natural join views (Section 3.4).
+
+``V = R1 join R2`` on a key field, with an extra restriction ``C_f`` of
+selectivity ``f`` on ``R1``.  Every ``R1`` tuple passing ``C_f`` joins
+exactly one ``R2`` tuple, so ``V`` has ``f*N`` tuples; with half the
+attributes of each input projected, result tuples are ``S`` bytes and
+the view occupies ``f*b`` pages.  Updates touch only ``R1`` (``R2`` is
+never updated); ``R2`` has ``f_r2*N`` tuples on ``f_r2*b`` pages with a
+clustered hash index on the join field.
+"""
+
+from __future__ import annotations
+
+from .costs import CostBreakdown
+from .model1 import (
+    cost_ad_set_overhead,
+    cost_hr_maintenance,
+    cost_read_ad,
+    cost_screen,
+)
+from .parameters import Parameters
+from .strategies import Strategy, ViewModel
+from .yao import Method, yao
+
+__all__ = [
+    "cost_query_view2",
+    "cost_deferred_refresh2",
+    "cost_immediate_refresh2",
+    "total_deferred2",
+    "total_immediate2",
+    "total_qm_loopjoin",
+    "all_totals2",
+]
+
+_YAO: Method = "cardenas"
+
+
+def cost_query_view2(p: Parameters) -> float:
+    """``C_query2``: read a fraction ``f_v`` of the stored join view.
+
+    One index descent plus a clustered scan of ``f*f_v*b`` view pages,
+    screening each of the ``f*f_v*N`` tuples scanned.
+    """
+    io = p.c2 * p.H_vi + p.c2 * p.f * p.f_v * p.b
+    cpu = p.c1 * p.f * p.f_v * p.N
+    return io + cpu
+
+
+def cost_deferred_refresh2(p: Parameters, method: Method = _YAO) -> float:
+    """``C_def_refresh2``: join the batched A1/D1 sets to R2, update V.
+
+    Reading the joining ``R2`` pages costs ``X3 = y(f_r2*N, f_r2*b,
+    2fu)`` I/Os (buffer-pool residency carries pages from the A1 join
+    to the D1 join).  Each of the ``2u`` delta tuples costs ``c1`` to
+    match, and the ``2fu`` resulting view changes land on ``X4 = y(fN,
+    fb, 2fu)`` view pages at ``3 + H_vi`` I/Os each.
+    """
+    if p.u <= 0:
+        return 0.0
+    probes = 2.0 * p.f * p.u
+    x3 = yao(p.f_r2 * p.N, p.f_r2 * p.b, probes, method=method)
+    x4 = yao(p.view_tuples_model1, p.view_pages_model2, probes, method=method)
+    return p.c2 * x3 + p.c1 * 2.0 * p.u + p.c2 * (3.0 + p.H_vi) * x4
+
+
+def cost_immediate_refresh2(p: Parameters, method: Method = _YAO) -> float:
+    """``C_imm_refresh2``: per-query cost of refreshing after each transaction.
+
+    Per transaction: ``X5 = y(f_r2*N, f_r2*b, 2fl)`` R2 page reads,
+    ``X6 = y(fN, fb, 2fl)`` view pages at ``3 + H_vi`` I/Os each, and
+    ``c1`` CPU for each of the ``2l`` delta tuples; multiplied by the
+    ``k/q`` transactions per query.
+    """
+    if p.l <= 0 or p.k <= 0:
+        return 0.0
+    probes = 2.0 * p.f * p.l
+    x5 = yao(p.f_r2 * p.N, p.f_r2 * p.b, probes, method=method)
+    x6 = yao(p.view_tuples_model1, p.view_pages_model2, probes, method=method)
+    per_txn = p.c2 * x5 + p.c2 * (3.0 + p.H_vi) * x6 + p.c1 * 2.0 * p.l
+    return (p.k / p.q) * per_txn
+
+
+def total_deferred2(p: Parameters, method: Method = _YAO) -> CostBreakdown:
+    """``TOTAL_deferred2`` (Section 3.4.1)."""
+    return CostBreakdown.build(
+        Strategy.DEFERRED,
+        ViewModel.JOIN,
+        {
+            "C_AD": cost_hr_maintenance(p, method=method),
+            "C_ADread": cost_read_ad(p),
+            "C_def_refresh2": cost_deferred_refresh2(p, method=method),
+            "C_query2": cost_query_view2(p),
+            "C_screen": cost_screen(p),
+        },
+    )
+
+
+def total_immediate2(p: Parameters, method: Method = _YAO) -> CostBreakdown:
+    """``TOTAL_immediate2`` (Section 3.4.2)."""
+    return CostBreakdown.build(
+        Strategy.IMMEDIATE,
+        ViewModel.JOIN,
+        {
+            "C_imm_refresh2": cost_immediate_refresh2(p, method=method),
+            "C_query2": cost_query_view2(p),
+            "C_overhead": cost_ad_set_overhead(p),
+            "C_screen": cost_screen(p),
+        },
+    )
+
+
+def total_qm_loopjoin(p: Parameters, method: Method = _YAO) -> CostBreakdown:
+    """``TOT_loop``: query modification with a nested-loop join.
+
+    ``R1`` is the outer relation (clustered B+-tree scan of the
+    qualifying fraction); the inner ``R2`` is probed through its hash
+    index, with probed pages pinned in the buffer pool for the whole
+    join (Section 3.4.3's large-memory assumption).
+    """
+    fetched = p.f * p.f_v * p.N
+    return CostBreakdown.build(
+        Strategy.QM_LOOPJOIN,
+        ViewModel.JOIN,
+        {
+            "C_index": p.c2 * p.H_base,
+            "C_outer_scan": p.c2 * p.f * p.f_v * p.b,
+            "C_inner_probe": p.c2 * yao(p.f_r2 * p.N, p.f_r2 * p.b, fetched, method=method),
+            "C_cpu": 2.0 * p.c1 * fetched,
+        },
+    )
+
+
+def all_totals2(p: Parameters, method: Method = _YAO) -> dict[Strategy, CostBreakdown]:
+    """All Model 2 strategies' breakdowns, keyed by strategy."""
+    breakdowns = (
+        total_deferred2(p, method=method),
+        total_immediate2(p, method=method),
+        total_qm_loopjoin(p, method=method),
+    )
+    return {bd.strategy: bd for bd in breakdowns}

@@ -1,0 +1,121 @@
+"""Model 3 cost formulas: aggregates over Model 1 views (Section 3.6).
+
+The view is an incrementally maintainable aggregate (sum, count,
+average, ...) over the tuples of ``R`` satisfying a predicate of
+selectivity ``f``.  Only the aggregate *state* is stored — it fits in a
+single disk block — so a view query is one page read, and a refresh is
+one page write whenever at least one accumulated change falls in the
+aggregated set.
+"""
+
+from __future__ import annotations
+
+from .costs import CostBreakdown
+from .model1 import cost_hr_maintenance, cost_read_ad, cost_screen
+from .parameters import Parameters
+from .strategies import Strategy, ViewModel
+from .yao import Method
+
+__all__ = [
+    "cost_query_aggregate",
+    "cost_deferred_refresh3",
+    "cost_immediate_refresh3",
+    "total_deferred3",
+    "total_immediate3",
+    "total_qm_clustered3",
+    "all_totals3",
+    "probability_state_touched",
+]
+
+_YAO: Method = "cardenas"
+
+
+def probability_state_touched(f: float, changes: float) -> float:
+    """Probability at least one of ``changes`` modified tuples is aggregated.
+
+    Each modified tuple lies in the aggregated set independently with
+    probability ``f``; the paper's ``1 - (1-f)**changes``.
+    """
+    if changes <= 0:
+        return 0.0
+    return 1.0 - (1.0 - f) ** changes
+
+
+def cost_query_aggregate(p: Parameters) -> float:
+    """``C_query3``: read the one-block aggregate state."""
+    return p.c2
+
+
+def cost_deferred_refresh3(p: Parameters) -> float:
+    """``C_def_refresh3``: one state write if any batched change qualifies.
+
+    ``2u`` modified tuples accumulate per query; no read is needed
+    because the state is read anyway to answer the query.
+    """
+    return p.c2 * probability_state_touched(p.f, 2.0 * p.u)
+
+
+def cost_immediate_refresh3(p: Parameters) -> float:
+    """``C_imm_refresh3``: per-query cost of per-transaction state writes.
+
+    Each transaction writes the state with probability
+    ``1 - (1-f)**(2l)``; there are ``k/q`` transactions per query
+    (DESIGN.md interpretation note 5).
+    """
+    per_txn = p.c2 * probability_state_touched(p.f, 2.0 * p.l)
+    return (p.k / p.q) * per_txn
+
+
+def total_deferred3(p: Parameters, method: Method = _YAO) -> CostBreakdown:
+    """``TOTAL_deferred3``: HR upkeep + AD read + state read + lazy write."""
+    return CostBreakdown.build(
+        Strategy.DEFERRED,
+        ViewModel.AGGREGATE,
+        {
+            "C_AD": cost_hr_maintenance(p, method=method),
+            "C_ADread": cost_read_ad(p),
+            "C_query3": cost_query_aggregate(p),
+            "C_def_refresh3": cost_deferred_refresh3(p),
+            "C_screen": cost_screen(p),
+        },
+    )
+
+
+def total_immediate3(p: Parameters) -> CostBreakdown:
+    """``TOTAL_immediate3``: state read + eager state writes + screening."""
+    return CostBreakdown.build(
+        Strategy.IMMEDIATE,
+        ViewModel.AGGREGATE,
+        {
+            "C_query3": cost_query_aggregate(p),
+            "C_imm_refresh3": cost_immediate_refresh3(p),
+            "C_screen": cost_screen(p),
+        },
+    )
+
+
+def total_qm_clustered3(p: Parameters) -> CostBreakdown:
+    """Recompute the aggregate from scratch with a clustered index scan.
+
+    An aggregate needs the *entire* selected set, so this is
+    ``TOTAL_clustered`` evaluated at ``f_v = 1``: ``c2*b*f`` page reads
+    plus ``c1*N*f`` screens (DESIGN.md interpretation note 6).
+    """
+    return CostBreakdown.build(
+        Strategy.QM_CLUSTERED,
+        ViewModel.AGGREGATE,
+        {
+            "C_io": p.c2 * p.b * p.f,
+            "C_cpu": p.c1 * p.N * p.f,
+        },
+    )
+
+
+def all_totals3(p: Parameters, method: Method = _YAO) -> dict[Strategy, CostBreakdown]:
+    """All Model 3 strategies' breakdowns, keyed by strategy."""
+    breakdowns = (
+        total_deferred3(p, method=method),
+        total_immediate3(p),
+        total_qm_clustered3(p),
+    )
+    return {bd.strategy: bd for bd in breakdowns}

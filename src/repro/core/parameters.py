@@ -1,0 +1,239 @@
+"""Cost-model parameters from Section 3.1 of the paper.
+
+The paper drives every cost formula from a small set of parameters
+describing the database (``N``, ``S``, ``B``, ``n``), the workload
+(``k``, ``l``, ``q``), the view definition (``f``, ``f_v``, ``f_r2``)
+and the cost constants (``c1``, ``c2``, ``c3``).  :class:`Parameters`
+holds those values together with the paper's default settings and
+exposes the derived quantities (``b``, ``T``, ``u``, ``P``, index
+heights) that the formulas in :mod:`repro.core.model1`,
+:mod:`repro.core.model2` and :mod:`repro.core.model3` consume.
+
+All costs are expressed in **milliseconds**, as in the paper: a disk
+I/O costs ``c2`` (default 30 ms), a CPU predicate screen costs ``c1``
+(default 1 ms), and manipulating one tuple of the in-memory A/D sets in
+immediate maintenance costs ``c3`` (default 1 ms).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Iterator, Mapping
+
+__all__ = ["Parameters", "ParameterError", "PAPER_DEFAULTS", "parameter_definitions"]
+
+
+class ParameterError(ValueError):
+    """Raised when a :class:`Parameters` instance is inconsistent."""
+
+
+#: Human-readable definition of every paper parameter, in paper order.
+#: Used by the ``params-table`` experiment to regenerate Section 3.1's
+#: parameter tables.
+_PARAMETER_DEFINITIONS: tuple[tuple[str, str], ...] = (
+    ("N", "number of tuples in relation"),
+    ("S", "bytes per tuple"),
+    ("B", "bytes per block"),
+    ("b", "total blocks (b = N*S/B)"),
+    ("T", "number of tuples per page (T = B/S)"),
+    ("n", "number of bytes in a B+-tree index record"),
+    ("k", "number of update transactions on base relation"),
+    ("l", "number of tuples modified by each update transaction"),
+    ("q", "number of times view queried"),
+    ("u", "number of tuples updated between view queries (u = k*l/q)"),
+    ("P", "probability that a given operation is an update (P = k/(k+q))"),
+    ("f", "view predicate selectivity for Model 1"),
+    ("f_v", "fraction of view retrieved per query"),
+    ("f_r2", "size of R2 as a fraction of R1"),
+    ("c1", "CPU cost to screen a record against a predicate (ms)"),
+    ("c2", "cost of a disk read or write (ms)"),
+    ("c3", "cost per tuple per transaction to manipulate A and D sets in immediate (ms)"),
+)
+
+
+def parameter_definitions() -> tuple[tuple[str, str], ...]:
+    """Return ``(name, definition)`` pairs for every paper parameter."""
+    return _PARAMETER_DEFINITIONS
+
+
+@dataclass(frozen=True)
+class Parameters:
+    """The paper's cost-model parameter set (Section 3.1 defaults).
+
+    Instances are immutable; derive variants with :meth:`with_updates`
+    (or :func:`dataclasses.replace`).  ``P`` is not stored — it is
+    derived from ``k`` and ``q`` — but a workload with a target update
+    probability can be built with :meth:`with_update_probability`.
+
+    Attributes mirror the paper's symbols; ``f_v`` is the fraction of
+    the view read per query (called :math:`f_v`/:math:`f_0` in the
+    text) and ``f_r2`` the size of ``R2`` relative to ``R1``.
+    """
+
+    N: int = 100_000
+    S: int = 100
+    B: int = 4_000
+    k: float = 100.0
+    l: float = 25.0
+    q: float = 100.0
+    n: int = 20
+    f: float = 0.1
+    f_v: float = 0.1
+    f_r2: float = 0.1
+    c1: float = 1.0
+    c2: float = 30.0
+    c3: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ParameterError` if any value is out of range."""
+        positive = {
+            "N": self.N,
+            "S": self.S,
+            "B": self.B,
+            "q": self.q,
+            "n": self.n,
+            "c2": self.c2,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise ParameterError(f"parameter {name} must be > 0, got {value!r}")
+        non_negative = {
+            "k": self.k,
+            "l": self.l,
+            "c1": self.c1,
+            "c3": self.c3,
+        }
+        for name, value in non_negative.items():
+            if value < 0:
+                raise ParameterError(f"parameter {name} must be >= 0, got {value!r}")
+        for name, value in (("f", self.f), ("f_v", self.f_v), ("f_r2", self.f_r2)):
+            if not 0.0 < value <= 1.0:
+                raise ParameterError(
+                    f"selectivity {name} must be in (0, 1], got {value!r}"
+                )
+        if self.S > self.B:
+            raise ParameterError(
+                f"tuple size S={self.S} exceeds block size B={self.B}"
+            )
+        if self.n >= self.B:
+            raise ParameterError(
+                f"index record size n={self.n} must be smaller than block size B={self.B}"
+            )
+
+    # ------------------------------------------------------------------
+    # derived quantities (Section 3.1)
+    # ------------------------------------------------------------------
+    @property
+    def b(self) -> float:
+        """Total blocks occupied by the base relation: ``b = N*S/B``."""
+        return self.N * self.S / self.B
+
+    @property
+    def T(self) -> float:
+        """Tuples per page: ``T = B/S``."""
+        return self.B / self.S
+
+    @property
+    def u(self) -> float:
+        """Tuples updated between view queries: ``u = k*l/q``."""
+        return self.k * self.l / self.q
+
+    @property
+    def P(self) -> float:
+        """Probability an operation is an update: ``P = k/(k+q)``."""
+        return self.k / (self.k + self.q)
+
+    @property
+    def fanout(self) -> float:
+        """B+-tree index fanout: ``B/n`` index records per page."""
+        return self.B / self.n
+
+    @property
+    def view_tuples_model1(self) -> float:
+        """Number of tuples in the Model 1 (and Model 2) view: ``f*N``."""
+        return self.f * self.N
+
+    @property
+    def view_pages_model1(self) -> float:
+        """Pages in the Model 1 view: ``f*b/2`` (half the attributes projected)."""
+        return self.f * self.b / 2.0
+
+    @property
+    def view_pages_model2(self) -> float:
+        """Pages in the Model 2 join view: ``f*b`` (result tuples are S bytes)."""
+        return self.f * self.b
+
+    @property
+    def H_vi(self) -> int:
+        """Height of the B+-tree index over the view (excluding data pages).
+
+        ``H_vi = ceil(log_{B/n}(f*N))`` — Section 3.2.1.
+        """
+        return self.index_height(self.view_tuples_model1)
+
+    @property
+    def H_base(self) -> int:
+        """Height of the B+-tree index over the base relation (``N`` entries)."""
+        return self.index_height(self.N)
+
+    def index_height(self, entries: float) -> int:
+        """Height of a B+-tree with the given number of leaf entries.
+
+        Assumes full packing with fanout ``B/n`` as in the paper; the
+        height never drops below one (there is always a root to read).
+        """
+        if entries <= 1:
+            return 1
+        return max(1, math.ceil(math.log(entries, self.fanout)))
+
+    # ------------------------------------------------------------------
+    # constructors / transformers
+    # ------------------------------------------------------------------
+    def with_updates(self, **changes: Any) -> "Parameters":
+        """Return a copy with the given fields replaced (and re-validated)."""
+        return replace(self, **changes)
+
+    def with_update_probability(self, p: float) -> "Parameters":
+        """Return a copy whose workload has update probability ``P = p``.
+
+        ``q`` is held fixed and ``k`` set to ``q*p/(1-p)``; this follows
+        the paper's figures, which sweep ``P`` with the per-transaction
+        and per-query shapes unchanged.  ``p`` must lie in ``[0, 1)``.
+        """
+        if not 0.0 <= p < 1.0:
+            raise ParameterError(f"update probability must be in [0, 1), got {p!r}")
+        return self.with_updates(k=self.q * p / (1.0 - p))
+
+    def as_dict(self) -> dict[str, float]:
+        """Return stored fields as a plain dict (derived values excluded)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Any]) -> "Parameters":
+        """Build parameters from a mapping, ignoring unknown keys."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in mapping.items() if k in known})
+
+    def iter_rows(self) -> Iterator[tuple[str, str, float]]:
+        """Yield ``(name, definition, value)`` rows including derived values.
+
+        The order matches the paper's parameter table in Section 3.1.
+        """
+        derived = {"b": self.b, "T": self.T, "u": self.u, "P": self.P}
+        stored = self.as_dict()
+        for name, definition in _PARAMETER_DEFINITIONS:
+            if name in stored:
+                yield name, definition, float(stored[name])
+            else:
+                yield name, definition, float(derived[name])
+
+
+#: The paper's default parameter settings (Section 3.1, second table).
+PAPER_DEFAULTS = Parameters()

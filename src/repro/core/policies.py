@@ -1,0 +1,168 @@
+"""Refresh-timing policies: Section 4's future work, made concrete.
+
+The paper's conclusion raises two questions it leaves open:
+
+* **Asynchronous refresh** — "if there is idle CPU and disk time
+  available, it is likely to be useful to put it to work refreshing
+  views asynchronously.  This would improve the response time of view
+  queries ...".  :func:`analyze_async_refresh` quantifies the trade:
+  performing ``j`` extra refreshes between queries raises *total* work
+  (Yao subadditivity) but shrinks the refresh backlog a query must
+  wait for, cutting query *latency*.
+* **Snapshots** — the intro's third mechanism (Adiba & Lindsay 1980):
+  a stored copy refreshed by full recomputation every ``r`` queries,
+  serving possibly stale answers in between.
+  :func:`analyze_snapshot` gives its amortized cost and expected
+  staleness for Model 1 geometry.
+
+Both analyses reuse the Section 3 formulas and constants, so their
+outputs are directly comparable with ``TOTAL_deferred1`` etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import model1
+from .parameters import Parameters
+from .yao import Method, yao
+
+__all__ = [
+    "AsyncRefreshPoint",
+    "analyze_async_refresh",
+    "async_refresh_curve",
+    "SnapshotAnalysis",
+    "analyze_snapshot",
+    "snapshot_curve",
+]
+
+
+# ----------------------------------------------------------------------
+# asynchronous / periodic refresh
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AsyncRefreshPoint:
+    """Cost profile of deferred maintenance with ``extra_refreshes``
+    asynchronous refresh slices between consecutive queries.
+
+    * ``query_latency_ms`` — work performed *at query time*: the final
+      refresh slice plus the view read.  This is what the user waits
+      for; async slices run in idle time.
+    * ``total_cost_ms`` — all work per query including the async
+      slices; by Yao subadditivity it is minimized at zero extra
+      refreshes (pure deferred).
+    """
+
+    extra_refreshes: int
+    query_latency_ms: float
+    total_cost_ms: float
+
+    @property
+    def background_ms(self) -> float:
+        """Work shifted into idle time."""
+        return self.total_cost_ms - self.query_latency_ms
+
+
+def _refresh_slice_cost(p: Parameters, changes: float, method: Method) -> float:
+    """Cost of one refresh applying ``changes`` view modifications:
+    read the AD slice, then update the touched view pages."""
+    if changes <= 0:
+        return 0.0
+    ad_read = p.c2 * changes / p.T
+    touched = yao(p.view_tuples_model1, p.view_pages_model1, changes, method=method)
+    return ad_read + p.c2 * (3.0 + p.H_vi) * touched
+
+
+def analyze_async_refresh(
+    p: Parameters, extra_refreshes: int, method: Method = "cardenas"
+) -> AsyncRefreshPoint:
+    """Deferred maintenance with ``extra_refreshes`` idle-time slices.
+
+    The ``2fu`` view changes accumulating per query are applied in
+    ``extra_refreshes + 1`` equal slices; only the last slice (plus the
+    view scan, HR upkeep and screening) lands on the query's critical
+    path.
+    """
+    if extra_refreshes < 0:
+        raise ValueError(f"extra_refreshes must be >= 0, got {extra_refreshes}")
+    slices = extra_refreshes + 1
+    changes_per_query = 2.0 * p.f * p.u
+    slice_changes = changes_per_query / slices
+
+    per_slice = _refresh_slice_cost(p, slice_changes, method)
+    always_synchronous = (
+        model1.cost_query_view(p)
+        + model1.cost_hr_maintenance(p, method=method)
+        + model1.cost_screen(p)
+    )
+    latency = always_synchronous + per_slice
+    total = always_synchronous + slices * per_slice
+    return AsyncRefreshPoint(
+        extra_refreshes=extra_refreshes,
+        query_latency_ms=latency,
+        total_cost_ms=total,
+    )
+
+
+def async_refresh_curve(
+    p: Parameters, max_extra: int = 8, method: Method = "cardenas"
+) -> tuple[AsyncRefreshPoint, ...]:
+    """The latency/total-work trade-off for 0..max_extra async slices."""
+    return tuple(
+        analyze_async_refresh(p, j, method=method) for j in range(max_extra + 1)
+    )
+
+
+# ----------------------------------------------------------------------
+# snapshots
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SnapshotAnalysis:
+    """Amortized cost and staleness of a snapshot refreshed every
+    ``refresh_every`` queries by full recomputation (Model 1)."""
+
+    refresh_every: int
+    cost_per_query_ms: float
+    rebuild_cost_ms: float
+    #: Expected number of base-relation updates not yet reflected in
+    #: the answer a random query sees.
+    expected_stale_updates: float
+
+    @property
+    def is_fresh(self) -> bool:
+        return self.expected_stale_updates == 0.0
+
+
+def analyze_snapshot(p: Parameters, refresh_every: int) -> SnapshotAnalysis:
+    """Cost/staleness of snapshot maintenance (Adiba & Lindsay style).
+
+    A rebuild scans the qualifying fraction of ``R`` through the
+    clustered index (``c2*f*b`` reads + ``c1*f*N`` screens) and writes
+    the fresh copy (``f*b/2`` pages).  Queries between rebuilds read
+    the stored copy exactly like any materialized view but perform no
+    refresh; a query arriving a uniformly random position into the
+    cycle sees on average ``u * (refresh_every - 1) / 2`` unapplied
+    updates.
+    """
+    if refresh_every < 1:
+        raise ValueError(f"refresh_every must be >= 1, got {refresh_every}")
+    rebuild = (
+        p.c2 * p.f * p.b              # clustered scan of the selected set
+        + p.c1 * p.f * p.N            # screen scanned tuples
+        + p.c2 * p.view_pages_model1  # write the new copy
+    )
+    per_query = model1.cost_query_view(p) + rebuild / refresh_every
+    stale = p.u * (refresh_every - 1) / 2.0
+    return SnapshotAnalysis(
+        refresh_every=refresh_every,
+        cost_per_query_ms=per_query,
+        rebuild_cost_ms=rebuild,
+        expected_stale_updates=stale,
+    )
+
+
+def snapshot_curve(
+    p: Parameters, periods: tuple[int, ...] = (1, 2, 5, 10, 25, 100)
+) -> tuple[SnapshotAnalysis, ...]:
+    """Snapshot cost/staleness across refresh periods."""
+    return tuple(analyze_snapshot(p, r) for r in periods)

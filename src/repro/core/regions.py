@@ -1,0 +1,150 @@
+"""Best-strategy region maps over the (P, f) plane (Figures 2-4, 6-7).
+
+The paper's region figures fix every parameter except the update
+probability ``P`` (x axis) and the view-predicate selectivity ``f``
+(y axis), and shade the region where each algorithm is cheapest.  A
+:class:`RegionMap` is the discrete version: a grid of winners plus
+helpers for measuring region areas and finding boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from .advisor import recommend
+from .parameters import Parameters
+from .strategies import Strategy, ViewModel
+from .yao import Method
+
+__all__ = ["RegionMap", "compute_region_map", "linspace", "logspace"]
+
+
+def linspace(start: float, stop: float, count: int) -> tuple[float, ...]:
+    """``count`` evenly spaced values from ``start`` to ``stop`` inclusive."""
+    if count < 2:
+        return (start,)
+    step = (stop - start) / (count - 1)
+    return tuple(start + i * step for i in range(count))
+
+
+def logspace(start: float, stop: float, count: int) -> tuple[float, ...]:
+    """``count`` log-spaced values from ``start`` to ``stop`` inclusive."""
+    if start <= 0 or stop <= 0:
+        raise ValueError("logspace endpoints must be positive")
+    if count < 2:
+        return (start,)
+    ratio = (stop / start) ** (1.0 / (count - 1))
+    return tuple(start * ratio**i for i in range(count))
+
+
+@dataclass(frozen=True)
+class RegionMap:
+    """Grid of winning strategies over (P, f).
+
+    ``winners[i][j]`` is the cheapest strategy at ``f = f_values[i]``
+    and ``P = p_values[j]`` — row-major with ``f`` on the row axis so a
+    printed map reads like the paper's figures (``f`` increasing up).
+    """
+
+    model: ViewModel
+    p_values: tuple[float, ...]
+    f_values: tuple[float, ...]
+    winners: tuple[tuple[Strategy, ...], ...]
+
+    def winner_at(self, f: float, p: float) -> Strategy:
+        """Winner at the grid point nearest to ``(f, p)``."""
+        i = min(range(len(self.f_values)), key=lambda i: abs(self.f_values[i] - f))
+        j = min(range(len(self.p_values)), key=lambda j: abs(self.p_values[j] - p))
+        return self.winners[i][j]
+
+    def area_fraction(self, strategy: Strategy) -> float:
+        """Fraction of grid cells won by ``strategy``."""
+        cells = len(self.p_values) * len(self.f_values)
+        wins = sum(row.count(strategy) for row in self.winners)
+        return wins / cells if cells else 0.0
+
+    def strategies_present(self) -> tuple[Strategy, ...]:
+        """Distinct winners appearing anywhere on the map, stable order."""
+        seen: dict[Strategy, None] = {}
+        for row in self.winners:
+            for s in row:
+                seen.setdefault(s, None)
+        return tuple(seen)
+
+    def boundary_p(self, f: float, left: Strategy, right: Strategy) -> float | None:
+        """Approximate ``P`` where the winner flips from ``left`` to ``right``.
+
+        Scans the row nearest ``f`` for the first adjacent pair whose
+        winners are ``left`` then ``right`` and returns the midpoint of
+        their ``P`` values, or ``None`` if no such transition exists.
+        """
+        i = min(range(len(self.f_values)), key=lambda i: abs(self.f_values[i] - f))
+        row = self.winners[i]
+        for j in range(len(row) - 1):
+            if row[j] is left and row[j + 1] is right:
+                return (self.p_values[j] + self.p_values[j + 1]) / 2.0
+        return None
+
+    def render(self, symbols: dict[Strategy, str] | None = None) -> str:
+        """ASCII rendering with ``f`` increasing upward, one char per cell."""
+        symbols = symbols or _DEFAULT_SYMBOLS
+        lines = []
+        for i in reversed(range(len(self.f_values))):
+            cells = "".join(symbols.get(s, "?") for s in self.winners[i])
+            lines.append(f"f={self.f_values[i]:<8.3g} |{cells}|")
+        lines.append(
+            f"{'':11}P: {self.p_values[0]:.2f} .. {self.p_values[-1]:.2f}"
+        )
+        legend = ", ".join(
+            f"{symbols.get(s, '?')}={s.label}" for s in self.strategies_present()
+        )
+        lines.append(f"{'':11}legend: {legend}")
+        return "\n".join(lines)
+
+
+_DEFAULT_SYMBOLS = {
+    Strategy.DEFERRED: "d",
+    Strategy.IMMEDIATE: "i",
+    Strategy.QM_CLUSTERED: "c",
+    Strategy.QM_UNCLUSTERED: "u",
+    Strategy.QM_SEQUENTIAL: "s",
+    Strategy.QM_LOOPJOIN: "j",
+}
+
+
+def compute_region_map(
+    base: Parameters,
+    model: ViewModel,
+    p_values: Sequence[float],
+    f_values: Sequence[float],
+    strategies: Iterable[Strategy] | None = None,
+    method: Method = "cardenas",
+    parameterize: Callable[[Parameters, float, float], Parameters] | None = None,
+) -> RegionMap:
+    """Compute the winner at each (P, f) grid point.
+
+    ``parameterize(base, p, f)`` produces the parameter set for one grid
+    point; the default sets the update probability to ``p`` (holding
+    ``q`` fixed) and the selectivity to ``f``, exactly as the paper's
+    region figures do.
+    """
+    if parameterize is None:
+        def parameterize(b: Parameters, p: float, f: float) -> Parameters:
+            return b.with_update_probability(p).with_updates(f=f)
+
+    strategy_tuple = tuple(strategies) if strategies is not None else None
+    rows = []
+    for f in f_values:
+        row = []
+        for p in p_values:
+            params = parameterize(base, p, f)
+            rec = recommend(params, model, strategies=strategy_tuple, method=method)
+            row.append(rec.strategy)
+        rows.append(tuple(row))
+    return RegionMap(
+        model=model,
+        p_values=tuple(p_values),
+        f_values=tuple(f_values),
+        winners=tuple(rows),
+    )

@@ -1,0 +1,133 @@
+"""Parameter sensitivity analysis for the conclusion's five key knobs.
+
+Section 4 names the parameters the results are "most sensitive to":
+``P``, ``f``, ``f_v``, ``l`` and the A/D-set maintenance cost (``c3``
+and the HR I/O).  This module quantifies that: for each parameter it
+perturbs the value around a base point and reports the elasticity of
+every strategy's cost, plus whether the winning strategy flips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from .advisor import evaluate, recommend
+from .parameters import Parameters
+from .strategies import Strategy, ViewModel
+from .yao import Method
+
+__all__ = ["SensitivityResult", "sensitivity", "sweep", "SENSITIVE_PARAMETERS"]
+
+
+def _set_p(base: Parameters, value: float) -> Parameters:
+    return base.with_update_probability(value)
+
+
+def _setter(name: str) -> Callable[[Parameters, float], Parameters]:
+    def apply(base: Parameters, value: float) -> Parameters:
+        return base.with_updates(**{name: value})
+
+    return apply
+
+
+#: The conclusion's sensitive parameters, mapped to setter functions.
+SENSITIVE_PARAMETERS: Mapping[str, Callable[[Parameters, float], Parameters]] = {
+    "P": _set_p,
+    "f": _setter("f"),
+    "f_v": _setter("f_v"),
+    "l": _setter("l"),
+    "c3": _setter("c3"),
+}
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Effect of perturbing one parameter on every strategy's cost.
+
+    ``elasticities[s]`` approximates d(log cost)/d(log value) for
+    strategy ``s`` at the base point; ``winner_before``/``winner_after``
+    record whether the recommendation flips over the perturbation.
+    """
+
+    parameter: str
+    base_value: float
+    perturbed_value: float
+    elasticities: Mapping[Strategy, float]
+    winner_before: Strategy
+    winner_after: Strategy
+
+    @property
+    def flips_winner(self) -> bool:
+        return self.winner_before is not self.winner_after
+
+    @property
+    def most_sensitive_strategy(self) -> Strategy:
+        return max(self.elasticities, key=lambda s: abs(self.elasticities[s]))
+
+
+def sensitivity(
+    base: Parameters,
+    model: ViewModel,
+    parameter: str,
+    base_value: float,
+    relative_step: float = 0.25,
+    method: Method = "cardenas",
+) -> SensitivityResult:
+    """Measure cost elasticity of every strategy to one parameter.
+
+    The parameter is moved from ``base_value`` to ``base_value * (1 +
+    relative_step)`` and log-log slopes are computed.  ``parameter``
+    must be a key of :data:`SENSITIVE_PARAMETERS`.
+    """
+    import math
+
+    if parameter not in SENSITIVE_PARAMETERS:
+        raise KeyError(
+            f"unknown sensitive parameter {parameter!r}; "
+            f"expected one of {sorted(SENSITIVE_PARAMETERS)}"
+        )
+    apply = SENSITIVE_PARAMETERS[parameter]
+    perturbed_value = base_value * (1.0 + relative_step)
+    before_params = apply(base, base_value)
+    after_params = apply(base, perturbed_value)
+
+    before = evaluate(before_params, model, method=method)
+    after = evaluate(after_params, model, method=method)
+    dlog_x = math.log(perturbed_value / base_value)
+    elasticities = {}
+    for strategy, bd in before.items():
+        if bd.total <= 0 or after[strategy].total <= 0:
+            elasticities[strategy] = 0.0
+        else:
+            elasticities[strategy] = (
+                math.log(after[strategy].total / bd.total) / dlog_x
+            )
+    return SensitivityResult(
+        parameter=parameter,
+        base_value=base_value,
+        perturbed_value=perturbed_value,
+        elasticities=elasticities,
+        winner_before=recommend(before_params, model, method=method).strategy,
+        winner_after=recommend(after_params, model, method=method).strategy,
+    )
+
+
+def sweep(
+    base: Parameters,
+    model: ViewModel,
+    parameter: str,
+    values: Sequence[float],
+    method: Method = "cardenas",
+) -> tuple[tuple[float, Strategy, float], ...]:
+    """Winner and winning cost for each value of one sensitive parameter.
+
+    Returns ``(value, winner, winning_cost_ms)`` triples — the raw data
+    behind "higher P favors query modification"-style statements.
+    """
+    apply = SENSITIVE_PARAMETERS[parameter]
+    rows = []
+    for value in values:
+        rec = recommend(apply(base, value), model, method=method)
+        rows.append((value, rec.strategy, rec.best.total))
+    return tuple(rows)

@@ -1,0 +1,86 @@
+"""Strategy and model identifiers shared across the cost model and engine."""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Strategy", "ViewModel", "QUERY_MODIFICATION_VARIANTS"]
+
+
+class Strategy(str, enum.Enum):
+    """A view materialization strategy compared by the paper.
+
+    The three query-modification variants (Model 1) and the nested-loop
+    variant (Model 2) are distinct members because the paper plots them
+    as separate curves; :meth:`is_query_modification` groups them.
+    """
+
+    DEFERRED = "deferred"
+    IMMEDIATE = "immediate"
+    QM_CLUSTERED = "qm_clustered"
+    QM_UNCLUSTERED = "qm_unclustered"
+    QM_SEQUENTIAL = "qm_sequential"
+    QM_LOOPJOIN = "qm_loopjoin"
+    #: Extensions beyond the paper's three compared schemes:
+    #: periodically rebuilt stored copies (Adiba & Lindsay snapshots,
+    #: cited in the introduction), the introduction's fourth algorithm
+    #: (Buneman & Clemons: analyze each command, recompute the view
+    #: completely if it may have changed), and the dual-access-path
+    #: routing Section 3.3 sketches for the query optimizer.
+    SNAPSHOT = "snapshot"
+    BC_RECOMPUTE = "bc_recompute"
+    HYBRID = "hybrid"
+
+    def is_query_modification(self) -> bool:
+        """True for any strategy that recomputes from base relations."""
+        return self in QUERY_MODIFICATION_VARIANTS
+
+    def is_materialized(self) -> bool:
+        """True for strategies that keep a stored copy of the view."""
+        return not self.is_query_modification()
+
+    @property
+    def label(self) -> str:
+        """Short label used in the paper's figures."""
+        return _LABELS[self]
+
+
+QUERY_MODIFICATION_VARIANTS = frozenset(
+    {
+        Strategy.QM_CLUSTERED,
+        Strategy.QM_UNCLUSTERED,
+        Strategy.QM_SEQUENTIAL,
+        Strategy.QM_LOOPJOIN,
+    }
+)
+
+_LABELS = {
+    Strategy.DEFERRED: "deferred",
+    Strategy.IMMEDIATE: "immediate",
+    Strategy.QM_CLUSTERED: "clustered",
+    Strategy.QM_UNCLUSTERED: "unclustered",
+    Strategy.QM_SEQUENTIAL: "sequential",
+    Strategy.QM_LOOPJOIN: "loopjoin",
+    Strategy.SNAPSHOT: "snapshot",
+    Strategy.BC_RECOMPUTE: "bc-recompute",
+    Strategy.HYBRID: "hybrid",
+}
+
+
+class ViewModel(enum.IntEnum):
+    """The paper's three view structures (Section 3.1)."""
+
+    SELECT_PROJECT = 1
+    JOIN = 2
+    AGGREGATE = 3
+
+    @property
+    def description(self) -> str:
+        return _MODEL_DESCRIPTIONS[self]
+
+
+_MODEL_DESCRIPTIONS = {
+    ViewModel.SELECT_PROJECT: "selection and projection of a single relation R",
+    ViewModel.JOIN: "natural join of two relations, R1 and R2, on a key field",
+    ViewModel.AGGREGATE: "aggregates (e.g. sum, average) over a Model 1-type view",
+}

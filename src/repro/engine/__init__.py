@@ -1,0 +1,28 @@
+"""Database engine: catalog, transactions, executor, relations."""
+
+from .database import CatalogError, Database
+from .executor import (
+    SecondaryIndex,
+    clustered_scan,
+    nested_loop_join,
+    sequential_scan,
+    unclustered_scan,
+)
+from .relations import HashedRelation
+from .transaction import Delete, Insert, Operation, Transaction, Update
+
+__all__ = [
+    "CatalogError",
+    "Database",
+    "Delete",
+    "HashedRelation",
+    "Insert",
+    "Operation",
+    "SecondaryIndex",
+    "Transaction",
+    "Update",
+    "clustered_scan",
+    "nested_loop_join",
+    "sequential_scan",
+    "unclustered_scan",
+]

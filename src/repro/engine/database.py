@@ -1,0 +1,465 @@
+"""The database engine: catalog, transactions, views, strategies.
+
+:class:`Database` owns the simulated disk and buffer pool, the base
+relations (plain clustered, hash-clustered, or hypothetical), any
+secondary indexes, and the views with their maintenance strategies.
+Transactions applied through :meth:`Database.apply_transaction` update
+the base storage and notify every affected view's strategy;
+:meth:`Database.query_view` answers a view query under whatever
+strategy the view was defined with.
+
+The shared :class:`~repro.storage.pager.CostMeter` prices everything;
+``snapshot``/``delta_since`` let harnesses cost individual operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.core.parameters import Parameters
+from repro.core.strategies import Strategy
+from repro.hr.differential import ClusteredRelation, HypotheticalRelation, SeparateFilesHR
+from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+from repro.storage.tuples import Record, Schema
+from repro.views.definition import AggregateView, JoinView, SelectProjectView
+from repro.views.delta import DeltaSet
+from repro.views.matview import AggregateStateStore, MaterializedView
+from .executor import SecondaryIndex
+from .relations import HashedRelation
+from .transaction import Delete, Insert, Transaction, Update
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.maintenance.base import MaintenanceStrategy
+
+__all__ = ["Database", "CatalogError"]
+
+BaseRelation = ClusteredRelation | HashedRelation
+
+
+class CatalogError(ValueError):
+    """Invalid catalog operation (unknown names, bad combinations)."""
+
+
+class Database:
+    """A single-user simulated database instance."""
+
+    def __init__(
+        self,
+        block_bytes: int = 4000,
+        buffer_pages: int = 256,
+        fanout: int = 200,
+        cold_operations: bool = False,
+    ) -> None:
+        self.block_bytes = block_bytes
+        self.fanout = fanout
+        self.meter = CostMeter()
+        self.disk = SimulatedDisk(self.meter)
+        self.pool = BufferPool(self.disk, capacity=buffer_pages)
+        #: When True, the buffer pool is emptied before each
+        #: transaction and each view query — matching the cost model's
+        #: cold-cache assumption (every formula charges full I/O).
+        self.cold_operations = cold_operations
+        self.relations: dict[str, BaseRelation | HypotheticalRelation] = {}
+        self.secondary_indexes: dict[tuple[str, str], SecondaryIndex] = {}
+        self.views: dict[str, "MaintenanceStrategy"] = {}
+        self._views_by_relation: dict[str, list[str]] = {}
+        self._deferred_coordinators: dict[str, Any] = {}
+        self.transactions_applied = 0
+        self.queries_answered = 0
+
+    @classmethod
+    def from_parameters(cls, params: Parameters, **kwargs: Any) -> "Database":
+        """Build a database whose block size matches a parameter set."""
+        kwargs.setdefault("block_bytes", params.B)
+        kwargs.setdefault("fanout", max(3, int(params.fanout)))
+        return cls(**kwargs)
+
+    # ------------------------------------------------------------------
+    # catalog
+    # ------------------------------------------------------------------
+    def create_relation(
+        self,
+        schema: Schema,
+        clustered_on: str,
+        kind: str = "plain",
+        records: Iterable[Record] | None = None,
+        ad_buckets: int = 64,
+        hash_buckets: int | None = None,
+    ) -> BaseRelation | HypotheticalRelation:
+        """Create (and optionally load) a base relation.
+
+        ``kind`` selects the storage wrapper:
+
+        * ``"plain"`` — clustered B+-tree (query modification, immediate)
+        * ``"hypothetical"`` — B+-tree + combined AD file (deferred)
+        * ``"separate"`` — B+-tree + separate A/D files (ablation)
+        * ``"hashed"`` — clustered hash file (the join inner ``R2``)
+        * ``"hashed_hypothetical"`` — hash file + AD file (deferred
+          join views with inner-side updates)
+        """
+        if schema.name in self.relations:
+            raise CatalogError(f"relation {schema.name!r} already exists")
+        if kind in ("hashed", "hashed_hypothetical"):
+            hashed = HashedRelation(
+                schema, self.pool, clustered_on,
+                block_bytes=self.block_bytes, buckets=hash_buckets,
+            )
+            if kind == "hashed_hypothetical":
+                from repro.hr.hashed import HashedHypotheticalRelation
+
+                relation: Any = HashedHypotheticalRelation(
+                    hashed, ad_buckets=ad_buckets
+                )
+            else:
+                relation = hashed
+        else:
+            base = ClusteredRelation(
+                schema, self.pool, clustered_on,
+                block_bytes=self.block_bytes, fanout=self.fanout,
+            )
+            if kind == "plain":
+                relation = base
+            elif kind == "hypothetical":
+                relation = HypotheticalRelation(base, ad_buckets=ad_buckets)
+            elif kind == "separate":
+                relation = SeparateFilesHR(base, ad_buckets=ad_buckets)
+            else:
+                raise CatalogError(
+                    f"unknown relation kind {kind!r}; expected plain, "
+                    "hypothetical, separate or hashed"
+                )
+        self.relations[schema.name] = relation
+        if records is not None:
+            loader = relation.base if hasattr(relation, "base") else relation
+            loader.bulk_load(list(records))
+        return relation
+
+    def create_secondary_index(self, relation_name: str, field: str) -> SecondaryIndex:
+        """Build an in-memory secondary index on a plain relation."""
+        base = self._base_of(relation_name)
+        if not isinstance(base, ClusteredRelation):
+            raise CatalogError("secondary indexes require a tree-clustered relation")
+        index = SecondaryIndex(base, field)
+        self.secondary_indexes[(relation_name, field)] = index
+        return index
+
+    def define_view(
+        self,
+        definition: SelectProjectView | JoinView | AggregateView,
+        strategy: Strategy,
+        plan: str | None = None,
+        index_field: str | None = None,
+        refresh_every: int = 10,
+    ) -> "MaintenanceStrategy":
+        """Register a view under one maintenance strategy.
+
+        For materialized strategies the stored copy is built now from
+        the current base content (reset the meter afterwards if setup
+        cost should not be charged to the workload).
+        """
+        if definition.name in self.views:
+            raise CatalogError(f"view {definition.name!r} already exists")
+        if isinstance(definition, SelectProjectView):
+            impl = self._define_select_project(
+                definition, strategy, plan, index_field, refresh_every
+            )
+        elif isinstance(definition, JoinView):
+            impl = self._define_join(definition, strategy)
+        elif isinstance(definition, AggregateView):
+            impl = self._define_aggregate(definition, strategy)
+        else:
+            raise CatalogError(f"unsupported view definition {type(definition).__name__}")
+        self.views[definition.name] = impl
+        source = definition.outer if isinstance(definition, JoinView) else definition.relation
+        self._views_by_relation.setdefault(source, []).append(definition.name)
+        if isinstance(definition, JoinView):
+            # Inner-relation updates also affect the view (an extension
+            # beyond the paper's R2-is-never-updated simplification).
+            self._views_by_relation.setdefault(definition.inner, []).append(
+                definition.name
+            )
+        if strategy is Strategy.DEFERRED:
+            self._share_deferred_coordinator(source, impl)
+        return impl
+
+    def _share_deferred_coordinator(self, relation_name: str, impl: Any) -> None:
+        """All deferred views on one relation share a refresh coordinator.
+
+        One view's refresh folds the AD file down, so siblings must be
+        refreshed from the same AD read (Section 4's shared-refresh
+        optimization — and a correctness requirement here).
+        """
+        from repro.maintenance.deferred import DeferredCoordinator
+
+        coordinator = self._deferred_coordinators.get(relation_name)
+        if coordinator is None:
+            self._deferred_coordinators[relation_name] = impl.coordinator
+        else:
+            impl.join_coordinator(coordinator)
+
+    # ------------------------------------------------------------------
+    # workload surface
+    # ------------------------------------------------------------------
+    def apply_transaction(self, txn: Transaction) -> DeltaSet:
+        """Execute a transaction and notify affected views.
+
+        Returns the net delta (useful for assertions in tests).
+        """
+        relation = self.relations.get(txn.relation)
+        if relation is None:
+            raise CatalogError(f"unknown relation {txn.relation!r}")
+        if self.cold_operations:
+            self.pool.invalidate_all()
+        delta = DeltaSet(txn.relation)
+        for op in txn.operations:
+            if isinstance(op, Insert):
+                relation.insert(op.record)
+                delta.add_insert(op.record)
+                self._index_event(txn.relation, inserted=op.record)
+            elif isinstance(op, Delete):
+                old = relation.delete_by_key(op.key)
+                delta.add_delete(old)
+                self._index_event(txn.relation, deleted=old)
+            elif isinstance(op, Update):
+                old, new = relation.update_by_key(op.key, **op.changes)
+                delta.add_update(old, new)
+                self._index_event(txn.relation, deleted=old, inserted=new)
+            else:  # pragma: no cover - exhaustive over Operation
+                raise CatalogError(f"unknown operation {op!r}")
+        for view_name in self._views_by_relation.get(txn.relation, ()):
+            self.views[view_name].on_transaction(txn, delta)
+        # Write-back: dirty pages accumulated by this transaction are
+        # flushed once each, so a page touched several times in one
+        # operation costs one write (the cost model's accounting).
+        self.pool.flush_all()
+        self.transactions_applied += 1
+        return delta
+
+    def query_view(self, name: str, lo: Any = None, hi: Any = None) -> Any:
+        """Answer a view query under the view's strategy."""
+        impl = self.views.get(name)
+        if impl is None:
+            raise CatalogError(f"unknown view {name!r}")
+        if self.cold_operations:
+            self.pool.invalidate_all()
+        answer = impl.query(lo, hi)
+        self.pool.flush_all()
+        self.queries_answered += 1
+        return answer
+
+    def reset_meter(self) -> None:
+        """Zero the cost counters (typically after setup/bulk load)."""
+        self.pool.flush_all()
+        self.meter.reset()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _base_of(self, relation_name: str) -> Any:
+        relation = self.relations.get(relation_name)
+        if relation is None:
+            raise CatalogError(f"unknown relation {relation_name!r}")
+        return relation
+
+    def _plain_base(self, relation_name: str) -> ClusteredRelation:
+        relation = self._base_of(relation_name)
+        if isinstance(relation, HypotheticalRelation):
+            return relation.base
+        if isinstance(relation, ClusteredRelation):
+            return relation
+        raise CatalogError(
+            f"relation {relation_name!r} is not tree-clustered"
+        )
+
+    def _records_per_page(self, schema: Schema) -> int:
+        return schema.records_per_page(self.block_bytes)
+
+    def _snapshot(self, relation_name: str) -> list[Record]:
+        relation = self._base_of(relation_name)
+        if isinstance(relation, HypotheticalRelation):
+            return relation.base.records_snapshot()
+        return relation.records_snapshot()
+
+    def _index_event(
+        self,
+        relation_name: str,
+        inserted: Record | None = None,
+        deleted: Record | None = None,
+    ) -> None:
+        for (rel, _), index in self.secondary_indexes.items():
+            if rel != relation_name:
+                continue
+            if deleted is not None:
+                index.on_delete(deleted)
+            if inserted is not None:
+                index.on_insert(inserted)
+
+    def _define_select_project(
+        self,
+        definition: SelectProjectView,
+        strategy: Strategy,
+        plan: str | None,
+        index_field: str | None,
+        refresh_every: int = 10,
+    ) -> "MaintenanceStrategy":
+        from repro.maintenance.deferred import DeferredSelectProject
+        from repro.maintenance.hybrid import HybridSelectProject
+        from repro.maintenance.immediate import ImmediateSelectProject
+        from repro.maintenance.query_modification import QueryModificationSelectProject
+        from repro.maintenance.snapshot import (
+            RecomputeOnChangeSelectProject,
+            SnapshotSelectProject,
+        )
+
+        relation = self._base_of(definition.relation)
+        if strategy.is_query_modification():
+            chosen_plan = plan or {
+                Strategy.QM_CLUSTERED: "clustered",
+                Strategy.QM_UNCLUSTERED: "unclustered",
+                Strategy.QM_SEQUENTIAL: "sequential",
+            }.get(strategy, "clustered")
+            secondary = None
+            if chosen_plan == "unclustered":
+                field = index_field or definition.view_key
+                secondary = self.secondary_indexes.get((definition.relation, field))
+                if secondary is None:
+                    secondary = self.create_secondary_index(definition.relation, field)
+            return QueryModificationSelectProject(
+                definition, self._plain_base(definition.relation),
+                plan=chosen_plan, secondary_index=secondary,
+            )
+        # Model 1 views project half the attributes: view tuples are
+        # half the base tuple size, doubling the blocking factor (the
+        # paper's fb/2 view size).
+        schema = self._plain_base(definition.relation).schema
+        matview = self._new_matview(
+            definition.name, definition.view_key, max(1, schema.tuple_bytes // 2)
+        )
+        matview.bulk_load(definition.evaluate(self._snapshot(definition.relation)))
+        if strategy is Strategy.IMMEDIATE:
+            return ImmediateSelectProject(
+                definition, self._plain_base(definition.relation), matview
+            )
+        if strategy is Strategy.DEFERRED:
+            if not isinstance(relation, HypotheticalRelation):
+                raise CatalogError(
+                    "deferred views need a hypothetical relation; create "
+                    f"{definition.relation!r} with kind='hypothetical'"
+                )
+            return DeferredSelectProject(definition, relation, matview)
+        if strategy is Strategy.SNAPSHOT:
+            return SnapshotSelectProject(
+                definition, self._plain_base(definition.relation), matview,
+                refresh_every=refresh_every,
+            )
+        if strategy is Strategy.BC_RECOMPUTE:
+            return RecomputeOnChangeSelectProject(
+                definition, self._plain_base(definition.relation), matview
+            )
+        if strategy is Strategy.HYBRID:
+            params = Parameters.from_mapping(
+                {"N": max(1, len(self._snapshot(definition.relation))),
+                 "B": self.block_bytes,
+                 "f": definition.predicate.selectivity_hint() or 0.1}
+            )
+            return HybridSelectProject(
+                definition, self._plain_base(definition.relation), matview, params
+            )
+        raise CatalogError(f"unsupported strategy {strategy} for select-project views")
+
+    def _define_join(
+        self, definition: JoinView, strategy: Strategy
+    ) -> "MaintenanceStrategy":
+        from repro.maintenance.deferred import DeferredJoin
+        from repro.maintenance.immediate import ImmediateJoin
+        from repro.maintenance.query_modification import QueryModificationJoin
+
+        from repro.hr.hashed import HashedHypotheticalRelation
+
+        outer = self._base_of(definition.outer)
+        inner = self._base_of(definition.inner)
+        if not isinstance(inner, (HashedRelation, HashedHypotheticalRelation)):
+            raise CatalogError(
+                f"join inner relation {definition.inner!r} must be hashed "
+                "(create it with kind='hashed' or 'hashed_hypothetical')"
+            )
+        if (
+            isinstance(inner, HashedHypotheticalRelation)
+            and strategy is not Strategy.DEFERRED
+        ):
+            raise CatalogError(
+                "a hashed_hypothetical inner relation is only usable by "
+                "deferred join views; use kind='hashed' for "
+                f"{strategy.label} maintenance"
+            )
+        if strategy is Strategy.QM_LOOPJOIN or strategy.is_query_modification():
+            return QueryModificationJoin(
+                definition, self._plain_base(definition.outer), inner
+            )
+        # Model 2 projects half of each side's attributes: result
+        # tuples are the same S bytes as base tuples (the paper's fb
+        # view size).
+        outer_schema = self._plain_base(definition.outer).schema
+        join_tuple_bytes = (outer_schema.tuple_bytes + inner.schema.tuple_bytes) // 2
+        matview = self._new_matview(
+            definition.name, definition.view_key, max(1, join_tuple_bytes)
+        )
+        matview.bulk_load(
+            definition.evaluate(
+                self._snapshot(definition.outer), inner.records_snapshot()
+            )
+        )
+        if strategy is Strategy.IMMEDIATE:
+            return ImmediateJoin(
+                definition, self._plain_base(definition.outer), inner, matview
+            )
+        if strategy is Strategy.DEFERRED:
+            if not isinstance(outer, HypotheticalRelation):
+                raise CatalogError(
+                    "deferred views need a hypothetical outer relation; create "
+                    f"{definition.outer!r} with kind='hypothetical'"
+                )
+            return DeferredJoin(definition, outer, inner, matview)
+        raise CatalogError(f"unsupported strategy {strategy} for join views")
+
+    def _define_aggregate(
+        self, definition: AggregateView, strategy: Strategy
+    ) -> "MaintenanceStrategy":
+        from repro.maintenance.deferred import DeferredAggregate
+        from repro.maintenance.immediate import ImmediateAggregate
+        from repro.maintenance.query_modification import QueryModificationAggregate
+
+        relation = self._base_of(definition.relation)
+        if strategy.is_query_modification():
+            return QueryModificationAggregate(
+                definition, self._plain_base(definition.relation)
+            )
+        store = AggregateStateStore(definition.name, self.pool, definition.function())
+        function = definition.function()
+        state = function.initial_state()
+        for record in self._snapshot(definition.relation):
+            if definition.predicate.matches(record):
+                function.insert(state, record[definition.field])
+        store.write_state(state)
+        if strategy is Strategy.IMMEDIATE:
+            return ImmediateAggregate(
+                definition, self._plain_base(definition.relation), store
+            )
+        if strategy is Strategy.DEFERRED:
+            if not isinstance(relation, HypotheticalRelation):
+                raise CatalogError(
+                    "deferred views need a hypothetical relation; create "
+                    f"{definition.relation!r} with kind='hypothetical'"
+                )
+            return DeferredAggregate(definition, relation, store)
+        raise CatalogError(f"unsupported strategy {strategy} for aggregate views")
+
+    def _new_matview(
+        self, name: str, view_key: str, tuple_bytes: int
+    ) -> MaterializedView:
+        records_per_page = max(1, self.block_bytes // max(1, tuple_bytes))
+        return MaterializedView(
+            name, self.pool, view_key,
+            records_per_page=records_per_page, fanout=self.fanout,
+        )

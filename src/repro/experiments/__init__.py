@@ -1,0 +1,27 @@
+"""Experiment harness: figures, tables, validation and ablations.
+
+Every artifact of the paper's evaluation section can be regenerated
+programmatically (``figures.figure1()`` ... ``figures.figure9()``,
+``tables.emp_dept_case()``, ...) or from the command line via
+``repro-experiments`` / ``python -m repro.experiments.runner``.
+"""
+
+from . import ablation, components, extensions, figures, sim_figures, tables, validation
+from .report import render_chart
+from .runner import EXPERIMENTS, run_experiment
+from .series import FigureData, TableData
+
+__all__ = [
+    "EXPERIMENTS",
+    "FigureData",
+    "TableData",
+    "ablation",
+    "components",
+    "extensions",
+    "figures",
+    "sim_figures",
+    "render_chart",
+    "run_experiment",
+    "tables",
+    "validation",
+]

@@ -1,0 +1,255 @@
+"""Regeneration of every figure in the paper (Figures 1-9).
+
+Each ``figure*`` function evaluates the analytic cost model over the
+same sweep the paper plots and returns the raw data
+(:class:`~repro.experiments.series.FigureData` for curve figures,
+:class:`~repro.core.regions.RegionMap` for the best-strategy region
+maps of Figures 2-4 and 6-7).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core import model1, model2, model3
+from repro.core.crossover import equal_cost_curve
+from repro.core.parameters import PAPER_DEFAULTS, Parameters
+from repro.core.regions import RegionMap, compute_region_map, linspace
+from repro.core.strategies import Strategy, ViewModel
+from .series import FigureData
+
+__all__ = [
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure4_c3_sweep",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "DEFAULT_P_SWEEP",
+]
+
+DEFAULT_P_SWEEP = tuple(p / 100 for p in range(2, 99, 2))
+
+_MODEL1_REGION_STRATEGIES = (
+    Strategy.DEFERRED,
+    Strategy.IMMEDIATE,
+    Strategy.QM_CLUSTERED,
+)
+_MODEL2_REGION_STRATEGIES = (
+    Strategy.DEFERRED,
+    Strategy.IMMEDIATE,
+    Strategy.QM_LOOPJOIN,
+)
+
+
+def figure1(
+    base: Parameters = PAPER_DEFAULTS, p_values: Sequence[float] = DEFAULT_P_SWEEP
+) -> FigureData:
+    """Figure 1: Model 1 cost per query vs update probability ``P``.
+
+    Curves: deferred, immediate, clustered, unclustered (sequential is
+    off the paper's scale and omitted, as in the original).
+    """
+    rows = []
+    for p in p_values:
+        params = base.with_update_probability(p)
+        totals = model1.all_totals(params)
+        rows.append(
+            {
+                "deferred": totals[Strategy.DEFERRED].total,
+                "immediate": totals[Strategy.IMMEDIATE].total,
+                "clustered": totals[Strategy.QM_CLUSTERED].total,
+                "unclustered": totals[Strategy.QM_UNCLUSTERED].total,
+            }
+        )
+    return FigureData(
+        figure_id="fig1",
+        title="Figure 1 — Model 1: average cost per view query vs P",
+        x_label="P",
+        y_label="cost (ms)",
+        x_values=tuple(p_values),
+        rows=tuple(rows),
+        notes="sequential scan omitted (off scale), as in the paper",
+    )
+
+
+def _model1_regions(
+    base: Parameters, resolution: int, f_range: tuple[float, float] = (0.02, 1.0)
+) -> RegionMap:
+    return compute_region_map(
+        base,
+        ViewModel.SELECT_PROJECT,
+        p_values=linspace(0.02, 0.98, resolution),
+        f_values=linspace(f_range[0], f_range[1], resolution),
+        strategies=_MODEL1_REGION_STRATEGIES,
+    )
+
+
+def figure2(base: Parameters = PAPER_DEFAULTS, resolution: int = 25) -> RegionMap:
+    """Figure 2: Model 1 best-strategy regions, f vs P (f_v = .1)."""
+    return _model1_regions(base.with_updates(f_v=0.1), resolution)
+
+
+def figure3(base: Parameters = PAPER_DEFAULTS, resolution: int = 25) -> RegionMap:
+    """Figure 3: Model 1 regions with smaller queries (f_v = .01)."""
+    return _model1_regions(base.with_updates(f_v=0.01), resolution)
+
+
+def figure4(base: Parameters = PAPER_DEFAULTS, resolution: int = 25) -> RegionMap:
+    """Figure 4: Model 1 regions with doubled A/D overhead (c3 = 2).
+
+    The paper reports a (thin) region where deferred becomes best.  With
+    the printed ``C_overhead = c3*2*f*l*(k/q)`` our deferred-best sliver
+    appears around ``c3 ≈ 4`` instead (see EXPERIMENTS.md);
+    :func:`figure4_c3_sweep` quantifies the shift.
+    """
+    return _model1_regions(base.with_updates(c3=2.0, f_v=0.1), resolution)
+
+
+def figure4_c3_sweep(
+    base: Parameters = PAPER_DEFAULTS,
+    c3_values: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    resolution: int = 25,
+) -> FigureData:
+    """Companion to Figure 4: deferred's region area as ``c3`` grows."""
+    rows = []
+    for c3 in c3_values:
+        region = _model1_regions(base.with_updates(c3=c3, f_v=0.1), resolution)
+        rows.append(
+            {
+                "deferred": region.area_fraction(Strategy.DEFERRED),
+                "immediate": region.area_fraction(Strategy.IMMEDIATE),
+                "clustered": region.area_fraction(Strategy.QM_CLUSTERED),
+            }
+        )
+    return FigureData(
+        figure_id="fig4-c3",
+        title="Figure 4 companion — best-strategy area fraction vs c3 (Model 1)",
+        x_label="c3 (ms)",
+        y_label="area fraction",
+        x_values=tuple(c3_values),
+        rows=tuple(rows),
+        notes="raising the A/D maintenance overhead grows deferred's region",
+    )
+
+
+def figure5(
+    base: Parameters = PAPER_DEFAULTS, p_values: Sequence[float] = DEFAULT_P_SWEEP
+) -> FigureData:
+    """Figure 5: Model 2 cost per query vs ``P`` (deferred/immediate/loopjoin)."""
+    rows = []
+    for p in p_values:
+        params = base.with_update_probability(p)
+        totals = model2.all_totals2(params)
+        rows.append(
+            {
+                "deferred": totals[Strategy.DEFERRED].total,
+                "immediate": totals[Strategy.IMMEDIATE].total,
+                "loopjoin": totals[Strategy.QM_LOOPJOIN].total,
+            }
+        )
+    return FigureData(
+        figure_id="fig5",
+        title="Figure 5 — Model 2: average cost per view query vs P",
+        x_label="P",
+        y_label="cost (ms)",
+        x_values=tuple(p_values),
+        rows=tuple(rows),
+    )
+
+
+def _model2_regions(base: Parameters, resolution: int) -> RegionMap:
+    return compute_region_map(
+        base,
+        ViewModel.JOIN,
+        p_values=linspace(0.02, 0.98, resolution),
+        f_values=linspace(0.02, 1.0, resolution),
+        strategies=_MODEL2_REGION_STRATEGIES,
+    )
+
+
+def figure6(base: Parameters = PAPER_DEFAULTS, resolution: int = 25) -> RegionMap:
+    """Figure 6: Model 2 best-strategy regions, f vs P (f_v = .1)."""
+    return _model2_regions(base.with_updates(f_v=0.1), resolution)
+
+
+def figure7(base: Parameters = PAPER_DEFAULTS, resolution: int = 25) -> RegionMap:
+    """Figure 7: Model 2 regions with smaller queries (f_v = .01)."""
+    return _model2_regions(base.with_updates(f_v=0.01), resolution)
+
+
+def figure8(
+    base: Parameters = PAPER_DEFAULTS,
+    l_values: Sequence[float] = (1, 2, 5, 10, 25, 50, 100, 200, 400),
+) -> FigureData:
+    """Figure 8: Model 3 aggregate cost vs transaction size ``l``.
+
+    For small ``l`` maintaining the aggregate costs a small percentage
+    of recomputing it with a clustered scan.
+    """
+    rows = []
+    for l in l_values:
+        params = base.with_updates(l=float(l))
+        totals = model3.all_totals3(params)
+        rows.append(
+            {
+                "deferred": totals[Strategy.DEFERRED].total,
+                "immediate": totals[Strategy.IMMEDIATE].total,
+                "clustered": totals[Strategy.QM_CLUSTERED].total,
+            }
+        )
+    return FigureData(
+        figure_id="fig8",
+        title="Figure 8 — Model 3: aggregate query cost vs l",
+        x_label="l (tuples per transaction)",
+        y_label="cost (ms)",
+        x_values=tuple(float(l) for l in l_values),
+        rows=tuple(rows),
+        notes="clustered = recompute from scratch with a clustered index scan",
+    )
+
+
+def figure9(
+    base: Parameters = PAPER_DEFAULTS,
+    f_values: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 1.0),
+    l_values: Sequence[float] = (1, 5, 25, 100, 500, 2_500, 10_000, 50_000, 200_000),
+) -> FigureData:
+    """Figure 9: equal-cost curves of immediate vs clustered recompute.
+
+    For each ``f``, the curve gives the update probability ``P`` at
+    which immediate aggregate maintenance and standard clustered-scan
+    processing cost the same, as ``l`` sweeps.  Standard processing is
+    best above a curve; immediate maintenance below.  Points where
+    maintenance wins for every ``P`` are left empty.
+    """
+    rows: list[dict[str, float | None]] = [dict() for _ in l_values]
+    for f in f_values:
+        params = base.with_updates(f=f)
+        curve = equal_cost_curve(
+            params,
+            ViewModel.AGGREGATE,
+            Strategy.IMMEDIATE,
+            Strategy.QM_CLUSTERED,
+            x_values=l_values,
+            apply_x=lambda p, l: p.with_updates(l=float(l)),
+        )
+        for i, point in enumerate(curve):
+            rows[i][f"f={f:g}"] = point.p
+    return FigureData(
+        figure_id="fig9",
+        title="Figure 9 — Model 3: equal-cost curves (P vs l) for several f",
+        x_label="l (tuples per transaction)",
+        y_label="P at equal cost",
+        x_values=tuple(float(l) for l in l_values),
+        rows=tuple(rows),
+        notes=(
+            "standard processing best above each curve; immediate below. "
+            "Maintained aggregates are so cheap that for realistic l the "
+            "curves hug P≈1 (cost savings in significantly more cases than "
+            "other views, as the paper concludes); larger f lifts the curve."
+        ),
+    )

@@ -1,0 +1,71 @@
+"""ASCII rendering for figures (terminal-friendly, no plotting deps)."""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .series import FigureData
+
+__all__ = ["render_chart"]
+
+_MARKERS = "dicul*oxj+"
+
+
+def render_chart(
+    figure: "FigureData", width: int = 72, height: int = 20, log_y: bool = False
+) -> str:
+    """Plot all series of a figure as an ASCII chart.
+
+    Each series gets a one-character marker; overlapping points show the
+    later series' marker.  ``log_y`` uses a log10 y-axis (useful when
+    strategies differ by orders of magnitude, as in Figure 8).
+    """
+    labels = figure.series_labels
+    points: list[tuple[int, float, str]] = []  # (column, y, marker)
+    xs = figure.x_values
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+
+    ys_all = [
+        y
+        for row in figure.rows
+        for y in row.values()
+        if y is not None and (not log_y or y > 0)
+    ]
+    if not ys_all:
+        return f"{figure.title}\n(no data)"
+    transform = (lambda v: math.log10(v)) if log_y else (lambda v: v)
+    y_min = min(transform(y) for y in ys_all)
+    y_max = max(transform(y) for y in ys_all)
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for i, (x, row) in enumerate(zip(xs, figure.rows)):
+        col = round((x - x_min) / x_span * (width - 1))
+        for s_index, label in enumerate(labels):
+            y = row.get(label)
+            if y is None or (log_y and y <= 0):
+                continue
+            level = (transform(y) - y_min) / y_span
+            line = height - 1 - round(level * (height - 1))
+            grid[line][col] = _MARKERS[s_index % len(_MARKERS)]
+
+    y_top = 10**y_max if log_y else y_max
+    y_bottom = 10**y_min if log_y else y_min
+    out = [figure.title]
+    out.append(f"{figure.y_label}{' (log)' if log_y else ''}  top={y_top:.4g}")
+    for line in grid:
+        out.append("|" + "".join(line))
+    out.append("+" + "-" * width)
+    out.append(
+        f" {figure.x_label}: {x_min:.4g} .. {x_max:.4g}    bottom={y_bottom:.4g}"
+    )
+    legend = ", ".join(
+        f"{_MARKERS[i % len(_MARKERS)]}={label}" for i, label in enumerate(labels)
+    )
+    out.append(f" legend: {legend}")
+    if figure.notes:
+        out.append(f" note: {figure.notes}")
+    return "\n".join(out)

@@ -1,0 +1,171 @@
+"""CLI entry point: regenerate every experiment from the terminal.
+
+``repro-experiments all`` (or ``python -m repro.experiments.runner``)
+prints every figure, table and validation report; individual ids select
+one: the paper's artifacts (``fig1`` .. ``fig9``, ``params``,
+``emp-dept``, ``yao``, ``sensitivity``, ``breakdown``), the
+simulation-side checks (``validate``, ``sim-fig1``/``5``/``8``,
+``ablation``) and the extensions (``ext-async``, ``ext-snapshot``,
+``ext-hybrid``, ``ext-five``).  ``--csv DIR`` additionally writes raw
+data files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable
+
+from repro.core.regions import RegionMap
+from . import ablation, components, extensions, figures, sim_figures, tables, validation
+from .series import FigureData, TableData
+
+__all__ = ["main", "EXPERIMENTS", "run_experiment"]
+
+Artifact = FigureData | TableData | RegionMap
+
+
+def _fig4_pair() -> list[Artifact]:
+    return [figures.figure4(), figures.figure4_c3_sweep()]
+
+
+EXPERIMENTS: dict[str, Callable[[], list[Artifact]]] = {
+    "params": lambda: [tables.parameter_table()],
+    "fig1": lambda: [figures.figure1()],
+    "fig2": lambda: [figures.figure2()],
+    "fig3": lambda: [figures.figure3()],
+    "fig4": _fig4_pair,
+    "fig5": lambda: [figures.figure5()],
+    "fig6": lambda: [figures.figure6()],
+    "fig7": lambda: [figures.figure7()],
+    "fig8": lambda: [figures.figure8()],
+    "fig9": lambda: [figures.figure9()],
+    "emp-dept": lambda: [tables.emp_dept_case()],
+    "yao": lambda: [tables.yao_triangle_table(), tables.yao_accuracy_table()],
+    "sensitivity": lambda: [tables.sensitivity_table()],
+    "breakdown": lambda: [tables.cost_breakdown_table()],
+    "validate": lambda: [validation.validation_table()],
+    "sim-components": lambda: [components.component_validation_table()],
+    "sim-fig1": lambda: [sim_figures.simulated_figure1()],
+    "sim-fig5": lambda: [sim_figures.simulated_figure5()],
+    "sim-fig8": lambda: [sim_figures.simulated_figure8()],
+    "ext-async": lambda: [extensions.async_refresh_figure()],
+    "ext-snapshot": lambda: [
+        extensions.snapshot_frontier_figure(),
+        extensions.snapshot_validation_table(),
+    ],
+    "ext-hybrid": lambda: [extensions.hybrid_routing_table()],
+    "ext-five": lambda: [extensions.five_mechanisms_table()],
+    "ext-skew": lambda: [extensions.update_skew_table()],
+    "ablation": lambda: [
+        ablation.ad_file_ablation(),
+        ablation.bloom_filter_ablation(),
+        ablation.refresh_period_ablation(),
+        ablation.refresh_period_simulation(),
+    ],
+}
+
+_REGION_TITLES = {
+    "fig2": "Figure 2 — Model 1 best strategy, f vs P (f_v=.1)",
+    "fig3": "Figure 3 — Model 1 best strategy, f vs P (f_v=.01)",
+    "fig4": "Figure 4 — Model 1 best strategy, f vs P (c3=2, f_v=.1)",
+    "fig6": "Figure 6 — Model 2 best strategy, f vs P (f_v=.1)",
+    "fig7": "Figure 7 — Model 2 best strategy, f vs P (f_v=.01)",
+}
+
+
+def run_experiment(exp_id: str) -> list[Artifact]:
+    """Produce the artifacts of one experiment id."""
+    try:
+        factory = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {', '.join(EXPERIMENTS)}"
+        ) from None
+    return factory()
+
+
+def _print_artifact(exp_id: str, artifact: Artifact, log_y: bool) -> None:
+    if isinstance(artifact, RegionMap):
+        print(_REGION_TITLES.get(exp_id, exp_id))
+        print(artifact.render())
+    elif isinstance(artifact, FigureData):
+        print(artifact.render(log_y=log_y))
+    else:
+        print(artifact.render())
+    print()
+
+
+def _write_csv(directory: Path, exp_id: str, index: int, artifact: Artifact) -> None:
+    directory.mkdir(parents=True, exist_ok=True)
+    suffix = "" if index == 0 else f"-{index}"
+    path = directory / f"{exp_id}{suffix}.csv"
+    if isinstance(artifact, RegionMap):
+        lines = ["f,P,winner"]
+        for i, f in enumerate(artifact.f_values):
+            for j, p in enumerate(artifact.p_values):
+                lines.append(f"{f},{p},{artifact.winners[i][j].label}")
+        path.write_text("\n".join(lines) + "\n")
+    else:
+        path.write_text(artifact.to_csv())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures and tables of Hanson's view "
+        "materialization performance analysis (SIGMOD 1987).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment ids (default: all). Known: %s" % ", ".join(EXPERIMENTS),
+    )
+    parser.add_argument("--csv", type=Path, default=None, metavar="DIR",
+                        help="also write raw CSV data into DIR")
+    parser.add_argument("--markdown", type=Path, default=None, metavar="FILE",
+                        help="also write a Markdown report to FILE")
+    parser.add_argument("--log-y", action="store_true",
+                        help="log-scale y axis for curve figures")
+    args = parser.parse_args(argv)
+
+    wanted = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    markdown_sections: list[str] = []
+    for exp_id in wanted:
+        try:
+            artifacts = run_experiment(exp_id)
+        except KeyError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        for index, artifact in enumerate(artifacts):
+            _print_artifact(exp_id, artifact, args.log_y)
+            if args.csv is not None:
+                _write_csv(args.csv, exp_id, index, artifact)
+            if args.markdown is not None:
+                markdown_sections.append(_markdown_section(exp_id, artifact))
+    if args.markdown is not None:
+        header = (
+            "# Reproduction report\n\n"
+            "Generated by `repro-experiments --markdown` for Hanson, "
+            "*A Performance Analysis of View Materialization Strategies* "
+            "(SIGMOD 1987).\n"
+        )
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        args.markdown.write_text(header + "\n" + "\n\n".join(markdown_sections) + "\n")
+        print(f"markdown report written to {args.markdown}")
+    return 0
+
+
+def _markdown_section(exp_id: str, artifact: Artifact) -> str:
+    if isinstance(artifact, RegionMap):
+        title = _REGION_TITLES.get(exp_id, exp_id)
+        return f"### {title}\n\n```\n{artifact.render()}\n```"
+    if isinstance(artifact, FigureData):
+        return artifact.to_markdown() + "\n\n```\n" + artifact.render() + "\n```"
+    return artifact.to_markdown()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""Data containers for figure/table regeneration."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+__all__ = ["FigureData", "TableData"]
+
+
+@dataclass
+class FigureData:
+    """One figure: an x-axis sweep with one or more named series.
+
+    ``rows[i]`` maps series label to the y value at ``x_values[i]``
+    (``None`` for undefined points, e.g. a crossover that left the
+    plot).  ``render`` produces an ASCII chart; ``to_csv`` the raw data.
+    """
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    x_values: tuple[float, ...]
+    rows: tuple[Mapping[str, float | None], ...]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if len(self.x_values) != len(self.rows):
+            raise ValueError(
+                f"{self.figure_id}: {len(self.x_values)} x-values but "
+                f"{len(self.rows)} rows"
+            )
+
+    @property
+    def series_labels(self) -> tuple[str, ...]:
+        labels: dict[str, None] = {}
+        for row in self.rows:
+            for label in row:
+                labels.setdefault(label, None)
+        return tuple(labels)
+
+    def series(self, label: str) -> tuple[float | None, ...]:
+        """One series' y values across the sweep."""
+        return tuple(row.get(label) for row in self.rows)
+
+    def to_csv(self) -> str:
+        """Raw data as CSV text (x column + one column per series)."""
+        labels = self.series_labels
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow([self.x_label, *labels])
+        for x, row in zip(self.x_values, self.rows):
+            writer.writerow([x, *(row.get(label, "") for label in labels)])
+        return buffer.getvalue()
+
+    def render(self, width: int = 72, height: int = 20, log_y: bool = False) -> str:
+        """ASCII line chart of all series."""
+        from .report import render_chart
+
+        return render_chart(self, width=width, height=height, log_y=log_y)
+
+    def to_markdown(self) -> str:
+        """Markdown section: title, data table, notes."""
+        labels = self.series_labels
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join([self.x_label, *labels]) + " |")
+        lines.append("|" + "---|" * (len(labels) + 1))
+        for x, row in zip(self.x_values, self.rows):
+            cells = [f"{x:g}"]
+            for label in labels:
+                value = row.get(label)
+                cells.append("" if value is None else f"{value:g}")
+            lines.append("| " + " | ".join(cells) + " |")
+        if self.notes:
+            lines.extend(["", f"*{self.notes}*"])
+        return "\n".join(lines)
+
+
+@dataclass
+class TableData:
+    """One table: named columns and uniform rows."""
+
+    table_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: tuple[tuple[Any, ...], ...]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"{self.table_id}: row {row!r} does not match columns "
+                    f"{self.columns!r}"
+                )
+
+    def to_csv(self) -> str:
+        """Raw rows as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_markdown(self) -> str:
+        """Markdown section: title, table, notes."""
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("|" + "---|" * len(self.columns))
+        for row in self.rows:
+            lines.append("| " + " | ".join(_fmt(v) for v in row) + " |")
+        if self.notes:
+            lines.extend(["", f"*{self.notes}*"])
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """Fixed-width text table."""
+        widths = [len(c) for c in self.columns]
+        str_rows = [[_fmt(v) for v in row] for row in self.rows]
+        for row in str_rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        out = [self.title, line(self.columns), line(["-" * w for w in widths])]
+        out.extend(line(row) for row in str_rows)
+        if self.notes:
+            out.append(f"note: {self.notes}")
+        return "\n".join(out)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

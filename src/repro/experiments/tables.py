@@ -1,0 +1,193 @@
+"""Regeneration of the paper's tables and in-text numeric results."""
+
+from __future__ import annotations
+
+from repro.core.advisor import evaluate
+from repro.core.crossover import CrossoverNotFound, find_crossover_p
+from repro.core.parameters import PAPER_DEFAULTS, Parameters
+from repro.core.sensitivity import SENSITIVE_PARAMETERS, sensitivity
+from repro.core.strategies import Strategy, ViewModel
+from repro.core.yao import refresh_batching_savings, triangle_inequality_holds, yao
+from .series import TableData
+
+__all__ = [
+    "parameter_table",
+    "cost_breakdown_table",
+    "emp_dept_case",
+    "yao_accuracy_table",
+    "yao_triangle_table",
+    "sensitivity_table",
+]
+
+
+def parameter_table(params: Parameters = PAPER_DEFAULTS) -> TableData:
+    """Section 3.1's parameter tables: definitions and default values."""
+    rows = tuple(
+        (name, definition, value) for name, definition, value in params.iter_rows()
+    )
+    return TableData(
+        table_id="params",
+        title="Section 3.1 — cost-model parameters (definitions and defaults)",
+        columns=("parameter", "definition", "value"),
+        rows=rows,
+    )
+
+
+def cost_breakdown_table(
+    params: Parameters = PAPER_DEFAULTS, model: ViewModel = ViewModel.SELECT_PROJECT
+) -> TableData:
+    """Every strategy's cost components at one parameter setting."""
+    rows = []
+    for strategy, breakdown in evaluate(params, model).items():
+        for component, value in breakdown.components.items():
+            rows.append((strategy.label, component, round(value, 2)))
+        rows.append((strategy.label, "TOTAL", round(breakdown.total, 2)))
+    return TableData(
+        table_id=f"breakdown-m{int(model)}",
+        title=f"Model {int(model)} cost breakdown at P={params.P:.2f}, "
+        f"f={params.f}, f_v={params.f_v}",
+        columns=("strategy", "component", "ms"),
+        rows=tuple(rows),
+    )
+
+
+def emp_dept_case(base: Parameters = PAPER_DEFAULTS) -> TableData:
+    """Section 3.5's EMP-DEPT result: big join view, single-tuple queries.
+
+    Modeled as the paper does with ``f = 1``, ``l = 1``,
+    ``f_v = 1/N`` (one tuple per query).  The paper reports query
+    modification superior for all ``P >= .08``; we report the measured
+    crossover for deferred and immediate against nested loops.
+    """
+    params = base.with_updates(f=1.0, l=1.0, f_v=1.0 / base.N)
+    rows = []
+    for strategy in (Strategy.DEFERRED, Strategy.IMMEDIATE):
+        try:
+            p_star = find_crossover_p(
+                params, ViewModel.JOIN, strategy, Strategy.QM_LOOPJOIN
+            )
+        except CrossoverNotFound:
+            rows.append((strategy.label, "loopjoin", None, "loopjoin always wins"))
+            continue
+        rows.append(
+            (
+                strategy.label,
+                "loopjoin",
+                round(p_star, 4),
+                f"query modification wins for P >= {p_star:.3f}",
+            )
+        )
+    return TableData(
+        table_id="emp-dept",
+        title="EMP-DEPT special case (f=1, l=1, f_v=1/N): crossover vs loopjoin",
+        columns=("materialized strategy", "qm plan", "crossover P", "interpretation"),
+        rows=tuple(rows),
+        notes="paper: query modification superior for all P >= ~.08",
+    )
+
+
+def yao_triangle_table(
+    params: Parameters = PAPER_DEFAULTS,
+    batch_sizes: tuple[int, ...] = (10, 50, 200, 1000),
+    splits: tuple[int, ...] = (2, 5, 10),
+) -> TableData:
+    """Section 4's refresh-batching claim, quantified.
+
+    ``y(n,m,a+b) <= y(n,m,a) + y(n,m,b)`` implies refresh-on-demand
+    touches no more view pages than refreshing several times; the table
+    reports the pages saved by batching for the Model 1 view geometry.
+    """
+    n = params.view_tuples_model1
+    m = params.view_pages_model1
+    rows = []
+    for batch in batch_sizes:
+        for split in splits:
+            saved = refresh_batching_savings(n, m, float(batch), split)
+            holds = triangle_inequality_holds(n, m, batch / 2.0, batch / 2.0)
+            rows.append(
+                (
+                    batch,
+                    split,
+                    round(yao(n, m, float(batch)), 2),
+                    round(saved, 2),
+                    holds,
+                )
+            )
+    return TableData(
+        table_id="yao-triangle",
+        title="Section 4 — Yao subadditivity: pages saved by deferring refresh",
+        columns=(
+            "batched changes",
+            "eager refreshes",
+            "pages (one refresh)",
+            "pages saved vs eager",
+            "triangle holds",
+        ),
+        rows=tuple(rows),
+        notes="savings >= 0 everywhere: refresh-on-demand never loses",
+    )
+
+
+def yao_accuracy_table(
+    blocking_factors: tuple[int, ...] = (2, 5, 10, 40),
+    pages: int = 100,
+    k_fractions: tuple[float, ...] = (0.01, 0.05, 0.2, 0.5),
+) -> TableData:
+    """Appendix B's accuracy claim: Cardenas ≈ exact for n/m > 10.
+
+    For each blocking factor, reports the worst relative error of the
+    approximation over a sweep of access counts.
+    """
+    from repro.core.yao import yao_cardenas, yao_exact
+
+    rows = []
+    for blocking in blocking_factors:
+        n = pages * blocking
+        worst = 0.0
+        for fraction in k_fractions:
+            k = max(1, round(fraction * n))
+            exact = yao_exact(n, pages, k)
+            approx = yao_cardenas(n, pages, k)
+            if exact > 0:
+                worst = max(worst, abs(approx - exact) / exact)
+        rows.append((blocking, n, pages, f"{worst:.3%}"))
+    return TableData(
+        table_id="yao-accuracy",
+        title="Appendix B — Cardenas approximation error vs blocking factor",
+        columns=("blocking factor n/m", "records n", "blocks m", "worst relative error"),
+        rows=tuple(rows),
+        notes="the paper: 'very close if the blocking factor is large (e.g. n/m > 10)'",
+    )
+
+
+def sensitivity_table(
+    base: Parameters = PAPER_DEFAULTS, model: ViewModel = ViewModel.SELECT_PROJECT
+) -> TableData:
+    """The conclusion's five sensitive parameters, quantified.
+
+    Cost elasticity (d log cost / d log parameter) of each strategy at
+    the default point, for each parameter Section 4 names.
+    """
+    base_values = {"P": base.P, "f": base.f, "f_v": base.f_v, "l": base.l, "c3": base.c3}
+    rows = []
+    for name in SENSITIVE_PARAMETERS:
+        result = sensitivity(base, model, name, base_values[name])
+        for strategy, elasticity in sorted(
+            result.elasticities.items(), key=lambda kv: kv[0].value
+        ):
+            rows.append((name, strategy.label, round(elasticity, 3)))
+        rows.append(
+            (
+                name,
+                "winner flips?",
+                f"{result.winner_before.label}->{result.winner_after.label}"
+                if result.flips_winner
+                else "no",
+            )
+        )
+    return TableData(
+        table_id="sensitivity",
+        title=f"Conclusion — parameter sensitivity (Model {int(model)} elasticities)",
+        columns=("parameter", "strategy", "elasticity (dlog cost/dlog x)"),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,11 @@
+"""Hypothetical relations (Section 2.2): deferred-update storage."""
+
+from .differential import ClusteredRelation, HypotheticalRelation, SeparateFilesHR
+from .hashed import HashedHypotheticalRelation
+
+__all__ = [
+    "ClusteredRelation",
+    "HashedHypotheticalRelation",
+    "HypotheticalRelation",
+    "SeparateFilesHR",
+]

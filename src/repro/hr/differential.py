@@ -1,0 +1,450 @@
+"""Hypothetical relations: base file + differential ``AD`` file.
+
+Section 2.2's deferred maintenance substrate.  A relation is stored as
+
+* a **base file** ``R`` — a clustered B+-tree on the view-predicate
+  field (Section 3.1's access-method table), plus
+* a combined **differential file** ``AD`` — clustered hashing on the
+  tuple key, holding appended and deleted tuples distinguished by a
+  ``role`` attribute, fronted by a Bloom filter so reads of unmodified
+  tuples skip it (Severance & Lohman).
+
+The update protocol is the paper's 3-I/O sequence: read the current
+tuple, read the AD page where the new value lands, write that page
+(both the deleted old value and the appended new value hash to the same
+page when the key is unchanged).  :class:`SeparateFilesHR` implements
+the rejected 5-I/O design (separate ``A`` and ``D`` files) for the
+ablation benchmark.
+
+``net_changes`` computes the paper's ``A-net``/``D-net`` by reading the
+whole ``AD`` file (the ``C_ADread`` cost); ``reset`` folds the changes
+into the base file and clears ``AD`` — Section 2.2.1's
+``R := (R ∪ A) - D;  A := ∅;  D := ∅``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator
+
+from repro.storage.bloom import BloomFilter
+from repro.storage.bplustree import BPlusTree
+from repro.storage.hashindex import HashFile
+from repro.storage.pager import BufferPool
+from repro.storage.tuples import Record, Schema
+from repro.views.delta import DeltaSet
+
+__all__ = ["ClusteredRelation", "HypotheticalRelation", "SeparateFilesHR"]
+
+_ROLE_FIELD = "_role"
+_SEQ_FIELD = "_seq"
+ROLE_APPENDED = "A"
+ROLE_DELETED = "D"
+
+
+class ClusteredRelation:
+    """A plain stored relation: clustered B+-tree plus a key directory.
+
+    The directory maps tuple keys to records so key lookups cost the
+    paper's single I/O (a secondary access path the cost model assumes
+    but does not itemize); scans and maintenance go through the tree
+    and are charged page-accurately.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        pool: BufferPool,
+        clustered_on: str,
+        block_bytes: int = 4000,
+        fanout: int = 200,
+    ) -> None:
+        if clustered_on not in schema.fields:
+            raise ValueError(
+                f"cannot cluster {schema.name!r} on unknown field {clustered_on!r}"
+            )
+        self.schema = schema
+        self.pool = pool
+        self.clustered_on = clustered_on
+        self.records_per_page = schema.records_per_page(block_bytes)
+        self.tree = BPlusTree(
+            schema.name,
+            pool,
+            sort_key=lambda record: record[clustered_on],
+            records_per_leaf=self.records_per_page,
+            fanout=fanout,
+        )
+        self._by_key: dict[Any, Record] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    @property
+    def meter(self):
+        return self.pool.disk.meter
+
+    def bulk_load(self, records: list[Record]) -> None:
+        """Initial load (one write per page; meter usually reset after)."""
+        self.tree.bulk_load(records)
+        for record in records:
+            self._by_key[record.key] = record
+
+    def insert(self, record: Record) -> None:
+        """Insert a new tuple (tree descent + leaf write)."""
+        if record.key in self._by_key:
+            raise KeyError(f"duplicate key {record.key!r} in {self.schema.name!r}")
+        self.tree.insert(record)
+        self._by_key[record.key] = record
+
+    def delete_by_key(self, key: Any) -> Record:
+        """Delete and return the tuple with the given key."""
+        record = self._by_key.pop(key, None)
+        if record is None:
+            raise KeyError(f"no tuple with key {key!r} in {self.schema.name!r}")
+        self.tree.delete(record)
+        return record
+
+    def update_by_key(self, key: Any, **changes: Any) -> tuple[Record, Record]:
+        """Modify a tuple in place; returns (old, new)."""
+        old = self._by_key.get(key)
+        if old is None:
+            raise KeyError(f"no tuple with key {key!r} in {self.schema.name!r}")
+        new = self.schema.updated(old, **changes)
+        self.tree.update(old, new)
+        del self._by_key[key]
+        self._by_key[new.key] = new
+        return old, new
+
+    def read_by_key(self, key: Any) -> Record | None:
+        """Fetch one tuple by key, charging the paper's one I/O."""
+        self.meter.record_read()
+        return self._by_key.get(key)
+
+    def peek_by_key(self, key: Any) -> Record | None:
+        """Key lookup without I/O (bookkeeping paths only)."""
+        return self._by_key.get(key)
+
+    def contains_key(self, key: Any) -> bool:
+        """Key-existence check without I/O (catalog/bookkeeping)."""
+        return key in self._by_key
+
+    def scan_all(self) -> Iterator[Record]:
+        """Clustered full scan (one read per leaf page)."""
+        return self.tree.scan_all()
+
+    def range_scan(self, lo: Any, hi: Any) -> Iterator[Record]:
+        """Clustered range scan on the clustering field."""
+        return self.tree.range_scan(lo, hi)
+
+    def records_snapshot(self) -> list[Record]:
+        """All records without charging I/O (used to seed recomputation
+        baselines in tests; never on a costed path)."""
+        return list(self._by_key.values())
+
+
+class HypotheticalRelation:
+    """Base relation + ``AD`` differential file + Bloom filter.
+
+    Logical content ("the true value of the relation") is
+    ``(R ∪ A) - D``; all modifications land in ``AD`` until
+    :meth:`reset` folds them down.
+    """
+
+    def __init__(
+        self,
+        base: ClusteredRelation,
+        bloom_bits: int = 4096,
+        ad_buckets: int = 64,
+    ) -> None:
+        self.base = base
+        self.schema = base.schema
+        self.pool = base.pool
+        self.ad = HashFile(
+            f"{self.schema.name}.ad",
+            base.pool,
+            hash_key=lambda record: record["_k"],
+            records_per_page=base.records_per_page,
+            buckets=ad_buckets,
+        )
+        self.bloom = BloomFilter(bloom_bits)
+        self._seq = itertools.count()
+        self._pending = DeltaSet(self.schema.name)
+
+    @property
+    def meter(self):
+        return self.base.meter
+
+    # ------------------------------------------------------------------
+    # modifications (all go to AD)
+    # ------------------------------------------------------------------
+    def insert(self, record: Record) -> None:
+        """Append a tuple: one AD entry with role ``A``."""
+        if self._lookup_current(record.key, charge_base_read=False) is not None:
+            raise KeyError(
+                f"duplicate key {record.key!r} in hypothetical {self.schema.name!r}"
+            )
+        self.ad.insert(self._ad_entry(record, ROLE_APPENDED))
+        self.bloom.add(record.key)
+        self._pending.add_insert(record)
+
+    def delete_by_key(self, key: Any) -> Record:
+        """Delete a tuple: read it (1 I/O), add an AD entry with role ``D``."""
+        current = self.read_by_key(key)
+        if current is None:
+            raise KeyError(f"no tuple with key {key!r} in {self.schema.name!r}")
+        self.ad.insert(self._ad_entry(current, ROLE_DELETED))
+        self.bloom.add(key)
+        self._pending.add_delete(current)
+        return current
+
+    def update_by_key(self, key: Any, **changes: Any) -> tuple[Record, Record]:
+        """The 3-I/O update: read tuple, read AD page, write AD page.
+
+        The old value (role ``D``) and new value (role ``A``) land on
+        the same AD page because they hash on the same key.
+        """
+        old = self.read_by_key(key)  # I/O #1
+        if old is None:
+            raise KeyError(f"no tuple with key {key!r} in {self.schema.name!r}")
+        new = self.schema.updated(old, **changes)
+        # I/O #2 and #3: one chain read + one write for both entries.
+        self.ad.insert_pair(
+            self._ad_entry(old, ROLE_DELETED),
+            self._ad_entry(new, ROLE_APPENDED),
+        )
+        self.bloom.add(old.key)
+        self.bloom.add(new.key)
+        self._pending.add_update(old, new)
+        return old, new
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def read_by_key(self, key: Any) -> Record | None:
+        """Bloom-screened read: skip AD entirely for unmodified tuples."""
+        return self._lookup_current(key, charge_base_read=True)
+
+    def scan_logical(self) -> Iterator[Record]:
+        """Scan ``(R ∪ A) - D``: base scan merged with AD contents.
+
+        Reads every base leaf page and every AD page once.
+        """
+        overlay = self._overlay_by_key()
+        for record in self.base.scan_all():
+            if record.key in overlay:
+                continue
+            yield record
+        for key, record in overlay.items():
+            if record is not None:
+                yield record
+
+    def logical_snapshot(self) -> list[Record]:
+        """Current logical contents without charging any I/O.
+
+        Uses the in-memory pending-delta mirror; for baseline/assertion
+        paths only (a real client pays :meth:`scan_logical`).
+        """
+        deleted = set(self._pending.deleted)
+        merged = [r for r in self.base.records_snapshot() if r not in deleted]
+        merged.extend(self._pending.inserted)
+        return merged
+
+    # ------------------------------------------------------------------
+    # deferred-refresh support
+    # ------------------------------------------------------------------
+    def net_changes(self) -> DeltaSet:
+        """Compute ``A-net``/``D-net`` by reading the whole AD file."""
+        delta = DeltaSet(self.schema.name)
+        for entry in sorted(self.ad.scan_all(), key=lambda e: e[_SEQ_FIELD]):
+            record = self._unwrap(entry)
+            if entry[_ROLE_FIELD] == ROLE_APPENDED:
+                delta.add_insert(record)
+            else:
+                delta.add_delete(record)
+        return delta
+
+    def ad_entry_count(self) -> int:
+        """Entries currently in AD (no I/O; catalog statistic)."""
+        return len(self.ad)
+
+    def ad_page_count(self) -> int:
+        """Pages currently allocated to AD (no I/O)."""
+        return self.ad.page_count()
+
+    def reset(self, net: DeltaSet | None = None) -> None:
+        """Fold AD into the base file: ``R := (R ∪ A) - D``; clear AD.
+
+        The base-file writes here are the "normal" update cost every
+        scheme eventually pays; only the AD traffic before this point
+        is deferred-specific overhead.  ``net`` may be passed when the
+        caller just computed it (avoids a second AD scan).
+        """
+        delta = net if net is not None else self.net_changes()
+        for record in delta.deleted:
+            self.base.delete_by_key(record.key)
+        for record in delta.inserted:
+            self.base.insert(record)
+        self.ad.truncate()
+        self.bloom.clear()
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ad_entry(self, record: Record, role: str) -> Record:
+        values = {
+            "_k": record.key,
+            # Stored as a sorted item tuple so AD entries stay hashable.
+            "_values": tuple(sorted(record.values.items())),
+            _ROLE_FIELD: role,
+            _SEQ_FIELD: next(self._seq),
+        }
+        return Record((record.key, values[_SEQ_FIELD], role), values)
+
+    @staticmethod
+    def _unwrap(entry: Record) -> Record:
+        return Record(entry["_k"], dict(entry["_values"]))
+
+    def _lookup_current(self, key: Any, charge_base_read: bool) -> Record | None:
+        if self.bloom.maybe_contains(key):
+            entries = self.ad.lookup(key)
+            if entries:
+                latest = max(entries, key=lambda e: e[_SEQ_FIELD])
+                if latest[_ROLE_FIELD] == ROLE_APPENDED:
+                    return self._unwrap(latest)
+                return None  # most recent action was a delete
+            # False drop: fall through to the base file.
+        if charge_base_read:
+            return self.base.read_by_key(key)
+        return self.base.peek_by_key(key)
+
+    def _overlay_by_key(self) -> dict[Any, Record | None]:
+        """Latest AD action per key (None = deleted); reads all of AD."""
+        latest: dict[Any, Record] = {}
+        for entry in self.ad.scan_all():
+            key = entry["_k"]
+            if key not in latest or entry[_SEQ_FIELD] > latest[key][_SEQ_FIELD]:
+                latest[key] = entry
+        return {
+            key: (self._unwrap(e) if e[_ROLE_FIELD] == ROLE_APPENDED else None)
+            for key, e in latest.items()
+        }
+
+
+class SeparateFilesHR(HypotheticalRelation):
+    """The rejected design: separate ``A`` and ``D`` hash files.
+
+    Section 2.2.2: "If separate files for A and D were used, at least
+    five I/Os would be required rather than three since R must be read,
+    and A and D must both be read and written."  Used only by the
+    ablation benchmark.
+    """
+
+    def __init__(
+        self,
+        base: ClusteredRelation,
+        bloom_bits: int = 4096,
+        ad_buckets: int = 64,
+    ) -> None:
+        super().__init__(base, bloom_bits=bloom_bits, ad_buckets=ad_buckets)
+        self.a_file = HashFile(
+            f"{self.schema.name}.a",
+            base.pool,
+            hash_key=lambda record: record["_k"],
+            records_per_page=base.records_per_page,
+            buckets=ad_buckets,
+        )
+        self.d_file = HashFile(
+            f"{self.schema.name}.d",
+            base.pool,
+            hash_key=lambda record: record["_k"],
+            records_per_page=base.records_per_page,
+            buckets=ad_buckets,
+        )
+
+    def insert(self, record: Record) -> None:
+        """Append: one entry in the ``A`` file."""
+        if self._lookup_current(record.key, charge_base_read=False) is not None:
+            raise KeyError(
+                f"duplicate key {record.key!r} in hypothetical {self.schema.name!r}"
+            )
+        self.a_file.insert(self._ad_entry(record, ROLE_APPENDED))
+        self.bloom.add(record.key)
+        self._pending.add_insert(record)
+
+    def delete_by_key(self, key: Any) -> Record:
+        """Delete: read the tuple, add one entry in the ``D`` file."""
+        current = self.read_by_key(key)
+        if current is None:
+            raise KeyError(f"no tuple with key {key!r} in {self.schema.name!r}")
+        self.d_file.insert(self._ad_entry(current, ROLE_DELETED))
+        self.bloom.add(key)
+        self._pending.add_delete(current)
+        return current
+
+    def update_by_key(self, key: Any, **changes: Any) -> tuple[Record, Record]:
+        """The 5-I/O update: read R, read+write D, read+write A."""
+        old = self.read_by_key(key)  # I/O #1
+        if old is None:
+            raise KeyError(f"no tuple with key {key!r} in {self.schema.name!r}")
+        new = self.schema.updated(old, **changes)
+        self.d_file.insert(self._ad_entry(old, ROLE_DELETED))  # I/O #2-3
+        self.a_file.insert(self._ad_entry(new, ROLE_APPENDED))  # I/O #4-5
+        self.bloom.add(old.key)
+        self.bloom.add(new.key)
+        self._pending.add_update(old, new)
+        return old, new
+
+    def net_changes(self) -> DeltaSet:
+        """Compute the net delta by reading both differential files."""
+        delta = DeltaSet(self.schema.name)
+        entries = list(self.a_file.scan_all()) + list(self.d_file.scan_all())
+        for entry in sorted(entries, key=lambda e: e[_SEQ_FIELD]):
+            record = self._unwrap(entry)
+            if entry[_ROLE_FIELD] == ROLE_APPENDED:
+                delta.add_insert(record)
+            else:
+                delta.add_delete(record)
+        return delta
+
+    def reset(self, net: DeltaSet | None = None) -> None:
+        """Fold both files into the base and clear them."""
+        delta = net if net is not None else self.net_changes()
+        for record in delta.deleted:
+            self.base.delete_by_key(record.key)
+        for record in delta.inserted:
+            self.base.insert(record)
+        self.a_file.truncate()
+        self.d_file.truncate()
+        self.bloom.clear()
+        self._pending.clear()
+
+    def ad_entry_count(self) -> int:
+        return len(self.a_file) + len(self.d_file)
+
+    def ad_page_count(self) -> int:
+        return self.a_file.page_count() + self.d_file.page_count()
+
+    def _lookup_current(self, key: Any, charge_base_read: bool) -> Record | None:
+        if self.bloom.maybe_contains(key):
+            entries = self.a_file.lookup(key) + self.d_file.lookup(key)
+            if entries:
+                latest = max(entries, key=lambda e: e[_SEQ_FIELD])
+                if latest[_ROLE_FIELD] == ROLE_APPENDED:
+                    return self._unwrap(latest)
+                return None
+        if charge_base_read:
+            return self.base.read_by_key(key)
+        return self.base.peek_by_key(key)
+
+    def _overlay_by_key(self) -> dict[Any, Record | None]:
+        latest: dict[Any, Record] = {}
+        for file in (self.a_file, self.d_file):
+            for entry in file.scan_all():
+                key = entry["_k"]
+                if key not in latest or entry[_SEQ_FIELD] > latest[key][_SEQ_FIELD]:
+                    latest[key] = entry
+        return {
+            key: (self._unwrap(e) if e[_ROLE_FIELD] == ROLE_APPENDED else None)
+            for key, e in latest.items()
+        }

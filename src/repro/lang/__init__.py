@@ -1,0 +1,51 @@
+"""A QUEL-flavored view definition language.
+
+The paper (and INGRES, its home system) writes view definitions as::
+
+    define view V (R1.fields, R2.fields)
+        where R1.x = R2.y and C_f
+
+This package parses exactly that shape and builds the typed view
+definitions the engine consumes::
+
+    from repro.lang import define_view_from_text
+
+    define_view_from_text(
+        db,
+        "define view busy (emp.eno, emp.dno) "
+        "where emp.salary between 50000 and 99999",
+        Strategy.DEFERRED,
+    )
+"""
+
+from .builder import BuildError, build_definition, define_view_from_text
+from .lexer import LexError, Token, tokenize
+from .parser import (
+    BetweenRestriction,
+    JoinTerm,
+    ParseError,
+    QualifiedName,
+    Restriction,
+    TargetAggregate,
+    TargetField,
+    ViewSpec,
+    parse,
+)
+
+__all__ = [
+    "BetweenRestriction",
+    "BuildError",
+    "JoinTerm",
+    "LexError",
+    "ParseError",
+    "QualifiedName",
+    "Restriction",
+    "TargetAggregate",
+    "TargetField",
+    "Token",
+    "ViewSpec",
+    "build_definition",
+    "define_view_from_text",
+    "parse",
+    "tokenize",
+]

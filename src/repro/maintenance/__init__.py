@@ -1,0 +1,39 @@
+"""The three view materialization strategies, runnable over the engine."""
+
+from .base import MaintenanceStrategy
+from .hybrid import HybridSelectProject, RouteDecision
+from .snapshot import RecomputeOnChangeSelectProject, SnapshotSelectProject
+from .deferred import (
+    DeferredAggregate,
+    DeferredCoordinator,
+    DeferredJoin,
+    DeferredSelectProject,
+)
+from .immediate import ImmediateAggregate, ImmediateJoin, ImmediateSelectProject
+from .query_modification import (
+    QueryModificationAggregate,
+    QueryModificationJoin,
+    QueryModificationSelectProject,
+)
+from .screening import ScreenStats, TLockIndex, TwoStageScreen
+
+__all__ = [
+    "DeferredAggregate",
+    "DeferredCoordinator",
+    "HybridSelectProject",
+    "RouteDecision",
+    "RecomputeOnChangeSelectProject",
+    "SnapshotSelectProject",
+    "DeferredJoin",
+    "DeferredSelectProject",
+    "ImmediateAggregate",
+    "ImmediateJoin",
+    "ImmediateSelectProject",
+    "MaintenanceStrategy",
+    "QueryModificationAggregate",
+    "QueryModificationJoin",
+    "QueryModificationSelectProject",
+    "ScreenStats",
+    "TLockIndex",
+    "TwoStageScreen",
+]

@@ -1,0 +1,93 @@
+"""Shared refresh steps for immediate and deferred maintenance.
+
+Both strategies apply the *same* differential update; they differ only
+in when it runs (after every transaction vs before a query) and where
+the delta lives (in memory vs the ``AD`` file).  These helpers take
+already-screened ("marked") inserted/deleted base tuples and push the
+resulting view changes into the stored copy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.relations import HashedRelation
+from repro.storage.pager import CostMeter
+from repro.storage.tuples import Record
+from repro.views.definition import AggregateView, JoinView, SelectProjectView
+from repro.views.delta import ChangeSet
+from repro.views.matview import AggregateStateStore, MaterializedView
+
+__all__ = ["refresh_select_project", "refresh_join", "refresh_aggregate"]
+
+
+def refresh_select_project(
+    view: SelectProjectView,
+    matview: MaterializedView,
+    marked_inserted: Sequence[Record],
+    marked_deleted: Sequence[Record],
+) -> tuple[int, int]:
+    """Apply marked base changes to a Model 1 view; returns (ins, del)."""
+    changes = ChangeSet()
+    for record in marked_inserted:
+        changes.insert(view.project(record))
+    for record in marked_deleted:
+        changes.delete(view.project(record))
+    return matview.apply_changes(changes)
+
+
+def refresh_join(
+    view: JoinView,
+    inner: HashedRelation,
+    matview: MaterializedView,
+    marked_inserted: Sequence[Record],
+    marked_deleted: Sequence[Record],
+    meter: CostMeter,
+    pin_inner: bool = True,
+) -> tuple[int, int]:
+    """Apply marked outer-relation changes to a Model 2 join view.
+
+    Each marked tuple probes the inner hash file (``c2`` I/O, shared
+    across the batch via pinning — the paper's "pages read for the
+    first join stay in the buffer pool for the second") and each
+    joining pair costs ``c1`` to match.  Inner-relation deltas are not
+    supported here because the paper's Model 2 never updates ``R2``;
+    the full two-sided algebra lives in :func:`repro.views.delta
+    .join_changes`.
+    """
+    changes = ChangeSet()
+    try:
+        for record, sign in _signed(marked_inserted, marked_deleted):
+            probe = (
+                inner.probe_pinned(record[view.join_field])
+                if pin_inner
+                else inner.probe(record[view.join_field])
+            )
+            for inner_record in probe:
+                meter.record_screen()  # c1 per matched pair
+                if sign > 0:
+                    changes.insert(view.combine(record, inner_record))
+                else:
+                    changes.delete(view.combine(record, inner_record))
+    finally:
+        if pin_inner:
+            inner.pool.unpin_all()
+    return matview.apply_changes(changes)
+
+
+def refresh_aggregate(
+    view: AggregateView,
+    store: AggregateStateStore,
+    marked_inserted: Sequence[Record],
+    marked_deleted: Sequence[Record],
+) -> bool:
+    """Fold marked changes into a Model 3 state; True if a write happened."""
+    entering = [r[view.field] for r in marked_inserted]
+    leaving = [r[view.field] for r in marked_deleted]
+    return store.apply(entering, leaving)
+
+
+def _signed(
+    inserted: Sequence[Record], deleted: Sequence[Record]
+) -> list[tuple[Record, int]]:
+    return [(r, +1) for r in inserted] + [(r, -1) for r in deleted]

@@ -1,0 +1,36 @@
+"""Simulated storage substrate: pages, files, indexes, Bloom filters.
+
+This package is the "1986 storage system" the paper's cost model
+implicitly assumes: a page-granular disk (``B``-byte blocks at ``c2``
+ms per I/O), clustered B+-trees, clustered hash files, heap files and
+Severance-Lohman Bloom-filtered differential files.  Every page read
+and write is counted by a :class:`~repro.storage.pager.CostMeter` so
+the running system can be priced with the same constants the analytic
+formulas use.
+"""
+
+from .bloom import BloomFilter, optimal_bits, optimal_hashes
+from .bplustree import BPlusTree, TreeStats
+from .hashindex import HashFile
+from .heap import HeapFile
+from .pager import BufferPool, CostMeter, Page, PageId, PageOverflowError, SimulatedDisk
+from .tuples import Record, Schema, SchemaError
+
+__all__ = [
+    "BloomFilter",
+    "BPlusTree",
+    "BufferPool",
+    "CostMeter",
+    "HashFile",
+    "HeapFile",
+    "Page",
+    "PageId",
+    "PageOverflowError",
+    "Record",
+    "Schema",
+    "SchemaError",
+    "SimulatedDisk",
+    "TreeStats",
+    "optimal_bits",
+    "optimal_hashes",
+]

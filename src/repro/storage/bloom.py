@@ -1,0 +1,109 @@
+"""Bloom filter for differential-file screening (Section 2.2.2).
+
+Severance & Lohman (1976) front a differential file with a Bloom
+filter (Bloom 1970) so that reads of records *not* in the differential
+file skip it entirely.  The paper relies on this to make the
+hypothetical-relation read path cost effectively one I/O: the filter's
+false-positive probability "can be made arbitrarily small by increasing
+``m``".
+
+The filter here is deterministic (seeded double hashing over Python's
+stable ``hash`` of a repr) so simulation runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Any, Iterable
+
+__all__ = ["BloomFilter", "optimal_bits", "optimal_hashes"]
+
+
+def optimal_bits(expected_items: int, target_fp_rate: float) -> int:
+    """Bits needed for a target false-positive rate at a given load.
+
+    Classical sizing: ``m = -n * ln(p) / (ln 2)^2``.
+    """
+    if expected_items < 0:
+        raise ValueError(f"expected_items must be >= 0, got {expected_items}")
+    if not 0.0 < target_fp_rate < 1.0:
+        raise ValueError(f"target_fp_rate must be in (0, 1), got {target_fp_rate}")
+    if expected_items == 0:
+        return 8
+    bits = -expected_items * math.log(target_fp_rate) / (math.log(2.0) ** 2)
+    return max(8, math.ceil(bits))
+
+
+def optimal_hashes(bits: int, expected_items: int) -> int:
+    """Hash-function count minimizing false positives: ``k = m/n * ln 2``."""
+    if expected_items <= 0:
+        return 1
+    return max(1, round(bits / expected_items * math.log(2.0)))
+
+
+class BloomFilter:
+    """A fixed-size bit-array Bloom filter with double hashing.
+
+    ``maybe_contains`` returning ``False`` is definitive; ``True`` may
+    be a false positive (the paper's "false drop"), in which case the
+    caller searches the differential file and discovers the miss.
+    """
+
+    def __init__(self, bits: int, hashes: int | None = None, expected_items: int = 0) -> None:
+        if bits < 1:
+            raise ValueError(f"bits must be >= 1, got {bits}")
+        self.bits = bits
+        self.hashes = hashes if hashes is not None else optimal_hashes(bits, expected_items)
+        if self.hashes < 1:
+            raise ValueError(f"hashes must be >= 1, got {self.hashes}")
+        self._array = bytearray((bits + 7) // 8)
+        self.items_added = 0
+
+    @classmethod
+    def for_load(cls, expected_items: int, target_fp_rate: float = 0.01) -> "BloomFilter":
+        """Build a filter sized for a load and false-positive target."""
+        bits = optimal_bits(expected_items, target_fp_rate)
+        return cls(bits, expected_items=expected_items)
+
+    def _positions(self, item: Any) -> Iterable[int]:
+        digest = hashlib.blake2b(repr(item).encode(), digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:], "big") | 1  # odd => full cycle
+        for i in range(self.hashes):
+            yield (h1 + i * h2) % self.bits
+
+    def add(self, item: Any) -> None:
+        """Insert an item's key signature."""
+        for pos in self._positions(item):
+            self._array[pos >> 3] |= 1 << (pos & 7)
+        self.items_added += 1
+
+    def maybe_contains(self, item: Any) -> bool:
+        """False => definitely absent; True => possibly present."""
+        for pos in self._positions(item):
+            if not self._array[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Reset to empty (used when the differential file is folded in)."""
+        for i in range(len(self._array)):
+            self._array[i] = 0
+        self.items_added = 0
+
+    @property
+    def fill_fraction(self) -> float:
+        """Fraction of bits set (load indicator)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._array)
+        return set_bits / self.bits
+
+    def estimated_fp_rate(self) -> float:
+        """Expected false-positive rate at the current load.
+
+        ``(1 - e^{-k n / m})^k`` with ``n`` items added so far.
+        """
+        if self.items_added == 0:
+            return 0.0
+        exponent = -self.hashes * self.items_added / self.bits
+        return (1.0 - math.exp(exponent)) ** self.hashes

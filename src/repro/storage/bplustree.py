@@ -1,0 +1,358 @@
+"""Clustered B+-tree over the simulated pager.
+
+Base relations ``R``/``R1`` and materialized views are clustered
+B+-trees on the field the view predicate (or the view's key) uses —
+the access-method table in Section 3.1.  Leaves hold full records in
+sort order and are chained for range scans; internal nodes hold
+separator keys and child page ids with fanout ``B/n``.
+
+Duplicate sort keys are supported (a base relation clustered on the
+predicate attribute usually has many tuples per value): entries are
+ordered by ``(sort_key, tiebreak)`` where the tiebreak is the record's
+unique key.
+
+Deletion removes the entry and unlinks emptied leaves but does not
+rebalance/merge underfull nodes — the paper's cost model likewise
+ignores structural maintenance beyond leaf writes ("splits of internal
+index pages are infrequent, so their cost will be ignored").
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from .pager import BufferPool, Page, PageId
+from .tuples import Record
+
+__all__ = ["BPlusTree", "TreeStats"]
+
+
+@dataclass
+class _InternalNode:
+    """Payload of an internal page: separators and children.
+
+    ``children[i]`` covers keys < ``keys[i]``; the last child covers
+    the remainder.  ``len(children) == len(keys) + 1``.
+    """
+
+    keys: list[Any] = field(default_factory=list)
+    children: list[PageId] = field(default_factory=list)
+
+
+@dataclass
+class TreeStats:
+    """Structural statistics (no I/O is charged to compute them)."""
+
+    height: int
+    leaf_pages: int
+    internal_pages: int
+    entries: int
+
+
+class BPlusTree:
+    """A clustered B+-tree keyed on ``sort_key(record)``.
+
+    All page access is charged through the buffer pool.  ``fanout``
+    bounds internal-node children (the paper's ``B/n``);
+    ``records_per_leaf`` bounds leaf entries (the blocking factor).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pool: BufferPool,
+        sort_key: Callable[[Record], Any],
+        records_per_leaf: int,
+        fanout: int = 200,
+    ) -> None:
+        if records_per_leaf < 1:
+            raise ValueError(f"records_per_leaf must be >= 1, got {records_per_leaf}")
+        if fanout < 3:
+            raise ValueError(f"fanout must be >= 3, got {fanout}")
+        self.name = name
+        self.pool = pool
+        self.sort_key = sort_key
+        self.records_per_leaf = records_per_leaf
+        self.fanout = fanout
+        self._entries = 0
+        root = pool.disk.allocate(self._file("leaf"), records_per_leaf)
+        pool.put(root, dirty=True)
+        pool.flush(root.page_id)
+        self.root_id: PageId = root.page_id
+        self._height = 1  # levels including the leaf level
+
+    # ------------------------------------------------------------------
+    # public surface
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._entries
+
+    @property
+    def height(self) -> int:
+        """Number of levels, leaves included (>= 1)."""
+        return self._height
+
+    def insert(self, record: Record) -> None:
+        """Insert a record, splitting nodes on the way up as needed.
+
+        Charges the descent reads plus one write per modified page.
+        """
+        split = self._insert_into(self.root_id, self._height, record)
+        if split is not None:
+            sep_key, right_id = split
+            new_root = self.pool.disk.allocate(self._file("int"), 1)
+            node = _InternalNode(keys=[sep_key], children=[self.root_id, right_id])
+            new_root.records.append(node)
+            self.pool.put(new_root, dirty=True)
+            self.root_id = new_root.page_id
+            self._height += 1
+        self._entries += 1
+
+    def delete(self, record: Record) -> bool:
+        """Delete one entry matching the record exactly; True if found."""
+        entry = (self.sort_key(record), self._tiebreak(record))
+        leaf_id, path = self._descend(entry[0], entry[1])
+        page = self.pool.get(leaf_id)
+        for i, (stored_entry, stored) in enumerate(page.records):
+            if stored_entry == entry and stored == record:
+                del page.records[i]
+                self.pool.put(page, dirty=True)
+                self._entries -= 1
+                return True
+        return False
+
+    def search(self, sort_key_value: Any) -> list[Record]:
+        """All records whose sort key equals the value."""
+        return list(self.range_scan(sort_key_value, sort_key_value))
+
+    def range_scan(self, lo: Any, hi: Any) -> Iterator[Record]:
+        """Records with ``lo <= sort_key <= hi`` in key order.
+
+        One descent plus one read per leaf visited (leaves are chained).
+        """
+        leaf_id, _ = self._descend(lo, _NEG_INF)
+        current: PageId | None = leaf_id
+        while current is not None:
+            page = self.pool.get(current)
+            advanced_past_hi = False
+            for (entry_key, _), record in page.records:
+                if entry_key < lo:
+                    continue
+                if entry_key > hi:
+                    advanced_past_hi = True
+                    break
+                yield record
+            if advanced_past_hi:
+                return
+            current = page.next_page
+
+    def scan_all(self) -> Iterator[Record]:
+        """Full scan in sort order via the leaf chain."""
+        current: PageId | None = self._leftmost_leaf()
+        while current is not None:
+            page = self.pool.get(current)
+            for _, record in page.records:
+                yield record
+            current = page.next_page
+
+    def update(self, old: Record, new: Record) -> bool:
+        """Replace one entry; returns False if ``old`` is absent.
+
+        Implemented as delete+insert so key-moving updates relocate to
+        the correct leaf (the common same-leaf case costs one extra
+        leaf write versus an in-place patch — negligible and simpler).
+        """
+        if not self.delete(old):
+            return False
+        self.insert(new)
+        return True
+
+    def reset(self) -> None:
+        """Drop every page and return to an empty single-leaf tree.
+
+        A catalog operation (no I/O charged for the deallocation);
+        used by snapshot rebuilds before reloading fresh contents.
+        """
+        disk = self.pool.disk
+        for kind in ("leaf", "int"):
+            for page_id in disk.file_pages(self._file(kind)):
+                self.pool.discard(page_id)
+                disk.free(page_id)
+        root = disk.allocate(self._file("leaf"), self.records_per_leaf)
+        self.pool.put(root, dirty=True)
+        self.root_id = root.page_id
+        self._height = 1
+        self._entries = 0
+
+    def stats(self) -> TreeStats:
+        """Walk the structure without charging I/O (catalog inspection)."""
+        disk = self.pool.disk
+        leaf_pages = disk.page_count(self._file("leaf"))
+        internal_pages = disk.page_count(self._file("int"))
+        return TreeStats(
+            height=self._height,
+            leaf_pages=leaf_pages,
+            internal_pages=internal_pages,
+            entries=self._entries,
+        )
+
+    def bulk_load(self, records: list[Record]) -> None:
+        """Build the tree bottom-up from scratch (tree must be empty).
+
+        Fills leaves to capacity in sort order, then builds internal
+        levels. Much cheaper than repeated inserts for setup; callers
+        normally reset the cost meter afterwards.
+        """
+        if self._entries:
+            raise RuntimeError("bulk_load requires an empty tree")
+        ordered = sorted(records, key=lambda r: (self.sort_key(r), self._tiebreak(r)))
+        if not ordered:
+            return
+        # Reuse the pre-allocated empty root leaf as the first leaf.
+        leaf_ids: list[PageId] = []
+        leaf_first_keys: list[Any] = []
+        prev_leaf: Page | None = None
+        for start in range(0, len(ordered), self.records_per_leaf):
+            chunk = ordered[start : start + self.records_per_leaf]
+            if start == 0:
+                page = self.pool.get(self.root_id)
+            else:
+                page = self.pool.disk.allocate(self._file("leaf"), self.records_per_leaf)
+            page.records = [
+                ((self.sort_key(r), self._tiebreak(r)), r) for r in chunk
+            ]
+            if prev_leaf is not None:
+                prev_leaf.next_page = page.page_id
+                self.pool.put(prev_leaf, dirty=True)
+            leaf_ids.append(page.page_id)
+            # Separators are full (sort_key, tiebreak) entries so that
+            # descent comparisons are always tuple-vs-tuple.
+            leaf_first_keys.append(page.records[0][0])
+            prev_leaf = page
+        if prev_leaf is not None:
+            self.pool.put(prev_leaf, dirty=True)
+        # Build internal levels bottom-up.
+        level_ids, level_keys = leaf_ids, leaf_first_keys
+        height = 1
+        while len(level_ids) > 1:
+            parent_ids: list[PageId] = []
+            parent_keys: list[Any] = []
+            group = self.fanout
+            for start in range(0, len(level_ids), group):
+                child_ids = level_ids[start : start + group]
+                child_keys = level_keys[start : start + group]
+                page = self.pool.disk.allocate(self._file("int"), 1)
+                node = _InternalNode(keys=list(child_keys[1:]), children=list(child_ids))
+                page.records.append(node)
+                self.pool.put(page, dirty=True)
+                parent_ids.append(page.page_id)
+                parent_keys.append(child_keys[0])
+            level_ids, level_keys = parent_ids, parent_keys
+            height += 1
+        self.root_id = level_ids[0]
+        self._height = height
+        self._entries = len(ordered)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _file(self, kind: str) -> str:
+        return f"{self.name}.{kind}"
+
+    @staticmethod
+    def _tiebreak(record: Record) -> Any:
+        return record.key
+
+    def _leftmost_leaf(self) -> PageId:
+        page_id, level = self.root_id, self._height
+        while level > 1:
+            page = self.pool.get(page_id)
+            node: _InternalNode = page.records[0]
+            page_id = node.children[0]
+            level -= 1
+        return page_id
+
+    def _descend(self, sort_key_value: Any, tiebreak: Any) -> tuple[PageId, list[PageId]]:
+        """Walk root->leaf for a key, charging one read per level."""
+        path: list[PageId] = []
+        page_id, level = self.root_id, self._height
+        while level > 1:
+            path.append(page_id)
+            page = self.pool.get(page_id)
+            node: _InternalNode = page.records[0]
+            index = bisect.bisect_right(node.keys, (sort_key_value, tiebreak))
+            page_id = node.children[index]
+            level -= 1
+        return page_id, path
+
+    def _insert_into(
+        self, page_id: PageId, level: int, record: Record
+    ) -> tuple[Any, PageId] | None:
+        """Recursive insert; returns ``(separator, new_right_id)`` on split."""
+        entry = (self.sort_key(record), self._tiebreak(record))
+        page = self.pool.get(page_id)
+        if level == 1:
+            keys = [e for e, _ in page.records]
+            index = bisect.bisect_right(keys, entry)
+            page.records.insert(index, (entry, record))
+            if len(page.records) <= self.records_per_leaf:
+                self.pool.put(page, dirty=True)
+                return None
+            return self._split_leaf(page)
+        node: _InternalNode = page.records[0]
+        index = bisect.bisect_right(node.keys, entry)
+        split = self._insert_into(node.children[index], level - 1, record)
+        if split is None:
+            return None
+        sep_key, right_id = split
+        node.keys.insert(index, sep_key)
+        node.children.insert(index + 1, right_id)
+        if len(node.children) <= self.fanout:
+            self.pool.put(page, dirty=True)
+            return None
+        return self._split_internal(page, node)
+
+    def _split_leaf(self, page: Page) -> tuple[Any, PageId]:
+        mid = len(page.records) // 2
+        right = self.pool.disk.allocate(self._file("leaf"), self.records_per_leaf)
+        right.records = page.records[mid:]
+        right.next_page = page.next_page
+        page.records = page.records[:mid]
+        page.next_page = right.page_id
+        self.pool.put(page, dirty=True)
+        self.pool.put(right, dirty=True)
+        separator = right.records[0][0]
+        return separator, right.page_id
+
+    def _split_internal(self, page: Page, node: _InternalNode) -> tuple[Any, PageId]:
+        mid = len(node.keys) // 2
+        promoted = node.keys[mid]
+        right_page = self.pool.disk.allocate(self._file("int"), 1)
+        right_node = _InternalNode(
+            keys=node.keys[mid + 1 :],
+            children=node.children[mid + 1 :],
+        )
+        right_page.records.append(right_node)
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        self.pool.put(page, dirty=True)
+        self.pool.put(right_page, dirty=True)
+        return promoted, right_page.page_id
+
+
+class _NegInf:
+    """Sorts before every other value (used as a scan tiebreak)."""
+
+    def __lt__(self, other: Any) -> bool:
+        return True
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "-inf"
+
+
+_NEG_INF = _NegInf()

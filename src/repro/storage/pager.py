@@ -1,0 +1,320 @@
+"""Simulated disk, buffer pool and cost accounting.
+
+The paper prices every strategy in disk I/Os (``c2`` each) plus CPU
+screening (``c1``) and A/D-set bookkeeping (``c3``).  The substrate in
+this package executes the strategies for real against a page-granular
+simulated disk; :class:`CostMeter` counts the same four event classes
+the formulas count, and converts them to milliseconds with the same
+constants, so measured and analytic costs are directly comparable.
+
+A page holds records (``T = B/S`` per page, as in the paper); the
+buffer pool is an LRU cache over pages with pinning support (the
+nested-loop join pins inner-relation pages, Section 3.4.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.core.parameters import Parameters
+
+__all__ = [
+    "PageId",
+    "Page",
+    "SimulatedDisk",
+    "BufferPool",
+    "CostMeter",
+    "PageOverflowError",
+]
+
+
+class PageOverflowError(RuntimeError):
+    """A record was added to a page that is already at capacity."""
+
+
+@dataclass(frozen=True)
+class PageId:
+    """Identifies one disk page: a file name plus a page number."""
+
+    file: str
+    number: int
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.number}"
+
+
+class Page:
+    """A disk page holding up to ``capacity`` records.
+
+    Records are arbitrary Python objects; files impose their own layout
+    (sorted for B+-tree leaves, unordered for heaps and hash buckets).
+    """
+
+    __slots__ = ("page_id", "capacity", "records", "next_page")
+
+    def __init__(self, page_id: PageId, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"page capacity must be >= 1, got {capacity}")
+        self.page_id = page_id
+        self.capacity = capacity
+        self.records: list[Any] = []
+        #: Optional link to a successor page (leaf chains, bucket chains).
+        self.next_page: PageId | None = None
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.records) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records
+
+    def add(self, record: Any) -> None:
+        """Append a record; raises :class:`PageOverflowError` when full."""
+        if self.is_full:
+            raise PageOverflowError(f"page {self.page_id} is full ({self.capacity})")
+        self.records.append(record)
+
+    def clone(self) -> "Page":
+        """Shallow copy used by the disk to model a persisted image."""
+        copy = Page(self.page_id, self.capacity)
+        copy.records = list(self.records)
+        copy.next_page = self.next_page
+        return copy
+
+
+@dataclass
+class CostMeter:
+    """Counts the cost events the paper's formulas price.
+
+    * ``page_reads`` / ``page_writes`` — ``c2`` each.
+    * ``screens`` — predicate/satisfiability CPU tests, ``c1`` each.
+    * ``ad_ops`` — per-tuple A/D in-memory set manipulations, ``c3``
+      each (only immediate maintenance generates these).
+
+    Checkpoints (:meth:`snapshot` / :meth:`delta_since`) let callers
+    price individual phases (one query, one refresh) in isolation.
+    """
+
+    page_reads: int = 0
+    page_writes: int = 0
+    screens: int = 0
+    ad_ops: int = 0
+
+    def record_read(self, count: int = 1) -> None:
+        """Count disk page reads (c2 each)."""
+        self.page_reads += count
+
+    def record_write(self, count: int = 1) -> None:
+        """Count disk page writes (c2 each)."""
+        self.page_writes += count
+
+    def record_screen(self, count: int = 1) -> None:
+        """Count predicate/satisfiability CPU tests (c1 each)."""
+        self.screens += count
+
+    def record_ad_op(self, count: int = 1) -> None:
+        """Count in-memory A/D set manipulations (c3 each)."""
+        self.ad_ops += count
+
+    @property
+    def page_ios(self) -> int:
+        return self.page_reads + self.page_writes
+
+    def milliseconds(self, params: Parameters) -> float:
+        """Total cost in ms under the parameter set's constants."""
+        return (
+            params.c2 * self.page_ios
+            + params.c1 * self.screens
+            + params.c3 * self.ad_ops
+        )
+
+    def snapshot(self) -> "CostMeter":
+        """Immutable-ish copy of the current counters."""
+        return CostMeter(
+            page_reads=self.page_reads,
+            page_writes=self.page_writes,
+            screens=self.screens,
+            ad_ops=self.ad_ops,
+        )
+
+    def delta_since(self, earlier: "CostMeter") -> "CostMeter":
+        """Counters accumulated since an earlier snapshot."""
+        return CostMeter(
+            page_reads=self.page_reads - earlier.page_reads,
+            page_writes=self.page_writes - earlier.page_writes,
+            screens=self.screens - earlier.screens,
+            ad_ops=self.ad_ops - earlier.ad_ops,
+        )
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.page_reads = 0
+        self.page_writes = 0
+        self.screens = 0
+        self.ad_ops = 0
+
+
+class SimulatedDisk:
+    """Page store with read/write counting.
+
+    Pages live in a dict keyed by :class:`PageId`.  Reads return a
+    *clone* so in-memory mutation without a write-back is visible as a
+    bug (lost update) rather than silently persisted — the same
+    discipline a real page cache enforces.
+    """
+
+    def __init__(self, meter: CostMeter | None = None) -> None:
+        self.meter = meter if meter is not None else CostMeter()
+        self._pages: dict[PageId, Page] = {}
+        self._next_number: dict[str, Iterator[int]] = {}
+
+    def __contains__(self, page_id: PageId) -> bool:
+        return page_id in self._pages
+
+    def page_count(self, file: str) -> int:
+        """Number of allocated pages in one file."""
+        return sum(1 for pid in self._pages if pid.file == file)
+
+    def allocate(self, file: str, capacity: int) -> Page:
+        """Allocate a fresh page in ``file`` (no I/O is charged)."""
+        counter = self._next_number.setdefault(file, itertools.count())
+        page_id = PageId(file, next(counter))
+        page = Page(page_id, capacity)
+        self._pages[page_id] = page
+        return page.clone()
+
+    def read(self, page_id: PageId) -> Page:
+        """Fetch a page image from disk, charging one read."""
+        try:
+            stored = self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"no such page: {page_id}") from None
+        self.meter.record_read()
+        return stored.clone()
+
+    def write(self, page: Page) -> None:
+        """Persist a page image, charging one write."""
+        if page.page_id not in self._pages:
+            raise KeyError(f"cannot write unallocated page: {page.page_id}")
+        self.meter.record_write()
+        self._pages[page.page_id] = page.clone()
+
+    def free(self, page_id: PageId) -> None:
+        """Deallocate a page (no I/O charged, mirroring the paper)."""
+        self._pages.pop(page_id, None)
+
+    def file_pages(self, file: str) -> list[PageId]:
+        """All page ids of a file, in allocation order."""
+        pids = [pid for pid in self._pages if pid.file == file]
+        pids.sort(key=lambda pid: pid.number)
+        return pids
+
+
+class BufferPool:
+    """LRU page cache in front of a :class:`SimulatedDisk`.
+
+    Only *misses* cost disk reads; dirty pages cost one write when
+    flushed (write-back).  ``pin``/``unpin`` keep hot pages resident —
+    the paper's nested-loop join assumes the inner relation stays
+    buffered after first touch.
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"buffer pool capacity must be >= 1, got {capacity}")
+        self.disk = disk
+        self.capacity = capacity
+        self._frames: OrderedDict[PageId, Page] = OrderedDict()
+        self._dirty: set[PageId] = set()
+        self._pinned: set[PageId] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def get(self, page_id: PageId) -> Page:
+        """Return the buffered page, reading from disk on a miss."""
+        if page_id in self._frames:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return self._frames[page_id]
+        self.misses += 1
+        page = self.disk.read(page_id)
+        self._admit(page)
+        return page
+
+    def put(self, page: Page, dirty: bool = True) -> None:
+        """Install (or refresh) a page image in the pool."""
+        if page.page_id in self._frames:
+            self._frames[page.page_id] = page
+            self._frames.move_to_end(page.page_id)
+        else:
+            self._admit(page)
+        if dirty:
+            self._dirty.add(page.page_id)
+
+    def mark_dirty(self, page_id: PageId) -> None:
+        """Flag a buffered page as modified (flushed on eviction)."""
+        if page_id not in self._frames:
+            raise KeyError(f"cannot dirty a page not in the pool: {page_id}")
+        self._dirty.add(page_id)
+
+    def pin(self, page_id: PageId) -> None:
+        """Keep a page resident until unpinned (it must be buffered)."""
+        if page_id not in self._frames:
+            self.get(page_id)
+        self._pinned.add(page_id)
+
+    def unpin(self, page_id: PageId) -> None:
+        """Release one pinned page."""
+        self._pinned.discard(page_id)
+
+    def unpin_all(self) -> None:
+        """Release every pin (end of a join)."""
+        self._pinned.clear()
+
+    def flush(self, page_id: PageId) -> None:
+        """Write one dirty page back to disk."""
+        if page_id in self._dirty:
+            self.disk.write(self._frames[page_id])
+            self._dirty.discard(page_id)
+
+    def flush_all(self) -> None:
+        """Write every dirty page back to disk."""
+        for page_id in list(self._dirty):
+            self.flush(page_id)
+
+    def discard(self, page_id: PageId) -> None:
+        """Drop a frame without flushing (for pages being deallocated)."""
+        self._frames.pop(page_id, None)
+        self._dirty.discard(page_id)
+        self._pinned.discard(page_id)
+
+    def invalidate_all(self) -> None:
+        """Drop every (clean) frame; dirty pages are flushed first."""
+        self.flush_all()
+        self._frames.clear()
+        self._pinned.clear()
+
+    def _admit(self, page: Page) -> None:
+        while len(self._frames) >= self.capacity:
+            victim_id = self._next_victim()
+            if victim_id is None:
+                # Everything is pinned; allow the pool to grow rather
+                # than deadlock — mirrors the paper's large-memory
+                # assumption for the nested-loop inner relation.
+                break
+            self.flush(victim_id)
+            del self._frames[victim_id]
+        self._frames[page.page_id] = page
+
+    def _next_victim(self) -> PageId | None:
+        for page_id in self._frames:
+            if page_id not in self._pinned:
+                return page_id
+        return None

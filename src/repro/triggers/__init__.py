@@ -1,0 +1,27 @@
+"""Triggers and alerters over maintained views (Section 4's application).
+
+The paper closes by arguing that incremental view maintenance shines
+where a *complete, current* answer is always needed — trigger and
+alerter conditions (Buneman & Clemons 1979) and live "windows on a
+database".  This package provides that layer: conditions over view
+answers, evaluated by an :class:`~repro.triggers.alerter.Alerter` with
+edge-triggered semantics, at the cost of a view query per check (one
+page for maintained aggregates).
+"""
+
+from .alerter import Alert, Alerter
+from .conditions import (
+    Condition,
+    NonEmptyCondition,
+    PredicateCondition,
+    ThresholdCondition,
+)
+
+__all__ = [
+    "Alert",
+    "Alerter",
+    "Condition",
+    "NonEmptyCondition",
+    "PredicateCondition",
+    "ThresholdCondition",
+]

@@ -1,0 +1,110 @@
+"""The alerter: watches conditions over maintained views.
+
+Registers :class:`~repro.triggers.conditions.Condition` objects against
+a :class:`~repro.engine.database.Database` and evaluates them on
+demand.  Conditions are **edge-triggered** by default: an alert fires
+when a condition transitions from false to true, then re-arms when it
+falls back — the classic alerter contract — with an opt-in
+level-triggered mode that fires on every true evaluation.
+
+Each check queries the underlying views, so deferred-maintained views
+are refreshed exactly when the alerter looks (the paper's deferred
+scheme applied to its own proposed application).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.engine.database import Database
+from .conditions import Condition
+
+__all__ = ["Alert", "Alerter"]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One firing: which condition, at which check, with what answer."""
+
+    condition: str
+    check_number: int
+    answer: Any
+
+    def __str__(self) -> str:
+        return f"[check {self.check_number}] {self.condition} fired (answer={self.answer!r})"
+
+
+class Alerter:
+    """Evaluates registered conditions against one database."""
+
+    def __init__(self, database: Database, level_triggered: bool = False) -> None:
+        self.database = database
+        self.level_triggered = level_triggered
+        self._conditions: dict[str, Condition] = {}
+        self._armed: dict[str, bool] = {}
+        self._callbacks: dict[str, Callable[[Alert], None]] = {}
+        self.checks_performed = 0
+        self.history: list[Alert] = []
+
+    def register(
+        self,
+        condition: Condition,
+        callback: Callable[[Alert], None] | None = None,
+    ) -> None:
+        """Add a condition (optionally with a firing callback)."""
+        if condition.name in self._conditions:
+            raise ValueError(f"condition {condition.name!r} already registered")
+        if condition.view_name not in self.database.views:
+            raise KeyError(
+                f"condition {condition.name!r} watches unknown view "
+                f"{condition.view_name!r}"
+            )
+        self._conditions[condition.name] = condition
+        self._armed[condition.name] = True
+        if callback is not None:
+            self._callbacks[condition.name] = callback
+
+    def unregister(self, name: str) -> None:
+        """Remove a condition (no-op if absent)."""
+        self._conditions.pop(name, None)
+        self._armed.pop(name, None)
+        self._callbacks.pop(name, None)
+
+    @property
+    def conditions(self) -> tuple[Condition, ...]:
+        return tuple(self._conditions.values())
+
+    def check(self) -> list[Alert]:
+        """Evaluate every condition once; returns the alerts that fired.
+
+        View queries are shared across conditions watching the same
+        view with the same range, so co-located conditions cost one
+        query.
+        """
+        self.checks_performed += 1
+        answers: dict[tuple[str, Any, Any], Any] = {}
+        fired: list[Alert] = []
+        for condition in self._conditions.values():
+            lo, hi = condition.query_range()
+            cache_key = (condition.view_name, lo, hi)
+            if cache_key not in answers:
+                answers[cache_key] = self.database.query_view(
+                    condition.view_name, lo, hi
+                )
+            answer = answers[cache_key]
+            holds = condition.evaluate(answer)
+            if holds and (self.level_triggered or self._armed[condition.name]):
+                alert = Alert(
+                    condition=condition.name,
+                    check_number=self.checks_performed,
+                    answer=answer if not isinstance(answer, list) else len(answer),
+                )
+                fired.append(alert)
+                self.history.append(alert)
+                callback = self._callbacks.get(condition.name)
+                if callback is not None:
+                    callback(alert)
+            # Edge semantics: disarm while true, re-arm when false.
+            self._armed[condition.name] = not holds
+        return fired

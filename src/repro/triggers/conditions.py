@@ -1,0 +1,130 @@
+"""Trigger/alerter conditions over maintained views.
+
+Section 4: "view materialization could be better employed where a
+complete copy of the answer to a query is always needed.  For example,
+materialization could support conditions for complex triggers and
+alerters, as described in [Bune79]."
+
+A condition is a boolean test over the current value of one view.
+Because the views are incrementally maintained, evaluating a condition
+costs a view query (one page for an aggregate state) rather than a
+base-relation scan — the economics Buneman & Clemons wanted.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable
+
+__all__ = [
+    "Condition",
+    "ThresholdCondition",
+    "NonEmptyCondition",
+    "PredicateCondition",
+]
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+
+class Condition(ABC):
+    """A named boolean condition over one view."""
+
+    def __init__(self, name: str, view_name: str) -> None:
+        self.name = name
+        self.view_name = view_name
+
+    @abstractmethod
+    def evaluate(self, answer: Any) -> bool:
+        """Test the condition against a view query's answer."""
+
+    def query_range(self) -> tuple[Any, Any]:
+        """Range on the view key the condition needs (default: all)."""
+        return (None, None)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return f"{self.name}: view {self.view_name!r}"
+
+
+@dataclass(frozen=True)
+class _Comparison:
+    op: str
+    threshold: Any
+
+    def test(self, value: Any) -> bool:
+        return _COMPARATORS[self.op](value, self.threshold)
+
+
+class ThresholdCondition(Condition):
+    """Fires when an aggregate view's value compares true to a constant.
+
+    Example: ``ThresholdCondition("backlog", "critical_count", ">=", 170)``.
+    """
+
+    def __init__(self, name: str, view_name: str, op: str, threshold: Any) -> None:
+        if op not in _COMPARATORS:
+            raise ValueError(f"unknown comparator {op!r}; expected one of "
+                             f"{sorted(_COMPARATORS)}")
+        super().__init__(name, view_name)
+        self._comparison = _Comparison(op, threshold)
+
+    def evaluate(self, answer: Any) -> bool:
+        if answer is None:
+            return False
+        return self._comparison.test(answer)
+
+    def describe(self) -> str:
+        """One-line summary including the comparison."""
+        return (f"{self.name}: {self.view_name} "
+                f"{self._comparison.op} {self._comparison.threshold}")
+
+
+class NonEmptyCondition(Condition):
+    """Fires when a tuple view has any row in a key range."""
+
+    def __init__(self, name: str, view_name: str,
+                 lo: Any = None, hi: Any = None) -> None:
+        super().__init__(name, view_name)
+        self.lo = lo
+        self.hi = hi
+
+    def query_range(self) -> tuple[Any, Any]:
+        return (self.lo, self.hi)
+
+    def evaluate(self, answer: Any) -> bool:
+        return bool(answer)
+
+    def describe(self) -> str:
+        """One-line summary including the watched range."""
+        return (f"{self.name}: {self.view_name}[{self.lo}..{self.hi}] non-empty")
+
+
+class PredicateCondition(Condition):
+    """Fires when a caller-supplied test over the answer holds.
+
+    The escape hatch for compound conditions ("average over 3x the
+    median", "more than k rows above a value", ...).
+    """
+
+    def __init__(self, name: str, view_name: str,
+                 test: Callable[[Any], bool],
+                 lo: Any = None, hi: Any = None) -> None:
+        super().__init__(name, view_name)
+        self._test = test
+        self.lo = lo
+        self.hi = hi
+
+    def query_range(self) -> tuple[Any, Any]:
+        return (self.lo, self.hi)
+
+    def evaluate(self, answer: Any) -> bool:
+        return bool(self._test(answer))

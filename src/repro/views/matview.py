@@ -1,0 +1,212 @@
+"""Materialized view storage with duplicate counts (Section 2.1).
+
+Projection can map several base tuples to one view value, so the
+stored view keeps a *duplicate count* per distinct tuple: insertion
+increments (or creates with count 1), deletion decrements (physically
+removing at zero).  The copy is clustered in a B+-tree on the view key
+field, matching Section 3.1's access-method table, so refresh I/O and
+query scans are costed by the same machinery as any other relation.
+
+:class:`AggregateStateStore` is Model 3's one-block stored aggregate
+state: a read is one page read, a refresh one page write.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.storage.bplustree import BPlusTree
+from repro.storage.pager import BufferPool
+from repro.storage.tuples import Record
+from .aggregates import AggregateFunction
+from .definition import ViewTuple
+from .delta import ChangeSet
+
+__all__ = ["MaterializedView", "AggregateStateStore", "DuplicateCountError"]
+
+_DUP_FIELD = "_dup"
+
+
+class DuplicateCountError(RuntimeError):
+    """A deletion arrived for a view tuple that is not stored."""
+
+
+class MaterializedView:
+    """Duplicate-counted stored copy of a select-project or join view."""
+
+    def __init__(
+        self,
+        name: str,
+        pool: BufferPool,
+        view_key: str,
+        records_per_page: int,
+        fanout: int = 200,
+    ) -> None:
+        self.name = name
+        self.view_key = view_key
+        self._tree = BPlusTree(
+            f"view.{name}",
+            pool,
+            sort_key=lambda record: record[view_key],
+            records_per_leaf=records_per_page,
+            fanout=fanout,
+        )
+
+    # ------------------------------------------------------------------
+    # loading and maintenance
+    # ------------------------------------------------------------------
+    def bulk_load(self, tuples: list[ViewTuple]) -> None:
+        """Materialize from scratch, folding duplicates into counts."""
+        counts: dict[ViewTuple, int] = {}
+        for vt in tuples:
+            counts[vt] = counts.get(vt, 0) + 1
+        records = [self._record(vt, dup) for vt, dup in counts.items()]
+        self._tree.bulk_load(records)
+
+    def rebuild(self, tuples: list[ViewTuple]) -> None:
+        """Replace the stored contents wholesale (snapshot refresh).
+
+        Drops every page and bulk-loads the fresh result; the load's
+        page writes are charged (they are the rebuild cost).
+        """
+        self._tree.reset()
+        self.bulk_load(tuples)
+
+    def insert_tuple(self, vt: ViewTuple, count: int = 1) -> None:
+        """Add ``count`` duplicates of a view tuple."""
+        if count < 1:
+            raise ValueError(f"insert count must be >= 1, got {count}")
+        existing = self._find(vt)
+        if existing is None:
+            self._tree.insert(self._record(vt, count))
+        else:
+            self._tree.update(existing, self._record(vt, existing[_DUP_FIELD] + count))
+
+    def delete_tuple(self, vt: ViewTuple, count: int = 1) -> None:
+        """Remove ``count`` duplicates, physically deleting at zero."""
+        if count < 1:
+            raise ValueError(f"delete count must be >= 1, got {count}")
+        existing = self._find(vt)
+        if existing is None:
+            raise DuplicateCountError(f"view {self.name!r} does not contain {vt!r}")
+        remaining = existing[_DUP_FIELD] - count
+        if remaining < 0:
+            raise DuplicateCountError(
+                f"view {self.name!r}: duplicate count underflow for {vt!r} "
+                f"({existing[_DUP_FIELD]} stored, {count} deleted)"
+            )
+        if remaining == 0:
+            self._tree.delete(existing)
+        else:
+            self._tree.update(existing, self._record(vt, remaining))
+
+    def apply_changes(self, changes: ChangeSet) -> tuple[int, int]:
+        """Apply a signed change multiset; returns (inserted, deleted) counts."""
+        inserted = deleted = 0
+        for vt, signed in changes.items():
+            if signed > 0:
+                self.insert_tuple(vt, signed)
+                inserted += signed
+            else:
+                self.delete_tuple(vt, -signed)
+                deleted += -signed
+        return inserted, deleted
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def scan_range(self, lo: Any, hi: Any) -> Iterator[ViewTuple]:
+        """View tuples with ``lo <= view_key <= hi``, duplicates expanded."""
+        for record in self._tree.range_scan(lo, hi):
+            vt = self._view_tuple(record)
+            for _ in range(record[_DUP_FIELD]):
+                yield vt
+
+    def scan_all(self) -> Iterator[ViewTuple]:
+        """Every stored view tuple, duplicates expanded."""
+        for record in self._tree.scan_all():
+            vt = self._view_tuple(record)
+            for _ in range(record[_DUP_FIELD]):
+                yield vt
+
+    def distinct_count(self) -> int:
+        """Distinct stored tuples (no I/O charged; catalog statistic)."""
+        return len(self._tree)
+
+    def duplicate_count(self, vt: ViewTuple) -> int:
+        """Stored duplicate count of one tuple (0 if absent)."""
+        existing = self._find(vt)
+        return 0 if existing is None else existing[_DUP_FIELD]
+
+    def total_count(self) -> int:
+        """Total tuples including duplicates (scans the view)."""
+        return sum(record[_DUP_FIELD] for record in self._tree.scan_all())
+
+    @property
+    def tree(self) -> BPlusTree:
+        """Underlying storage (exposed for stats and tests)."""
+        return self._tree
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(vt: ViewTuple, dup: int) -> Record:
+        return Record(vt.identity(), {**vt.values, _DUP_FIELD: dup})
+
+    def _view_tuple(self, record: Record) -> ViewTuple:
+        values = {k: v for k, v in record.values.items() if k != _DUP_FIELD}
+        return ViewTuple(values)
+
+    def _find(self, vt: ViewTuple) -> Record | None:
+        sort_value = vt[self.view_key]
+        for record in self._tree.range_scan(sort_value, sort_value):
+            if record.key == vt.identity():
+                return record
+        return None
+
+
+class AggregateStateStore:
+    """One-page persistent aggregate state (Model 3's stored view)."""
+
+    def __init__(self, name: str, pool: BufferPool, function: AggregateFunction) -> None:
+        self.name = name
+        self.pool = pool
+        self.function = function
+        page = pool.disk.allocate(f"agg.{name}", 1)
+        page.records.append(function.initial_state())
+        pool.put(page, dirty=True)
+        pool.flush(page.page_id)
+        self._page_id = page.page_id
+
+    def read_state(self) -> dict[str, Any]:
+        """Read the state (one page read on a cold buffer)."""
+        page = self.pool.get(self._page_id)
+        return dict(page.records[0])
+
+    def write_state(self, state: dict[str, Any]) -> None:
+        """Persist a new state (one page write)."""
+        page = self.pool.get(self._page_id)
+        page.records[0] = dict(state)
+        self.pool.put(page, dirty=True)
+
+    def value(self) -> Any:
+        """Current aggregate value (reads the state page)."""
+        return self.function.value(self.read_state())
+
+    def apply(self, entering: list[Any], leaving: list[Any]) -> bool:
+        """Fold value changes into the state; returns True if written.
+
+        No write is issued when both change lists are empty — the
+        paper's refresh cost is ``c2`` times the probability that at
+        least one change touches the aggregated set.
+        """
+        if not entering and not leaving:
+            return False
+        state = self.read_state()
+        for value in entering:
+            self.function.insert(state, value)
+        for value in leaving:
+            self.function.delete(state, value)
+        self.write_state(state)
+        return True

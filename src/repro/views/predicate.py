@@ -1,0 +1,254 @@
+"""View predicates, satisfiability screening and RIU analysis.
+
+Predicates serve three roles in the paper:
+
+1. **Selection** — deciding which base tuples belong to the view.
+2. **Screening stage 2** — substituting an inserted/deleted tuple into
+   the view predicate and testing satisfiability (Blakeley 1986); this
+   is the ``c1``-priced CPU test.
+3. **Rule indexing** — stage 1 of screening: the index intervals the
+   predicate covers are t-locked (Stonebraker 1986) so non-conflicting
+   tuples are rejected for free (:mod:`repro.maintenance.screening`).
+
+Buneman & Clemons' *readily ignorable update* (RIU) compile-time test —
+"does the command write any field the view reads?" — is
+:func:`is_readily_ignorable`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.storage.tuples import Record
+
+__all__ = [
+    "Predicate",
+    "TruePredicate",
+    "IntervalPredicate",
+    "ComparisonPredicate",
+    "AndPredicate",
+    "OrPredicate",
+    "NotPredicate",
+    "Interval",
+    "is_readily_ignorable",
+]
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed interval ``[lo, hi]`` on one field (a t-lockable range)."""
+
+    field: str
+    lo: Any
+    hi: Any
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval on {self.field!r}: [{self.lo}, {self.hi}]")
+
+    def contains(self, value: Any) -> bool:
+        """Inclusive membership test."""
+        return self.lo <= value <= self.hi
+
+
+class Predicate(ABC):
+    """A boolean condition over one record."""
+
+    @abstractmethod
+    def matches(self, record: Record) -> bool:
+        """True when the record satisfies the predicate."""
+
+    @abstractmethod
+    def fields_read(self) -> frozenset[str]:
+        """Fields the predicate inspects (drives the RIU test)."""
+
+    def intervals(self) -> tuple[Interval, ...]:
+        """Index intervals covered by the predicate's clauses.
+
+        Used to place t-locks.  Predicates with no indexable clause
+        return an empty tuple, which forces every tuple through stage 2
+        screening (conservative, never incorrect).
+        """
+        return ()
+
+    def selectivity_hint(self) -> float | None:
+        """Optional selectivity estimate for plan costing (None=unknown)."""
+        return None
+
+    def __and__(self, other: "Predicate") -> "AndPredicate":
+        return AndPredicate((self, other))
+
+    def __or__(self, other: "Predicate") -> "OrPredicate":
+        return OrPredicate((self, other))
+
+    def __invert__(self) -> "NotPredicate":
+        return NotPredicate(self)
+
+
+class TruePredicate(Predicate):
+    """Matches every record (``f = 1`` views)."""
+
+    def matches(self, record: Record) -> bool:
+        return True
+
+    def fields_read(self) -> frozenset[str]:
+        return frozenset()
+
+    def selectivity_hint(self) -> float | None:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "TruePredicate()"
+
+
+@dataclass(frozen=True)
+class IntervalPredicate(Predicate):
+    """``lo <= record[field] <= hi`` — the paper's canonical view clause.
+
+    A selectivity hint may be attached when the caller knows the
+    attribute's domain (the workload generator does).
+    """
+
+    field: str
+    lo: Any
+    hi: Any
+    selectivity: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"empty interval on {self.field!r}: [{self.lo}, {self.hi}]")
+
+    def matches(self, record: Record) -> bool:
+        value = record.get(self.field)
+        return value is not None and self.lo <= value <= self.hi
+
+    def fields_read(self) -> frozenset[str]:
+        return frozenset((self.field,))
+
+    def intervals(self) -> tuple[Interval, ...]:
+        return (Interval(self.field, self.lo, self.hi),)
+
+    def selectivity_hint(self) -> float | None:
+        return self.selectivity
+
+    def __repr__(self) -> str:
+        return f"IntervalPredicate({self.field!r}, {self.lo!r}, {self.hi!r})"
+
+
+_OPS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class ComparisonPredicate(Predicate):
+    """``record[field] <op> constant`` for ``op`` in ==, !=, <, <=, >, >=."""
+
+    field: str
+    op: str
+    constant: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ValueError(f"unknown operator {self.op!r}; expected one of {sorted(_OPS)}")
+
+    def matches(self, record: Record) -> bool:
+        value = record.get(self.field)
+        if value is None:
+            return False
+        return _OPS[self.op](value, self.constant)
+
+    def fields_read(self) -> frozenset[str]:
+        return frozenset((self.field,))
+
+    def intervals(self) -> tuple[Interval, ...]:
+        if self.op == "==":
+            return (Interval(self.field, self.constant, self.constant),)
+        return ()
+
+    def __repr__(self) -> str:
+        return f"ComparisonPredicate({self.field!r} {self.op} {self.constant!r})"
+
+
+@dataclass(frozen=True)
+class AndPredicate(Predicate):
+    """Conjunction of clauses."""
+
+    clauses: tuple[Predicate, ...]
+
+    def matches(self, record: Record) -> bool:
+        return all(clause.matches(record) for clause in self.clauses)
+
+    def fields_read(self) -> frozenset[str]:
+        return frozenset().union(*(c.fields_read() for c in self.clauses)) if self.clauses else frozenset()
+
+    def intervals(self) -> tuple[Interval, ...]:
+        collected: list[Interval] = []
+        for clause in self.clauses:
+            collected.extend(clause.intervals())
+        return tuple(collected)
+
+    def selectivity_hint(self) -> float | None:
+        product = 1.0
+        for clause in self.clauses:
+            hint = clause.selectivity_hint()
+            if hint is None:
+                return None
+            product *= hint
+        return product
+
+
+@dataclass(frozen=True)
+class OrPredicate(Predicate):
+    """Disjunction of clauses."""
+
+    clauses: tuple[Predicate, ...]
+
+    def matches(self, record: Record) -> bool:
+        return any(clause.matches(record) for clause in self.clauses)
+
+    def fields_read(self) -> frozenset[str]:
+        return frozenset().union(*(c.fields_read() for c in self.clauses)) if self.clauses else frozenset()
+
+    def intervals(self) -> tuple[Interval, ...]:
+        # A disjunction is coverable only if *every* branch is: a tuple
+        # that breaks no interval must be guaranteed non-matching.
+        collected: list[Interval] = []
+        for clause in self.clauses:
+            branch = clause.intervals()
+            if not branch:
+                return ()
+            collected.extend(branch)
+        return tuple(collected)
+
+
+@dataclass(frozen=True)
+class NotPredicate(Predicate):
+    """Negation; never index-coverable (its complement is unbounded)."""
+
+    clause: Predicate
+
+    def matches(self, record: Record) -> bool:
+        return not self.clause.matches(record)
+
+    def fields_read(self) -> frozenset[str]:
+        return self.clause.fields_read()
+
+
+def is_readily_ignorable(
+    written_fields: Iterable[str], view_fields_read: Iterable[str]
+) -> bool:
+    """Buneman-Clemons compile-time RIU test.
+
+    A command is a *readily ignorable update* with respect to a view if
+    it writes no field the view definition reads; such a command cannot
+    change the view's state, so run-time screening is skipped entirely.
+    """
+    return not (set(written_fields) & set(view_fields_read))

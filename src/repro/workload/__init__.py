@@ -1,0 +1,23 @@
+"""Workload specification, generation and simulation running."""
+
+from .generator import QueryOp, Scenario, UpdateOp, build_scenario
+from .runner import (
+    SimulationResult,
+    measure_base_update_cost,
+    run_config,
+    run_scenario,
+)
+from .spec import SCALED_DEFAULTS, ScenarioConfig
+
+__all__ = [
+    "QueryOp",
+    "SCALED_DEFAULTS",
+    "Scenario",
+    "ScenarioConfig",
+    "SimulationResult",
+    "UpdateOp",
+    "build_scenario",
+    "measure_base_update_cost",
+    "run_config",
+    "run_scenario",
+]

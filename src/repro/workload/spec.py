@@ -1,0 +1,101 @@
+"""Workload and scenario specifications mirroring Section 3.1.
+
+A scenario fixes a (usually scaled-down) parameter set, a view model
+and a maintenance strategy; the builder functions in
+:mod:`repro.workload.generator` turn it into a ready
+:class:`~repro.engine.database.Database` plus an operation stream of
+``k`` update transactions (each modifying ``l`` tuples) interleaved
+with ``q`` view queries (each reading a fraction ``f_v`` of the view).
+
+The attribute domains are arranged so that the paper's selectivities
+hold by construction: the predicate attribute ``a`` is uniform over
+``[0, domain)`` and the view predicate is ``a < f * domain``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import Parameters
+from repro.core.strategies import Strategy, ViewModel
+
+__all__ = ["ScenarioConfig", "SCALED_DEFAULTS"]
+
+#: A laptop-scale parameter set with the paper's *shape* (same f, f_v,
+#: f_r2, cost constants; smaller N/k/q/l so simulations finish fast).
+SCALED_DEFAULTS = Parameters(
+    N=4_000,
+    S=100,
+    B=4_000,
+    k=20,
+    l=5,
+    q=20,
+    n=20,
+    f=0.1,
+    f_v=0.1,
+    f_r2=0.1,
+    c1=1.0,
+    c2=30.0,
+    c3=1.0,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to build and run one simulation scenario."""
+
+    params: Parameters = SCALED_DEFAULTS
+    model: ViewModel = ViewModel.SELECT_PROJECT
+    strategy: Strategy = Strategy.DEFERRED
+    seed: int = 7
+    #: Domain size of the predicate attribute ``a``; the predicate
+    #: selects ``a < f * domain``.
+    domain: int = 1_000
+    #: Aggregate function for Model 3 scenarios.
+    aggregate: str = "sum"
+    #: Buffer pool pages.  Large enough to hold one operation's working
+    #: set (intra-operation reuse is what produces Yao-function
+    #: behaviour); the cold-operation flag empties it between ops.
+    buffer_pages: int = 512
+    #: Empty the buffer pool before every transaction and query so each
+    #: operation is costed cold, matching the analytic formulas.
+    cold_operations: bool = True
+    #: When False, the scenario is built *without* the view (same base
+    #: layout, same update stream): the calibration baseline used to
+    #: isolate view-maintenance overhead.
+    include_view: bool = True
+    #: Update-key distribution: "uniform" (the paper's implicit model —
+    #: every tuple equally likely) or "hot" (80% of updates hit the
+    #: hottest 20% of keys, a temporal-locality extension).
+    update_skew: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.domain < 2:
+            raise ValueError(f"domain must be >= 2, got {self.domain}")
+        if int(self.params.k) != self.params.k or int(self.params.q) != self.params.q:
+            raise ValueError("simulation scenarios need integer k and q")
+        if int(self.params.l) != self.params.l:
+            raise ValueError("simulation scenarios need integer l")
+        if self.update_skew not in ("uniform", "hot"):
+            raise ValueError(
+                f"update_skew must be 'uniform' or 'hot', got {self.update_skew!r}"
+            )
+
+    @property
+    def view_bound(self) -> int:
+        """Exclusive upper bound of the view predicate on ``a``."""
+        return max(1, round(self.params.f * self.domain))
+
+    @property
+    def query_width(self) -> int:
+        """Width of a view query's range on ``a`` (fraction ``f_v``)."""
+        return max(1, round(self.params.f_v * self.view_bound))
+
+    def describe(self) -> str:
+        """One-line scenario summary."""
+        p = self.params
+        return (
+            f"Model {int(self.model)} / {self.strategy.label}: "
+            f"N={p.N}, k={int(p.k)}, l={int(p.l)}, q={int(p.q)}, "
+            f"f={p.f}, f_v={p.f_v}, P={p.P:.2f}, seed={self.seed}"
+        )

@@ -1,0 +1,85 @@
+"""Strategy advisor: evaluation, ranking, recommendation."""
+
+import pytest
+
+from repro.core.advisor import evaluate, rank, recommend
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.strategies import Strategy, ViewModel
+
+P = PAPER_DEFAULTS
+
+
+class TestEvaluate:
+    @pytest.mark.parametrize("model,count", [
+        (ViewModel.SELECT_PROJECT, 5),
+        (ViewModel.JOIN, 3),
+        (ViewModel.AGGREGATE, 3),
+    ])
+    def test_strategy_counts_per_model(self, model, count):
+        assert len(evaluate(P, model)) == count
+
+    def test_restriction(self):
+        subset = evaluate(P, ViewModel.SELECT_PROJECT,
+                          strategies=(Strategy.DEFERRED, Strategy.IMMEDIATE))
+        assert set(subset) == {Strategy.DEFERRED, Strategy.IMMEDIATE}
+
+    def test_unknown_strategy_for_model_raises(self):
+        with pytest.raises(ValueError, match="not defined"):
+            evaluate(P, ViewModel.JOIN, strategies=(Strategy.QM_SEQUENTIAL,))
+
+    def test_breakdowns_tagged_with_model(self):
+        for bd in evaluate(P, ViewModel.JOIN).values():
+            assert bd.model is ViewModel.JOIN
+
+
+class TestRank:
+    def test_sorted_ascending(self):
+        ranking = rank(P, ViewModel.SELECT_PROJECT)
+        totals = [bd.total for bd in ranking]
+        assert totals == sorted(totals)
+
+    def test_rank_respects_restriction(self):
+        ranking = rank(P, ViewModel.SELECT_PROJECT,
+                       strategies=(Strategy.QM_SEQUENTIAL, Strategy.QM_CLUSTERED))
+        assert [bd.strategy for bd in ranking] == [
+            Strategy.QM_CLUSTERED, Strategy.QM_SEQUENTIAL,
+        ]
+
+
+class TestRecommend:
+    def test_defaults_model1_winner(self):
+        assert recommend(P, ViewModel.SELECT_PROJECT).strategy is Strategy.QM_CLUSTERED
+
+    def test_defaults_model2_winner_is_materialized(self):
+        rec = recommend(P, ViewModel.JOIN)
+        assert rec.strategy in (Strategy.IMMEDIATE, Strategy.DEFERRED)
+
+    def test_defaults_model3_winner(self):
+        assert recommend(P, ViewModel.AGGREGATE).strategy is Strategy.IMMEDIATE
+
+    def test_margin_non_negative(self):
+        rec = recommend(P, ViewModel.SELECT_PROJECT)
+        assert rec.margin >= 0
+        assert 0 <= rec.relative_margin <= 1
+
+    def test_runner_up_differs_from_best(self):
+        rec = recommend(P, ViewModel.SELECT_PROJECT)
+        assert rec.runner_up.strategy is not rec.strategy
+
+    def test_single_strategy_recommendation(self):
+        rec = recommend(P, ViewModel.SELECT_PROJECT,
+                        strategies=(Strategy.QM_CLUSTERED,))
+        assert rec.runner_up is rec.best
+        assert rec.margin == 0.0
+
+    def test_describe_mentions_winner_and_all_ranked(self):
+        rec = recommend(P, ViewModel.JOIN)
+        text = rec.describe()
+        assert rec.strategy.label in text
+        for bd in rec.ranking:
+            assert bd.strategy.label in text
+
+    def test_recommendation_changes_with_p(self):
+        low = recommend(P.with_update_probability(0.02), ViewModel.JOIN)
+        high = recommend(P.with_update_probability(0.97), ViewModel.JOIN)
+        assert low.strategy is not high.strategy

@@ -1,0 +1,51 @@
+"""repro-advisor CLI."""
+
+import pytest
+
+from repro.core.cli import main
+
+
+class TestAdvisorCLI:
+    def test_default_invocation(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "recommendation" in out
+        assert "ms" in out
+
+    def test_model_selection(self, capsys):
+        assert main(["--model", "2"]) == 0
+        assert "Model 2" in capsys.readouterr().out
+
+    def test_update_probability_flag(self, capsys):
+        assert main(["--model", "2", "-P", "0.95"]) == 0
+        out = capsys.readouterr().out
+        assert "loopjoin" in out.splitlines()[0]
+
+    def test_breakdown_flag(self, capsys):
+        assert main(["--breakdown"]) == 0
+        out = capsys.readouterr().out
+        assert "C_query1" in out
+
+    def test_sweep_flag(self, capsys):
+        assert main(["--model", "1", "--sweep-p"]) == 0
+        out = capsys.readouterr().out
+        assert "P = 0.05" in out
+        assert "P = 0.95" in out
+
+    def test_custom_parameters_change_answer(self, capsys):
+        main(["--model", "1", "-P", "0.05"])
+        low_p = capsys.readouterr().out.splitlines()[0]
+        main(["--model", "1", "-P", "0.9"])
+        high_p = capsys.readouterr().out.splitlines()[0]
+        assert low_p != high_p
+
+    def test_invalid_parameters_exit_2(self, capsys):
+        assert main(["-f", "2.0"]) == 2
+        assert "invalid parameters" in capsys.readouterr().err
+
+    def test_io_cost_flag_scales_costs(self, capsys):
+        main(["--io-ms", "30"])
+        normal = capsys.readouterr().out
+        main(["--io-ms", "3"])
+        fast_disk = capsys.readouterr().out
+        assert normal != fast_disk

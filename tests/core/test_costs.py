@@ -1,0 +1,66 @@
+"""CostBreakdown container behaviour."""
+
+import pytest
+
+from repro.core.costs import CostBreakdown
+from repro.core.strategies import Strategy, ViewModel
+
+
+def _bd(total_parts):
+    return CostBreakdown.build(
+        Strategy.DEFERRED, ViewModel.SELECT_PROJECT, total_parts
+    )
+
+
+class TestBuild:
+    def test_total_is_sum(self):
+        bd = _bd({"a": 1.0, "b": 2.5})
+        assert bd.total == pytest.approx(3.5)
+
+    def test_components_frozen(self):
+        bd = _bd({"a": 1.0})
+        with pytest.raises(TypeError):
+            bd.components["a"] = 2.0  # type: ignore[index]
+
+    def test_empty_components(self):
+        assert _bd({}).total == 0.0
+
+
+class TestAccess:
+    def test_component_lookup(self):
+        assert _bd({"a": 1.0, "b": 2.0}).component("b") == 2.0
+
+    def test_component_missing_raises(self):
+        with pytest.raises(KeyError):
+            _bd({"a": 1.0}).component("nope")
+
+    def test_fraction(self):
+        bd = _bd({"a": 1.0, "b": 3.0})
+        assert bd.fraction("b") == pytest.approx(0.75)
+
+    def test_fraction_of_zero_total(self):
+        assert _bd({"a": 0.0}).fraction("a") == 0.0
+
+
+class TestOrdering:
+    def test_min_picks_cheapest(self):
+        cheap = _bd({"a": 1.0})
+        costly = CostBreakdown.build(
+            Strategy.IMMEDIATE, ViewModel.SELECT_PROJECT, {"a": 9.0}
+        )
+        assert min([costly, cheap]) is cheap
+
+    def test_lt(self):
+        assert _bd({"a": 1.0}) < _bd({"a": 2.0})
+
+
+class TestDescribe:
+    def test_describe_mentions_strategy_and_components(self):
+        text = _bd({"C_query1": 10.0, "C_screen": 1.0}).describe()
+        assert "deferred" in text
+        assert "C_query1" in text
+        assert "C_screen" in text
+
+    def test_describe_sorts_largest_first(self):
+        text = _bd({"small": 1.0, "large": 100.0}).describe()
+        assert text.index("large") < text.index("small")

@@ -1,0 +1,112 @@
+"""Crossover finding and equal-cost curves (Figure 9, EMP-DEPT)."""
+
+import pytest
+
+from repro.core.advisor import evaluate
+from repro.core.crossover import (
+    CrossoverNotFound,
+    cost_difference,
+    equal_cost_curve,
+    find_crossover_p,
+)
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.strategies import Strategy, ViewModel
+
+P = PAPER_DEFAULTS
+
+
+class TestCostDifference:
+    def test_sign_matches_evaluation(self):
+        costs = evaluate(P, ViewModel.SELECT_PROJECT)
+        diff = cost_difference(
+            P, ViewModel.SELECT_PROJECT, Strategy.DEFERRED, Strategy.QM_CLUSTERED
+        )
+        expected = costs[Strategy.DEFERRED].total - costs[Strategy.QM_CLUSTERED].total
+        assert diff == pytest.approx(expected)
+
+    def test_antisymmetric(self):
+        a = cost_difference(P, ViewModel.JOIN, Strategy.DEFERRED, Strategy.QM_LOOPJOIN)
+        b = cost_difference(P, ViewModel.JOIN, Strategy.QM_LOOPJOIN, Strategy.DEFERRED)
+        assert a == pytest.approx(-b)
+
+
+class TestFindCrossover:
+    def test_root_has_near_zero_difference(self):
+        p_star = find_crossover_p(
+            P, ViewModel.JOIN, Strategy.IMMEDIATE, Strategy.QM_LOOPJOIN
+        )
+        diff = cost_difference(
+            P.with_update_probability(p_star), ViewModel.JOIN,
+            Strategy.IMMEDIATE, Strategy.QM_LOOPJOIN,
+        )
+        costs = evaluate(P.with_update_probability(p_star), ViewModel.JOIN)
+        assert abs(diff) < 0.01 * costs[Strategy.IMMEDIATE].total
+
+    def test_model2_crossover_in_high_p_range(self):
+        """Figure 5: loopjoin overtakes materialization at high P."""
+        p_star = find_crossover_p(
+            P, ViewModel.JOIN, Strategy.IMMEDIATE, Strategy.QM_LOOPJOIN
+        )
+        assert 0.6 < p_star < 0.95
+
+    def test_no_crossover_raises(self):
+        """Sequential never beats clustered in Model 1."""
+        with pytest.raises(CrossoverNotFound):
+            find_crossover_p(
+                P, ViewModel.SELECT_PROJECT,
+                Strategy.QM_SEQUENTIAL, Strategy.QM_CLUSTERED,
+            )
+
+    def test_emp_dept_crossover_near_paper_value(self):
+        """Paper: query modification superior for all P >= ~.08.
+
+        Our reconstruction of the garbled Model 2 formulas puts the
+        crossover at P ≈ 0.06-0.07 — same order, same conclusion.
+        """
+        emp_dept = P.with_updates(f=1.0, l=1.0, f_v=1.0 / P.N)
+        for strategy in (Strategy.DEFERRED, Strategy.IMMEDIATE):
+            p_star = find_crossover_p(
+                emp_dept, ViewModel.JOIN, strategy, Strategy.QM_LOOPJOIN
+            )
+            assert 0.03 < p_star < 0.12
+
+
+class TestEqualCostCurve:
+    def test_curve_points_match_direct_search(self):
+        curve = equal_cost_curve(
+            P, ViewModel.JOIN, Strategy.IMMEDIATE, Strategy.QM_LOOPJOIN,
+            x_values=(10.0, 25.0),
+            apply_x=lambda params, l: params.with_updates(l=l),
+        )
+        for point in curve:
+            direct = find_crossover_p(
+                P.with_updates(l=point.x), ViewModel.JOIN,
+                Strategy.IMMEDIATE, Strategy.QM_LOOPJOIN,
+            )
+            assert point.p == pytest.approx(direct, abs=1e-3)
+
+    def test_dominated_points_are_none(self):
+        """Model 1 sequential never beats clustered for any P."""
+        curve = equal_cost_curve(
+            P, ViewModel.SELECT_PROJECT,
+            Strategy.QM_SEQUENTIAL, Strategy.QM_CLUSTERED,
+            x_values=(5.0, 50.0),
+            apply_x=lambda params, l: params.with_updates(l=l),
+        )
+        assert all(point.p is None for point in curve)
+
+    def test_figure9_curves_rise_with_f(self):
+        """Larger aggregated fraction -> maintenance attractive longer."""
+        def curve_at(f: float) -> float | None:
+            points = equal_cost_curve(
+                P.with_updates(f=f), ViewModel.AGGREGATE,
+                Strategy.IMMEDIATE, Strategy.QM_CLUSTERED,
+                x_values=(10_000.0,),
+                apply_x=lambda params, l: params.with_updates(l=l),
+            )
+            return points[0].p
+
+        low_f = curve_at(0.1)
+        high_f = curve_at(1.0)
+        assert low_f is not None and high_f is not None
+        assert high_f > low_f

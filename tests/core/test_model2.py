@@ -1,0 +1,128 @@
+"""Model 2 (join view) cost formulas (Section 3.4)."""
+
+import pytest
+
+from repro.core import model2
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.strategies import Strategy, ViewModel
+from repro.core.yao import yao_cardenas
+
+P = PAPER_DEFAULTS
+
+
+class TestQueryCost:
+    def test_components_at_defaults(self):
+        # index 60 + scan 30*.1*.1*2500=750 + cpu 1000
+        assert model2.cost_query_view2(P) == pytest.approx(60 + 750 + 1000)
+
+    def test_join_view_uses_full_fb_pages(self):
+        """Model 2 result tuples are S bytes: fb pages, not fb/2."""
+        io_only = P.with_updates(c1=1e-12)
+        scan_io = model2.cost_query_view2(io_only) - io_only.c2 * io_only.H_vi
+        assert scan_io == pytest.approx(io_only.c2 * io_only.f * io_only.f_v * io_only.b)
+
+
+class TestDeferredRefresh:
+    def test_components_at_defaults(self):
+        x3 = yao_cardenas(10_000, 250, 5.0)
+        x4 = yao_cardenas(10_000, 250, 5.0)
+        expected = 30 * x3 + 1 * 50 + 30 * 5 * x4
+        assert model2.cost_deferred_refresh2(P) == pytest.approx(expected)
+
+    def test_zero_without_updates(self):
+        assert model2.cost_deferred_refresh2(P.with_updates(k=0)) == 0.0
+
+    def test_r2_probe_cost_bounded_by_r2_size(self):
+        heavy = P.with_update_probability(0.99).with_updates(f=1.0)
+        # X3 can never exceed R2's page count.
+        x3_cost = model2.cost_deferred_refresh2(heavy)
+        assert x3_cost < float("inf")
+
+
+class TestImmediateRefresh:
+    def test_matches_deferred_at_equal_k_q(self):
+        assert model2.cost_immediate_refresh2(P) == pytest.approx(
+            model2.cost_deferred_refresh2(P), rel=1e-9
+        )
+
+    def test_zero_without_transactions(self):
+        assert model2.cost_immediate_refresh2(P.with_updates(k=0)) == 0.0
+
+    def test_deferred_advantage_at_high_p(self):
+        heavy = P.with_update_probability(0.9)
+        assert model2.cost_deferred_refresh2(heavy) < model2.cost_immediate_refresh2(heavy)
+
+
+class TestLoopJoin:
+    def test_components_at_defaults(self):
+        bd = model2.total_qm_loopjoin(P)
+        assert bd.component("C_index") == pytest.approx(30 * 3)  # H_base = 3
+        assert bd.component("C_outer_scan") == pytest.approx(750)
+        assert bd.component("C_inner_probe") == pytest.approx(
+            30 * yao_cardenas(10_000, 250, 1_000)
+        )
+        assert bd.component("C_cpu") == pytest.approx(2_000)
+
+    def test_inner_probe_bounded_by_r2_pages(self):
+        wide = P.with_updates(f=1.0, f_v=1.0)
+        probe_io = model2.total_qm_loopjoin(wide).component("C_inner_probe")
+        assert probe_io <= wide.c2 * wide.f_r2 * wide.b + 1e-6
+
+
+class TestTotals:
+    def test_totals_sum_components(self):
+        for builder in (model2.total_deferred2, model2.total_immediate2,
+                        model2.total_qm_loopjoin):
+            bd = builder(P)
+            assert bd.total == pytest.approx(sum(bd.components.values()))
+
+    def test_all_totals_covers_three_strategies(self):
+        totals = model2.all_totals2(P)
+        assert set(totals) == {
+            Strategy.DEFERRED, Strategy.IMMEDIATE, Strategy.QM_LOOPJOIN,
+        }
+        for bd in totals.values():
+            assert bd.model is ViewModel.JOIN
+
+    def test_deferred_includes_hr_costs(self):
+        components = model2.total_deferred2(P).components
+        assert "C_AD" in components and "C_ADread" in components
+
+
+class TestPaperHeadlines:
+    """Section 3.5's qualitative results."""
+
+    def test_materialization_wins_at_defaults(self):
+        """Join views favor incremental maintenance: clustering related
+        data on one page slashes query cost."""
+        totals = model2.all_totals2(P)
+        assert min(totals.values()).strategy in (Strategy.DEFERRED, Strategy.IMMEDIATE)
+
+    def test_query_modification_wins_as_p_grows(self):
+        heavy = P.with_update_probability(0.95)
+        totals = model2.all_totals2(heavy)
+        assert min(totals.values()).strategy is Strategy.QM_LOOPJOIN
+
+    def test_crossover_exists_between_defaults_and_high_p(self):
+        low = model2.all_totals2(P)
+        high = model2.all_totals2(P.with_update_probability(0.95))
+        assert low[Strategy.IMMEDIATE].total < low[Strategy.QM_LOOPJOIN].total
+        assert high[Strategy.IMMEDIATE].total > high[Strategy.QM_LOOPJOIN].total
+
+    def test_lower_fv_favors_query_modification(self):
+        """Query cost shrinks with f_v while maintenance overhead stays."""
+        small_queries = P.with_updates(f_v=0.001)
+        totals = model2.all_totals2(small_queries)
+        assert min(totals.values()).strategy is Strategy.QM_LOOPJOIN
+
+    def test_emp_dept_case_prefers_query_modification(self):
+        """f=1, l=1, f_v=1/N: query modification nearly always wins."""
+        emp_dept = P.with_updates(f=1.0, l=1.0, f_v=1.0 / P.N)
+        for p_value in (0.1, 0.3, 0.5, 0.9):
+            totals = model2.all_totals2(emp_dept.with_update_probability(p_value))
+            assert min(totals.values()).strategy is Strategy.QM_LOOPJOIN
+
+    def test_emp_dept_materialization_wins_only_at_tiny_p(self):
+        emp_dept = P.with_updates(f=1.0, l=1.0, f_v=1.0 / P.N)
+        totals = model2.all_totals2(emp_dept.with_update_probability(0.01))
+        assert min(totals.values()).strategy is not Strategy.QM_LOOPJOIN

@@ -1,0 +1,107 @@
+"""Model 3 (aggregate) cost formulas (Section 3.6)."""
+
+import pytest
+
+from repro.core import model3
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.strategies import Strategy, ViewModel
+
+P = PAPER_DEFAULTS
+
+
+class TestTouchProbability:
+    def test_zero_changes(self):
+        assert model3.probability_state_touched(0.1, 0) == 0.0
+
+    def test_one_change(self):
+        assert model3.probability_state_touched(0.1, 1) == pytest.approx(0.1)
+
+    def test_many_changes_saturates(self):
+        assert model3.probability_state_touched(0.1, 1000) == pytest.approx(1.0)
+
+    def test_monotone_in_changes(self):
+        values = [model3.probability_state_touched(0.1, c) for c in (1, 5, 25, 100)]
+        assert values == sorted(values)
+
+    def test_monotone_in_selectivity(self):
+        values = [model3.probability_state_touched(f, 10) for f in (0.01, 0.1, 0.5, 1.0)]
+        assert values == sorted(values)
+
+
+class TestCosts:
+    def test_query_is_one_page_read(self):
+        assert model3.cost_query_aggregate(P) == 30.0
+
+    def test_deferred_refresh_at_defaults(self):
+        expected = 30 * (1 - 0.9**50)  # 2u = 50
+        assert model3.cost_deferred_refresh3(P) == pytest.approx(expected)
+
+    def test_immediate_refresh_at_defaults(self):
+        expected = 30 * (1 - 0.9**50)  # 2l = 50, k/q = 1
+        assert model3.cost_immediate_refresh3(P) == pytest.approx(expected)
+
+    def test_immediate_refresh_scales_with_update_ratio(self):
+        heavy = P.with_update_probability(0.9)
+        assert model3.cost_immediate_refresh3(heavy) == pytest.approx(
+            9 * 30 * (1 - 0.9 ** (2 * heavy.l))
+        )
+
+    def test_recompute_is_clustered_scan_of_selected_set(self):
+        bd = model3.total_qm_clustered3(P)
+        assert bd.component("C_io") == pytest.approx(30 * 2500 * 0.1)
+        assert bd.component("C_cpu") == pytest.approx(100_000 * 0.1)
+
+
+class TestTotals:
+    def test_totals_sum_components(self):
+        for builder in (model3.total_deferred3, model3.total_immediate3,
+                        model3.total_qm_clustered3):
+            bd = builder(P)
+            assert bd.total == pytest.approx(sum(bd.components.values()))
+
+    def test_all_totals_covers_three_strategies(self):
+        totals = model3.all_totals3(P)
+        assert set(totals) == {
+            Strategy.DEFERRED, Strategy.IMMEDIATE, Strategy.QM_CLUSTERED,
+        }
+        for bd in totals.values():
+            assert bd.model is ViewModel.AGGREGATE
+
+
+class TestPaperHeadlines:
+    """Section 3.7's qualitative results."""
+
+    def test_maintained_aggregate_is_small_percentage_of_recompute(self):
+        """For small l, maintenance costs a few percent of recomputation."""
+        for l in (1, 10, 25, 100):
+            params = P.with_updates(l=float(l))
+            totals = model3.all_totals3(params)
+            maintained = totals[Strategy.IMMEDIATE].total
+            recompute = totals[Strategy.QM_CLUSTERED].total
+            assert maintained < 0.05 * recompute
+
+    def test_immediate_beats_deferred_at_equal_k_q(self):
+        """Deferred pays the HR overhead on top of the same state writes."""
+        totals = model3.all_totals3(P)
+        assert totals[Strategy.IMMEDIATE].total < totals[Strategy.DEFERRED].total
+
+    def test_maintenance_most_attractive_for_large_f(self):
+        """The crossover k/q grows with f: larger aggregated fractions
+        favor maintenance over recomputation."""
+        def crossover_ratio(f: float) -> float:
+            params = P.with_updates(f=f)
+            recompute = model3.total_qm_clustered3(params).total
+            # Per-(k/q) marginal cost of immediate maintenance.
+            marginal = (
+                model3.cost_immediate_refresh3(params)
+                + params.c1 * params.f * params.l
+            )
+            return recompute / marginal
+
+        ratios = [crossover_ratio(f) for f in (0.1, 0.5, 1.0)]
+        assert ratios == sorted(ratios)
+
+    def test_worth_maintaining_even_for_small_f(self):
+        small = P.with_updates(f=0.01)
+        totals = model3.all_totals3(small)
+        assert totals[Strategy.IMMEDIATE].total < totals[Strategy.QM_CLUSTERED].total

@@ -1,0 +1,163 @@
+"""Parameters: defaults, derived quantities, validation, transforms."""
+
+import math
+
+import pytest
+
+from repro.core.parameters import (
+    PAPER_DEFAULTS,
+    ParameterError,
+    Parameters,
+    parameter_definitions,
+)
+
+
+class TestDefaults:
+    def test_paper_default_values(self):
+        p = PAPER_DEFAULTS
+        assert p.N == 100_000
+        assert p.S == 100
+        assert p.B == 4_000
+        assert p.k == 100
+        assert p.l == 25
+        assert p.q == 100
+        assert p.n == 20
+        assert p.f == 0.1
+        assert p.f_v == 0.1
+        assert p.f_r2 == 0.1
+        assert p.c1 == 1.0
+        assert p.c2 == 30.0
+        assert p.c3 == 1.0
+
+    def test_derived_blocks(self):
+        assert PAPER_DEFAULTS.b == 2_500.0
+
+    def test_derived_tuples_per_page(self):
+        assert PAPER_DEFAULTS.T == 40.0
+
+    def test_derived_updates_between_queries(self):
+        assert PAPER_DEFAULTS.u == 25.0
+
+    def test_derived_update_probability(self):
+        assert PAPER_DEFAULTS.P == 0.5
+
+    def test_fanout(self):
+        assert PAPER_DEFAULTS.fanout == 200.0
+
+    def test_view_size_model1(self):
+        assert PAPER_DEFAULTS.view_tuples_model1 == 10_000.0
+        assert PAPER_DEFAULTS.view_pages_model1 == 125.0
+
+    def test_view_size_model2(self):
+        assert PAPER_DEFAULTS.view_pages_model2 == 250.0
+
+    def test_view_index_height(self):
+        # ceil(log_200(10000)) = 2
+        assert PAPER_DEFAULTS.H_vi == 2
+
+    def test_base_index_height(self):
+        # ceil(log_200(100000)) = 3
+        assert PAPER_DEFAULTS.H_base == 3
+
+
+class TestIndexHeight:
+    def test_single_entry_height_one(self):
+        assert PAPER_DEFAULTS.index_height(1) == 1
+
+    def test_zero_entries_height_one(self):
+        assert PAPER_DEFAULTS.index_height(0) == 1
+
+    def test_exact_power(self):
+        assert PAPER_DEFAULTS.index_height(200) == 1
+        assert PAPER_DEFAULTS.index_height(201) == 2
+
+    def test_height_grows_with_entries(self):
+        heights = [PAPER_DEFAULTS.index_height(10**e) for e in range(1, 8)]
+        assert heights == sorted(heights)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", ["N", "S", "B", "q", "n", "c2"])
+    def test_positive_fields_reject_zero(self, field):
+        with pytest.raises(ParameterError):
+            Parameters(**{field: 0})
+
+    @pytest.mark.parametrize("field", ["k", "l", "c1", "c3"])
+    def test_non_negative_fields_reject_negative(self, field):
+        with pytest.raises(ParameterError):
+            Parameters(**{field: -1})
+
+    @pytest.mark.parametrize("field", ["f", "f_v", "f_r2"])
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.5])
+    def test_selectivities_must_be_in_unit_interval(self, field, value):
+        with pytest.raises(ParameterError):
+            Parameters(**{field: value})
+
+    def test_selectivity_of_one_is_allowed(self):
+        assert Parameters(f=1.0).f == 1.0
+
+    def test_tuple_larger_than_block_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameters(S=5_000, B=4_000)
+
+    def test_index_record_larger_than_block_rejected(self):
+        with pytest.raises(ParameterError):
+            Parameters(n=4_000)
+
+    def test_zero_updates_allowed(self):
+        p = Parameters(k=0)
+        assert p.u == 0.0
+        assert p.P == 0.0
+
+
+class TestTransforms:
+    def test_with_updates_returns_new_instance(self):
+        p2 = PAPER_DEFAULTS.with_updates(f=0.5)
+        assert p2.f == 0.5
+        assert PAPER_DEFAULTS.f == 0.1
+        assert p2 is not PAPER_DEFAULTS
+
+    def test_with_updates_revalidates(self):
+        with pytest.raises(ParameterError):
+            PAPER_DEFAULTS.with_updates(f=2.0)
+
+    @pytest.mark.parametrize("p_target", [0.0, 0.05, 0.5, 0.9, 0.99])
+    def test_with_update_probability_round_trips(self, p_target):
+        p = PAPER_DEFAULTS.with_update_probability(p_target)
+        assert p.P == pytest.approx(p_target)
+
+    def test_with_update_probability_keeps_q(self):
+        p = PAPER_DEFAULTS.with_update_probability(0.8)
+        assert p.q == PAPER_DEFAULTS.q
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0, 1.5])
+    def test_with_update_probability_rejects_out_of_range(self, bad):
+        with pytest.raises(ParameterError):
+            PAPER_DEFAULTS.with_update_probability(bad)
+
+    def test_as_dict_round_trip(self):
+        p = Parameters.from_mapping(PAPER_DEFAULTS.as_dict())
+        assert p == PAPER_DEFAULTS
+
+    def test_from_mapping_ignores_unknown_keys(self):
+        p = Parameters.from_mapping({"f": 0.3, "unknown": 42})
+        assert p.f == 0.3
+
+
+class TestParameterTableSupport:
+    def test_definitions_cover_all_paper_symbols(self):
+        names = [name for name, _ in parameter_definitions()]
+        for symbol in ("N", "S", "B", "b", "T", "n", "k", "l", "q", "u", "P",
+                       "f", "f_v", "f_r2", "c1", "c2", "c3"):
+            assert symbol in names
+
+    def test_iter_rows_includes_derived_values(self):
+        rows = {name: value for name, _, value in PAPER_DEFAULTS.iter_rows()}
+        assert rows["b"] == 2500.0
+        assert rows["T"] == 40.0
+        assert rows["u"] == 25.0
+        assert rows["P"] == 0.5
+
+    def test_iter_rows_matches_definitions_order(self):
+        names = [name for name, _, _ in PAPER_DEFAULTS.iter_rows()]
+        assert names == [name for name, _ in parameter_definitions()]

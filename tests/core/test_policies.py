@@ -1,0 +1,99 @@
+"""Refresh-timing policies: async refresh and snapshots (Section 4)."""
+
+import pytest
+
+from repro.core import model1
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.policies import (
+    analyze_async_refresh,
+    analyze_snapshot,
+    async_refresh_curve,
+    snapshot_curve,
+)
+
+P = PAPER_DEFAULTS
+
+
+class TestAsyncRefresh:
+    def test_zero_extras_matches_deferred_shape(self):
+        """With no async slices, latency == total == the deferred cost
+        (same components, same formulas)."""
+        point = analyze_async_refresh(P, 0)
+        assert point.query_latency_ms == pytest.approx(point.total_cost_ms)
+        deferred = model1.total_deferred(P).total
+        assert point.total_cost_ms == pytest.approx(deferred, rel=0.02)
+
+    def test_latency_decreases_with_slices(self):
+        """The paper's claim: async refresh improves response time."""
+        curve = async_refresh_curve(P, max_extra=6)
+        latencies = [point.query_latency_ms for point in curve]
+        assert latencies == sorted(latencies, reverse=True)
+        assert latencies[-1] < latencies[0]
+
+    def test_total_work_increases_with_slices(self):
+        """...at the cost of total resources (Yao subadditivity)."""
+        curve = async_refresh_curve(P, max_extra=6)
+        totals = [point.total_cost_ms for point in curve]
+        assert totals == sorted(totals)
+
+    def test_background_share_grows(self):
+        curve = async_refresh_curve(P, max_extra=4)
+        background = [point.background_ms for point in curve]
+        assert background[0] == 0.0
+        assert background == sorted(background)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            analyze_async_refresh(P, -1)
+
+    def test_latency_floor_is_query_plus_upkeep(self):
+        """Even infinite async capacity cannot remove the view read,
+        screening or HR upkeep from the critical path."""
+        many = analyze_async_refresh(P, 500)
+        floor = (
+            model1.cost_query_view(P)
+            + model1.cost_hr_maintenance(P)
+            + model1.cost_screen(P)
+        )
+        assert many.query_latency_ms == pytest.approx(floor, rel=0.05)
+
+
+class TestSnapshot:
+    def test_period_one_is_fresh_and_expensive(self):
+        fresh = analyze_snapshot(P, 1)
+        assert fresh.is_fresh
+        assert fresh.cost_per_query_ms == pytest.approx(
+            model1.cost_query_view(P) + fresh.rebuild_cost_ms
+        )
+
+    def test_cost_amortizes_with_period(self):
+        curve = snapshot_curve(P, periods=(1, 2, 5, 10, 100))
+        costs = [snap.cost_per_query_ms for snap in curve]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_staleness_grows_with_period(self):
+        curve = snapshot_curve(P, periods=(1, 2, 5, 10, 100))
+        staleness = [snap.expected_stale_updates for snap in curve]
+        assert staleness[0] == 0.0
+        assert staleness == sorted(staleness)
+
+    def test_rebuild_cost_components(self):
+        snap = analyze_snapshot(P, 10)
+        expected = 30 * 250 + 10_000 + 30 * 125  # scan + screens + rewrite
+        assert snap.rebuild_cost_ms == pytest.approx(expected)
+
+    def test_long_period_approaches_pure_read_cost(self):
+        snap = analyze_snapshot(P, 100_000)
+        assert snap.cost_per_query_ms == pytest.approx(
+            model1.cost_query_view(P), rel=0.01
+        )
+
+    def test_stale_snapshot_cheaper_than_fresh_deferred(self):
+        """The snapshot's entire value proposition."""
+        snap = analyze_snapshot(P, 50)
+        deferred = model1.total_deferred(P).total
+        assert snap.cost_per_query_ms < deferred
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ValueError):
+            analyze_snapshot(P, 0)

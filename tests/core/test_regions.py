@@ -1,0 +1,155 @@
+"""Region maps (Figures 2-4, 6-7 machinery)."""
+
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.regions import RegionMap, compute_region_map, linspace, logspace
+from repro.core.strategies import Strategy, ViewModel
+
+P = PAPER_DEFAULTS
+M1_STRATS = (Strategy.DEFERRED, Strategy.IMMEDIATE, Strategy.QM_CLUSTERED)
+
+
+@pytest.fixture(scope="module")
+def small_map() -> RegionMap:
+    return compute_region_map(
+        P, ViewModel.SELECT_PROJECT,
+        p_values=linspace(0.05, 0.95, 10),
+        f_values=linspace(0.05, 1.0, 10),
+        strategies=M1_STRATS,
+    )
+
+
+class TestSpacings:
+    def test_linspace_endpoints(self):
+        values = linspace(0.0, 1.0, 5)
+        assert values[0] == 0.0 and values[-1] == 1.0
+        assert len(values) == 5
+
+    def test_linspace_single_point(self):
+        assert linspace(0.3, 0.9, 1) == (0.3,)
+
+    def test_logspace_endpoints(self):
+        values = logspace(0.01, 1.0, 5)
+        assert values[0] == pytest.approx(0.01)
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_logspace_ratio_constant(self):
+        values = logspace(1.0, 16.0, 5)
+        ratios = [values[i + 1] / values[i] for i in range(4)]
+        assert all(r == pytest.approx(2.0) for r in ratios)
+
+    def test_logspace_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            logspace(0.0, 1.0, 3)
+
+
+class TestRegionMap:
+    def test_grid_shape(self, small_map):
+        assert len(small_map.winners) == 10
+        assert all(len(row) == 10 for row in small_map.winners)
+
+    def test_area_fractions_sum_to_one(self, small_map):
+        total = sum(small_map.area_fraction(s) for s in small_map.strategies_present())
+        assert total == pytest.approx(1.0)
+
+    def test_winner_at_nearest_grid_point(self, small_map):
+        assert small_map.winner_at(0.05, 0.05) is small_map.winners[0][0]
+        assert small_map.winner_at(1.0, 0.95) is small_map.winners[-1][-1]
+
+    def test_render_contains_legend(self, small_map):
+        text = small_map.render()
+        assert "legend:" in text
+        assert "P:" in text
+
+    def test_boundary_p_found_where_transition_exists(self, small_map):
+        # At f=0.1 the winner flips from immediate to clustered as P grows.
+        boundary = small_map.boundary_p(0.1, Strategy.IMMEDIATE, Strategy.QM_CLUSTERED)
+        assert boundary is not None
+        assert 0.05 < boundary < 0.95
+
+    def test_boundary_p_none_when_absent(self, small_map):
+        assert small_map.boundary_p(0.1, Strategy.QM_CLUSTERED, Strategy.DEFERRED) is None
+
+
+class TestPaperRegions:
+    """Qualitative structure of Figures 2-4."""
+
+    def test_immediate_wins_low_p(self, small_map):
+        assert small_map.winner_at(0.1, 0.05) is Strategy.IMMEDIATE
+
+    def test_clustered_wins_high_p(self, small_map):
+        assert small_map.winner_at(0.1, 0.95) is Strategy.QM_CLUSTERED
+
+    def test_deferred_never_best_at_default_c3(self, small_map):
+        """Figure 2: 'deferred is never the most efficient algorithm'."""
+        assert small_map.area_fraction(Strategy.DEFERRED) == 0.0
+
+    def test_smaller_fv_grows_clustered_region(self):
+        """Figure 3 vs Figure 2: lowering f_v favors query modification."""
+        def clustered_area(f_v: float) -> float:
+            region = compute_region_map(
+                P.with_updates(f_v=f_v), ViewModel.SELECT_PROJECT,
+                p_values=linspace(0.05, 0.95, 8),
+                f_values=linspace(0.05, 1.0, 8),
+                strategies=M1_STRATS,
+            )
+            return region.area_fraction(Strategy.QM_CLUSTERED)
+
+        assert clustered_area(0.01) > clustered_area(0.1)
+
+    def test_raising_c3_creates_deferred_region(self):
+        """Figure 4's qualitative claim: costlier A/D upkeep makes
+        deferred best somewhere (at c3=4 under the printed formula; see
+        EXPERIMENTS.md)."""
+        region = compute_region_map(
+            P.with_updates(c3=4.0), ViewModel.SELECT_PROJECT,
+            p_values=linspace(0.02, 0.4, 39),
+            f_values=linspace(0.5, 1.0, 11),
+            strategies=M1_STRATS,
+        )
+        assert region.area_fraction(Strategy.DEFERRED) > 0.0
+
+    def test_model2_loopjoin_wins_right_edge(self):
+        region = compute_region_map(
+            P, ViewModel.JOIN,
+            p_values=linspace(0.05, 0.95, 8),
+            f_values=linspace(0.05, 1.0, 8),
+            strategies=(Strategy.DEFERRED, Strategy.IMMEDIATE, Strategy.QM_LOOPJOIN),
+        )
+        assert region.winner_at(0.05, 0.95) is Strategy.QM_LOOPJOIN
+        assert region.winner_at(0.05, 0.05) in (Strategy.IMMEDIATE, Strategy.DEFERRED)
+
+
+class TestCustomParameterization:
+    def test_parameterize_hook(self):
+        """A custom hook can sweep something other than (P, f)."""
+        region = compute_region_map(
+            P, ViewModel.SELECT_PROJECT,
+            p_values=(0.2, 0.8),
+            f_values=(0.01, 0.1),
+            strategies=M1_STRATS,
+            parameterize=lambda base, p, f: base.with_update_probability(p).with_updates(f_v=f),
+        )
+        assert len(region.winners) == 2
+
+
+class TestRegionAdvisorConsistency:
+    def test_map_is_pointwise_argmin_of_advisor(self):
+        """A region map must agree with recommend() at every cell."""
+        from repro.core.advisor import recommend
+        from repro.core.strategies import ViewModel
+
+        region = compute_region_map(
+            P, ViewModel.SELECT_PROJECT,
+            p_values=linspace(0.1, 0.9, 5),
+            f_values=linspace(0.1, 0.9, 5),
+            strategies=M1_STRATS,
+        )
+        for i, f in enumerate(region.f_values):
+            for j, p_value in enumerate(region.p_values):
+                params = P.with_update_probability(p_value).with_updates(f=f)
+                expected = recommend(
+                    params, ViewModel.SELECT_PROJECT, strategies=M1_STRATS
+                ).strategy
+                assert region.winners[i][j] is expected

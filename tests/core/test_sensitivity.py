@@ -1,0 +1,76 @@
+"""Sensitivity analysis for the conclusion's five key parameters."""
+
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.sensitivity import SENSITIVE_PARAMETERS, sensitivity, sweep
+from repro.core.strategies import Strategy, ViewModel
+
+P = PAPER_DEFAULTS
+
+
+class TestRegistry:
+    def test_covers_the_papers_five_knobs(self):
+        assert set(SENSITIVE_PARAMETERS) == {"P", "f", "f_v", "l", "c3"}
+
+    def test_unknown_parameter_raises(self):
+        with pytest.raises(KeyError):
+            sensitivity(P, ViewModel.SELECT_PROJECT, "bogus", 1.0)
+
+
+class TestElasticities:
+    def test_clustered_insensitive_to_p(self):
+        result = sensitivity(P, ViewModel.SELECT_PROJECT, "P", 0.5)
+        assert result.elasticities[Strategy.QM_CLUSTERED] == pytest.approx(0.0, abs=1e-9)
+
+    def test_materialized_costs_rise_with_p(self):
+        result = sensitivity(P, ViewModel.SELECT_PROJECT, "P", 0.5)
+        assert result.elasticities[Strategy.DEFERRED] > 0
+        assert result.elasticities[Strategy.IMMEDIATE] > 0
+
+    def test_every_model1_strategy_cost_rises_with_f(self):
+        result = sensitivity(P, ViewModel.SELECT_PROJECT, "f", 0.1)
+        for strategy, elasticity in result.elasticities.items():
+            if strategy is not Strategy.QM_SEQUENTIAL:  # f-independent
+                assert elasticity > 0, strategy
+
+    def test_sequential_insensitive_to_f(self):
+        result = sensitivity(P, ViewModel.SELECT_PROJECT, "f", 0.1)
+        assert result.elasticities[Strategy.QM_SEQUENTIAL] == pytest.approx(0.0, abs=1e-9)
+
+    def test_only_immediate_sensitive_to_c3(self):
+        result = sensitivity(P, ViewModel.SELECT_PROJECT, "c3", 1.0)
+        assert result.elasticities[Strategy.IMMEDIATE] > 0
+        assert result.elasticities[Strategy.DEFERRED] == pytest.approx(0.0, abs=1e-9)
+        assert result.elasticities[Strategy.QM_CLUSTERED] == pytest.approx(0.0, abs=1e-9)
+
+    def test_most_sensitive_strategy(self):
+        result = sensitivity(P, ViewModel.SELECT_PROJECT, "c3", 1.0)
+        assert result.most_sensitive_strategy is Strategy.IMMEDIATE
+
+
+class TestWinnerFlips:
+    def test_flip_detected_over_p(self):
+        """Raising P from a low base flips Model 2's winner to loopjoin."""
+        result = sensitivity(
+            P, ViewModel.JOIN, "P", 0.75, relative_step=0.3
+        )
+        assert result.flips_winner
+        assert result.winner_after is Strategy.QM_LOOPJOIN
+
+    def test_no_flip_for_tiny_step(self):
+        result = sensitivity(P, ViewModel.SELECT_PROJECT, "f_v", 0.1,
+                             relative_step=0.01)
+        assert not result.flips_winner
+
+
+class TestSweep:
+    def test_sweep_returns_winner_per_value(self):
+        rows = sweep(P, ViewModel.JOIN, "P", (0.05, 0.5, 0.95))
+        assert len(rows) == 3
+        assert rows[0][1] in (Strategy.IMMEDIATE, Strategy.DEFERRED)
+        assert rows[-1][1] is Strategy.QM_LOOPJOIN
+
+    def test_sweep_costs_positive(self):
+        rows = sweep(P, ViewModel.AGGREGATE, "l", (1.0, 10.0, 100.0))
+        assert all(cost > 0 for _, _, cost in rows)

@@ -1,0 +1,42 @@
+"""Strategy and ViewModel enums."""
+
+from repro.core.strategies import QUERY_MODIFICATION_VARIANTS, Strategy, ViewModel
+
+
+class TestStrategy:
+    def test_query_modification_grouping(self):
+        assert Strategy.QM_CLUSTERED.is_query_modification()
+        assert Strategy.QM_LOOPJOIN.is_query_modification()
+        assert not Strategy.DEFERRED.is_query_modification()
+        assert not Strategy.IMMEDIATE.is_query_modification()
+
+    def test_materialized_is_complement(self):
+        for s in Strategy:
+            assert s.is_materialized() != s.is_query_modification()
+
+    def test_variant_set_complete(self):
+        assert QUERY_MODIFICATION_VARIANTS == {
+            Strategy.QM_CLUSTERED,
+            Strategy.QM_UNCLUSTERED,
+            Strategy.QM_SEQUENTIAL,
+            Strategy.QM_LOOPJOIN,
+        }
+
+    def test_labels_unique(self):
+        labels = [s.label for s in Strategy]
+        assert len(labels) == len(set(labels))
+
+    def test_value_round_trip(self):
+        for s in Strategy:
+            assert Strategy(s.value) is s
+
+
+class TestViewModel:
+    def test_numbering_matches_paper(self):
+        assert int(ViewModel.SELECT_PROJECT) == 1
+        assert int(ViewModel.JOIN) == 2
+        assert int(ViewModel.AGGREGATE) == 3
+
+    def test_descriptions_present(self):
+        for model in ViewModel:
+            assert model.description

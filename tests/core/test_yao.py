@@ -1,0 +1,160 @@
+"""The Yao function: exact form, Cardenas approximation, subadditivity."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.yao import (
+    refresh_batching_savings,
+    triangle_inequality_holds,
+    yao,
+    yao_cardenas,
+    yao_exact,
+    yao_upper_bound,
+)
+
+
+class TestExact:
+    def test_access_nothing(self):
+        assert yao_exact(100, 10, 0) == 0.0
+
+    def test_access_everything(self):
+        assert yao_exact(100, 10, 100) == 10.0
+
+    def test_access_more_than_leaves_one_per_block(self):
+        # k > n - n/m guarantees every block touched.
+        assert yao_exact(100, 10, 95) == 10.0
+
+    def test_single_record(self):
+        assert yao_exact(100, 10, 1) == pytest.approx(1.0)
+
+    def test_known_value_two_records(self):
+        # P(block untouched) = C(90,2)/C(100,2); y = 10 * (1 - that)
+        expected = 10 * (1 - (90 * 89) / (100 * 99))
+        assert yao_exact(100, 10, 2) == pytest.approx(expected)
+
+    def test_rejects_uneven_packing(self):
+        with pytest.raises(ValueError):
+            yao_exact(100, 7, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            yao_exact(-1, 1, 1)
+
+    def test_empty_file(self):
+        assert yao_exact(0, 0, 0) == 0.0
+
+
+class TestCardenas:
+    def test_matches_formula(self):
+        assert yao_cardenas(400, 10, 5) == pytest.approx(10 * (1 - 0.9**5))
+
+    def test_zero_inputs_give_zero(self):
+        assert yao_cardenas(0, 10, 5) == 0.0
+        assert yao_cardenas(400, 0, 5) == 0.0
+        assert yao_cardenas(400, 10, 0) == 0.0
+
+    def test_fractional_m_clamped_to_one(self):
+        assert yao_cardenas(10, 0.25, 3) == 1.0
+
+    def test_k_capped_at_n(self):
+        assert yao_cardenas(10, 2, 50) == yao_cardenas(10, 2, 10)
+
+    def test_single_block(self):
+        assert yao_cardenas(40, 1, 3) == 1.0
+
+    def test_close_to_exact_for_large_blocking_factor(self):
+        # Appendix B: approximation is very close when n/m > 10.
+        exact = yao_exact(100_000, 2_500, 500)
+        approx = yao_cardenas(100_000, 2_500, 500)
+        assert approx == pytest.approx(exact, rel=0.01)
+
+    @given(
+        m=st.integers(min_value=1, max_value=500),
+        blocking=st.integers(min_value=1, max_value=60),
+        k=st.floats(min_value=0, max_value=1e5, allow_nan=False),
+    )
+    def test_bounds_hold(self, m, blocking, k):
+        n = m * blocking
+        value = yao_cardenas(n, m, k)
+        assert 0.0 <= value <= yao_upper_bound(m, min(k, n)) + 1e-9
+
+    @given(
+        m=st.integers(min_value=2, max_value=200),
+        blocking=st.integers(min_value=2, max_value=40),
+        k1=st.integers(min_value=0, max_value=2000),
+        k2=st.integers(min_value=1, max_value=2000),
+    )
+    def test_monotone_in_k(self, m, blocking, k1, k2):
+        n = m * blocking
+        assert yao_cardenas(n, m, k1) <= yao_cardenas(n, m, k1 + k2) + 1e-9
+
+
+class TestDispatch:
+    def test_auto_uses_exact_when_integral(self):
+        assert yao(100, 10, 5) == pytest.approx(yao_exact(100, 10, 5))
+
+    def test_auto_falls_back_for_fractional(self):
+        assert yao(100.5, 10, 5) == pytest.approx(yao_cardenas(100.5, 10, 5))
+
+    def test_auto_falls_back_for_uneven_packing(self):
+        assert yao(100, 7, 3) == pytest.approx(yao_cardenas(100, 7, 3))
+
+    def test_explicit_cardenas(self):
+        assert yao(100, 10, 5, method="cardenas") == yao_cardenas(100, 10, 5)
+
+    def test_explicit_exact(self):
+        assert yao(100, 10, 5, method="exact") == yao_exact(100, 10, 5)
+
+
+class TestTriangleInequality:
+    """Section 4's subadditivity claim — the case for deferring refresh."""
+
+    @given(
+        m=st.integers(min_value=1, max_value=300),
+        blocking=st.integers(min_value=1, max_value=50),
+        a=st.floats(min_value=0.01, max_value=5_000),
+        b=st.floats(min_value=0.01, max_value=5_000),
+    )
+    @settings(max_examples=200)
+    def test_holds_for_cardenas(self, m, blocking, a, b):
+        n = m * blocking
+        assert triangle_inequality_holds(n, m, a, b)
+
+    @given(
+        m=st.integers(min_value=1, max_value=100),
+        blocking=st.integers(min_value=1, max_value=30),
+        a=st.integers(min_value=0, max_value=1000),
+        b=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=200)
+    def test_holds_for_exact(self, m, blocking, a, b):
+        n = m * blocking
+        assert triangle_inequality_holds(n, m, a, b, method="exact")
+
+    def test_paper_view_geometry(self):
+        # Model 1 view: 10,000 tuples on 125 pages.
+        assert triangle_inequality_holds(10_000, 125, 5, 45)
+
+
+class TestBatchingSavings:
+    @given(
+        splits=st.integers(min_value=1, max_value=20),
+        batch=st.floats(min_value=0.1, max_value=10_000),
+    )
+    @settings(max_examples=150)
+    def test_savings_never_negative(self, splits, batch):
+        assert refresh_batching_savings(10_000, 125, batch, splits) >= -1e-9
+
+    def test_no_split_no_savings(self):
+        assert refresh_batching_savings(10_000, 125, 100, 1) == pytest.approx(0.0)
+
+    def test_savings_grow_with_splits(self):
+        values = [refresh_batching_savings(10_000, 125, 500, j) for j in (1, 2, 4, 8)]
+        assert values == sorted(values)
+
+    def test_rejects_zero_splits(self):
+        with pytest.raises(ValueError):
+            refresh_batching_savings(100, 10, 10, 0)

@@ -1,0 +1,170 @@
+"""Query plans: result equivalence and cost characteristics."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.engine.executor import (
+    SecondaryIndex,
+    clustered_scan,
+    nested_loop_join,
+    sequential_scan,
+    unclustered_scan,
+)
+from repro.engine.relations import HashedRelation
+from repro.hr.differential import ClusteredRelation
+from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+from repro.storage.tuples import Schema
+from repro.views.definition import JoinView
+from repro.views.predicate import IntervalPredicate, TruePredicate
+
+R = Schema("r", ("id", "a", "v"), "id", tuple_bytes=100)
+R1 = Schema("r1", ("id", "a", "j"), "id", tuple_bytes=100)
+R2 = Schema("r2", ("j", "c"), "j", tuple_bytes=100)
+
+
+def make_relation(n=400, clustered_on="a", pool_pages=256, seed=0):
+    meter = CostMeter()
+    pool = BufferPool(SimulatedDisk(meter), capacity=pool_pages)
+    relation = ClusteredRelation(R, pool, clustered_on)
+    rng = random.Random(seed)
+    relation.bulk_load([
+        R.new_record(id=i, a=rng.randrange(100), v=i) for i in range(n)
+    ])
+    return relation, meter, pool
+
+
+PREDICATE = IntervalPredicate("a", 10, 19)
+
+
+class TestPlanEquivalence:
+    def test_all_single_relation_plans_agree(self):
+        clustered_rel, m1, _ = make_relation(clustered_on="a")
+        unclustered_rel, m2, _ = make_relation(clustered_on="id")
+        index = SecondaryIndex(unclustered_rel, "a")
+
+        via_clustered = clustered_scan(clustered_rel, 10, 19, PREDICATE, m1)
+        via_unclustered = unclustered_scan(unclustered_rel, index, 10, 19, PREDICATE, m2)
+        via_sequential = [r for r in sequential_scan(clustered_rel, PREDICATE, m1)]
+
+        key = lambda rs: Counter(r.key for r in rs)
+        assert key(via_clustered) == key(via_unclustered) == key(via_sequential)
+
+    def test_clustered_scan_screens_every_range_tuple(self):
+        relation, meter, pool = make_relation()
+        pool.invalidate_all()
+        meter.reset()
+        result = clustered_scan(relation, 10, 19, PREDICATE, meter)
+        assert meter.screens == len(result)  # predicate == range here
+
+    def test_sequential_scan_screens_all_tuples(self):
+        relation, meter, pool = make_relation(n=200)
+        pool.invalidate_all()
+        meter.reset()
+        sequential_scan(relation, PREDICATE, meter)
+        assert meter.screens == 200
+
+
+class TestIOCosts:
+    def test_clustered_reads_fraction_of_pages(self):
+        relation, meter, pool = make_relation(n=4000)
+        pool.invalidate_all()
+        meter.reset()
+        clustered_scan(relation, 0, 9, PREDICATE, meter)  # 10% of domain
+        total_leaves = relation.tree.stats().leaf_pages
+        assert meter.page_reads < 0.2 * total_leaves + relation.tree.height
+
+    def test_sequential_reads_all_leaves(self):
+        relation, meter, pool = make_relation(n=400)
+        pool.invalidate_all()
+        meter.reset()
+        sequential_scan(relation, PREDICATE, meter)
+        assert meter.page_reads >= relation.tree.stats().leaf_pages
+
+    def test_unclustered_costs_more_than_clustered(self):
+        clustered_rel, m1, p1 = make_relation(n=4000, clustered_on="a")
+        unclustered_rel, m2, p2 = make_relation(n=4000, clustered_on="id")
+        index = SecondaryIndex(unclustered_rel, "a")
+        p1.invalidate_all(); m1.reset()
+        clustered_scan(clustered_rel, 10, 19, PREDICATE, m1)
+        p2.invalidate_all(); m2.reset()
+        unclustered_scan(unclustered_rel, index, 10, 19, PREDICATE, m2)
+        assert m2.page_reads > m1.page_reads
+
+
+class TestSecondaryIndex:
+    def test_rejects_unknown_field(self):
+        relation, _, _ = make_relation(n=10)
+        with pytest.raises(ValueError):
+            SecondaryIndex(relation, "bogus")
+
+    def test_tracks_inserts_and_deletes(self):
+        relation, _, _ = make_relation(n=10)
+        index = SecondaryIndex(relation, "a")
+        record = R.new_record(id=999, a=55, v=0)
+        index.on_insert(record)
+        assert 999 in index.keys_in_range(55, 55)
+        index.on_delete(record)
+        assert 999 not in index.keys_in_range(55, 55)
+
+    def test_on_update_moves_entry(self):
+        relation, _, _ = make_relation(n=10)
+        index = SecondaryIndex(relation, "a")
+        old = R.new_record(id=999, a=55, v=0)
+        new = R.new_record(id=999, a=66, v=0)
+        index.on_insert(old)
+        index.on_update(old, new)
+        assert 999 not in index.keys_in_range(55, 55)
+        assert 999 in index.keys_in_range(66, 66)
+
+    def test_range_lookup_sorted_domain(self):
+        relation, _, _ = make_relation(n=100)
+        index = SecondaryIndex(relation, "a")
+        keys = index.keys_in_range(0, 9)
+        snapshot = relation.records_snapshot()
+        expected = sorted(r.key for r in snapshot if 0 <= r["a"] <= 9)
+        assert sorted(keys) == expected
+
+
+class TestNestedLoopJoin:
+    def _setup(self, n=300, inner=20):
+        meter = CostMeter()
+        pool = BufferPool(SimulatedDisk(meter), capacity=256)
+        outer = ClusteredRelation(R1, pool, "a")
+        rng = random.Random(7)
+        outer.bulk_load([
+            R1.new_record(id=i, a=rng.randrange(100), j=rng.randrange(inner))
+            for i in range(n)
+        ])
+        inner_rel = HashedRelation(R2, pool, "j")
+        inner_rel.bulk_load([R2.new_record(j=j, c=j * 2) for j in range(inner)])
+        view = JoinView("v", "r1", "r2", "j", IntervalPredicate("a", 0, 49),
+                        ("id", "a"), ("j", "c"), "a")
+        return view, outer, inner_rel, meter, pool
+
+    def test_matches_in_memory_evaluation(self):
+        view, outer, inner_rel, meter, _ = self._setup()
+        result = nested_loop_join(view, outer, inner_rel.file, 0, 49, meter)
+        expected = view.evaluate(outer.records_snapshot(), inner_rel.records_snapshot())
+        assert Counter(result) == Counter(expected)
+
+    def test_respects_scan_range(self):
+        view, outer, inner_rel, meter, _ = self._setup()
+        result = nested_loop_join(view, outer, inner_rel.file, 0, 9, meter)
+        assert all(vt["a"] <= 9 for vt in result)
+
+    def test_inner_pages_read_at_most_once(self):
+        view, outer, inner_rel, meter, pool = self._setup()
+        pool.invalidate_all()
+        meter.reset()
+        nested_loop_join(view, outer, inner_rel.file, 0, 99, meter)
+        inner_pages = inner_rel.file.page_count()
+        outer_leaves = outer.tree.stats().leaf_pages
+        # reads <= outer pages + descent + each inner page once
+        assert meter.page_reads <= outer_leaves + outer.tree.height + inner_pages
+
+    def test_unpins_when_done(self):
+        view, outer, inner_rel, meter, pool = self._setup()
+        nested_loop_join(view, outer, inner_rel.file, 0, 99, meter)
+        assert not pool._pinned

@@ -1,0 +1,66 @@
+"""Hash-clustered relation wrapper (R2)."""
+
+import pytest
+
+from repro.engine.relations import HashedRelation
+from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+from repro.storage.tuples import Schema
+
+R2 = Schema("r2", ("j", "c"), "j", tuple_bytes=100)
+
+
+def make(n=30, buckets=8):
+    meter = CostMeter()
+    pool = BufferPool(SimulatedDisk(meter), capacity=64)
+    relation = HashedRelation(R2, pool, "j", buckets=buckets)
+    relation.bulk_load([R2.new_record(j=j, c=j * 3) for j in range(n)])
+    return relation, meter, pool
+
+
+class TestHashedRelation:
+    def test_rejects_unknown_hash_field(self):
+        pool = BufferPool(SimulatedDisk(CostMeter()), 8)
+        with pytest.raises(ValueError):
+            HashedRelation(R2, pool, "bogus")
+
+    def test_probe_finds_record(self):
+        relation, _, _ = make()
+        assert relation.probe(5) == [R2.new_record(j=5, c=15)]
+
+    def test_probe_missing_empty(self):
+        relation, _, _ = make()
+        assert relation.probe(999) == []
+
+    def test_probe_costs_one_chain_read_cold(self):
+        relation, meter, pool = make()
+        pool.invalidate_all()
+        meter.reset()
+        relation.probe(5)
+        assert meter.page_reads == 1
+
+    def test_probe_pinned_stays_resident(self):
+        relation, meter, pool = make()
+        pool.invalidate_all()
+        meter.reset()
+        relation.probe_pinned(5)
+        first = meter.page_reads
+        relation.probe_pinned(5)
+        assert meter.page_reads == first
+        pool.unpin_all()
+
+    def test_insert_and_len(self):
+        relation, _, _ = make(n=5)
+        relation.insert(R2.new_record(j=100, c=1))
+        assert len(relation) == 6
+        assert relation.probe(100)
+
+    def test_scan_all(self):
+        relation, _, _ = make(n=12)
+        assert len(list(relation.scan_all())) == 12
+
+    def test_snapshot_no_io(self):
+        relation, meter, _ = make()
+        meter.reset()
+        snapshot = relation.records_snapshot()
+        assert len(snapshot) == 30
+        assert meter.page_ios == 0

@@ -1,0 +1,41 @@
+"""Transactions and operations."""
+
+import pytest
+
+from repro.engine.transaction import Delete, Insert, Transaction, Update
+from repro.storage.tuples import Schema
+
+SCHEMA = Schema("r", ("id", "a"), "id")
+
+
+class TestOperations:
+    def test_insert_written_fields(self):
+        op = Insert(SCHEMA.new_record(id=1, a=2))
+        assert op.written_fields() == {"id", "a"}
+
+    def test_delete_writes_wildcard(self):
+        assert Delete(5).written_fields() == {"*"}
+
+    def test_update_written_fields(self):
+        assert Update(5, {"a": 1}).written_fields() == {"a"}
+
+    def test_update_requires_changes(self):
+        with pytest.raises(ValueError):
+            Update(5, {})
+
+
+class TestTransaction:
+    def test_requires_operations(self):
+        with pytest.raises(ValueError):
+            Transaction.of("r", [])
+
+    def test_written_fields_union(self):
+        txn = Transaction.of("r", [
+            Update(1, {"a": 2}),
+            Insert(SCHEMA.new_record(id=9, a=0)),
+        ])
+        assert txn.written_fields() == {"a", "id"}
+
+    def test_len(self):
+        txn = Transaction.of("r", [Update(1, {"a": 2}), Delete(2)])
+        assert len(txn) == 2

@@ -1,0 +1,51 @@
+"""Ablations: AD-file design and refresh timing."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    ad_file_ablation,
+    refresh_period_ablation,
+    refresh_period_simulation,
+)
+
+
+class TestADFileAblation:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return ad_file_ablation(updates=120)
+
+    def test_combined_cheaper_than_separate(self, table):
+        combined, separate = table.rows
+        assert combined[3] < separate[3]
+
+    def test_io_counts_near_paper_prediction(self, table):
+        """Section 2.2.2: 3 I/Os vs 5 I/Os per key-preserving update
+        (cold buckets make the measured averages slightly lower)."""
+        combined, separate = table.rows
+        assert 2.0 <= combined[3] <= 3.5
+        assert 3.5 <= separate[3] <= 5.5
+
+
+class TestRefreshPeriodAnalytic:
+    def test_pages_monotone_in_refresh_count(self):
+        table = refresh_period_ablation(splits=(1, 2, 4, 8))
+        pages = [row[2] for row in table.rows]
+        assert pages == sorted(pages)
+
+    def test_single_refresh_is_minimum(self):
+        table = refresh_period_ablation(splits=(1, 16))
+        assert table.rows[0][2] <= table.rows[1][2]
+
+
+class TestRefreshPeriodSimulated:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return refresh_period_simulation(periods=(1, 2))
+
+    def test_on_demand_cheapest(self, table):
+        on_demand, eager = table.rows
+        assert on_demand[2] < eager[2]
+
+    def test_eager_policy_refreshes_more(self, table):
+        on_demand, eager = table.rows
+        assert eager[1] > on_demand[1]

@@ -1,0 +1,131 @@
+"""Extension experiments: async refresh, snapshots, hybrid routing."""
+
+import pytest
+
+from repro.experiments import extensions
+
+
+class TestAsyncRefreshFigure:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return extensions.async_refresh_figure(max_extra=6)
+
+    def test_latency_monotone_down(self, fig):
+        latency = fig.series("query latency")
+        assert list(latency) == sorted(latency, reverse=True)
+
+    def test_total_monotone_up(self, fig):
+        total = fig.series("total work")
+        assert list(total) == sorted(total)
+
+    def test_curves_meet_at_zero_slices(self, fig):
+        assert fig.rows[0]["query latency"] == pytest.approx(
+            fig.rows[0]["total work"]
+        )
+
+
+class TestSnapshotFrontier:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return extensions.snapshot_frontier_figure()
+
+    def test_snapshot_cost_falls_with_period(self, fig):
+        series = fig.series("snapshot")
+        assert list(series) == sorted(series, reverse=True)
+
+    def test_long_period_undercuts_fresh_strategies(self, fig):
+        last = fig.rows[-1]
+        assert last["snapshot"] < last["deferred (fresh)"]
+        assert last["snapshot"] < last["immediate (fresh)"]
+
+    def test_period_one_more_expensive_than_fresh(self, fig):
+        first = fig.rows[0]
+        assert first["snapshot"] > first["immediate (fresh)"]
+
+
+class TestSnapshotValidation:
+    def test_engine_tracks_analytic_closely(self):
+        table = extensions.snapshot_validation_table(periods=(1, 4))
+        for period, measured, analytic, ratio in table.rows:
+            assert 0.7 <= ratio <= 1.4, (period, ratio)
+
+    def test_amortization_measured(self):
+        table = extensions.snapshot_validation_table(periods=(1, 4))
+        assert table.rows[1][1] < table.rows[0][1]
+
+
+class TestHybridRouting:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return extensions.hybrid_routing_table()
+
+    def test_view_key_query_routes_to_view(self, table):
+        assert table.rows[0][1] == "view"
+
+    def test_narrow_key_query_routes_to_base(self, table):
+        assert table.rows[1][1] == "base"
+
+    def test_both_paths_return_rows(self, table):
+        assert all(row[2] > 0 for row in table.rows)
+
+
+class TestRunnerRegistration:
+    def test_extension_ids_registered(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        for exp_id in ("ext-async", "ext-snapshot", "ext-hybrid"):
+            assert exp_id in EXPERIMENTS
+
+
+class TestFiveMechanisms:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return extensions.five_mechanisms_table()
+
+    def test_all_five_present(self, table):
+        assert len(table.rows) == 5
+        labels = " ".join(row[0] for row in table.rows)
+        for citation in ("Ston75", "Blak86", "Adib80", "Bune79", "this paper"):
+            assert citation in labels
+
+    def test_freshness_column(self, table):
+        stale = [row for row in table.rows if row[2] != "always fresh"]
+        assert len(stale) == 1
+        assert "Adib80" in stale[0][0]
+
+    def test_incremental_beats_full_recompute(self, table):
+        by_label = {row[0]: row[1] for row in table.rows}
+        immediate = next(v for k, v in by_label.items() if "Blak86" in k)
+        recompute = next(v for k, v in by_label.items() if "Bune79" in k)
+        assert immediate < recompute
+
+    def test_overheads_positive(self, table):
+        assert all(row[1] >= 0 for row in table.rows)
+
+
+class TestBloomAblation:
+    def test_filter_keeps_reads_at_one_io(self):
+        from repro.experiments.ablation import bloom_filter_ablation
+
+        table = bloom_filter_ablation(reads=150)
+        with_filter, without = table.rows
+        assert with_filter[3] <= 1.1
+        assert without[3] > with_filter[3]
+
+
+class TestUpdateSkew:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return extensions.update_skew_table()
+
+    def test_four_rows(self, table):
+        assert len(table.rows) == 4
+
+    def test_deferred_pays_for_locality(self, table):
+        costs = {(row[0], row[1]): row[2] for row in table.rows}
+        assert costs[("hot", "deferred")] > costs[("uniform", "deferred")]
+
+    def test_immediate_roughly_unaffected(self, table):
+        costs = {(row[0], row[1]): row[2] for row in table.rows}
+        ratio = costs[("hot", "immediate")] / costs[("uniform", "immediate")]
+        assert 0.8 <= ratio <= 1.2

@@ -1,0 +1,165 @@
+"""Figure regeneration: shape assertions for every paper figure."""
+
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.regions import RegionMap
+from repro.core.strategies import Strategy
+from repro.experiments import figures
+from repro.experiments.series import FigureData
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return figures.figure1()
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figures.figure5()
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return figures.figure8()
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return figures.figure9()
+
+
+class TestFigure1:
+    def test_series_present(self, fig1):
+        assert set(fig1.series_labels) == {
+            "deferred", "immediate", "clustered", "unclustered",
+        }
+
+    def test_clustered_flat_in_p(self, fig1):
+        series = fig1.series("clustered")
+        assert max(series) == pytest.approx(min(series))
+
+    def test_materialized_costs_increase_with_p(self, fig1):
+        for label in ("deferred", "immediate"):
+            series = fig1.series(label)
+            assert list(series) == sorted(series)
+
+    def test_deferred_and_immediate_close_at_low_p(self, fig1):
+        d = fig1.series("deferred")[0]
+        i = fig1.series("immediate")[0]
+        assert abs(d - i) / i < 0.05
+
+    def test_clustered_never_worse_than_unclustered(self, fig1):
+        for c, u in zip(fig1.series("clustered"), fig1.series("unclustered")):
+            assert c < u
+
+
+class TestRegionFigures:
+    def test_figure2_no_deferred_region(self):
+        region = figures.figure2(resolution=12)
+        assert isinstance(region, RegionMap)
+        assert region.area_fraction(Strategy.DEFERRED) == 0.0
+        assert region.area_fraction(Strategy.IMMEDIATE) > 0.0
+        assert region.area_fraction(Strategy.QM_CLUSTERED) > 0.0
+
+    def test_figure3_clustered_grows(self):
+        fig2 = figures.figure2(resolution=12)
+        fig3 = figures.figure3(resolution=12)
+        assert (fig3.area_fraction(Strategy.QM_CLUSTERED)
+                > fig2.area_fraction(Strategy.QM_CLUSTERED))
+
+    def test_figure4_c3_sweep_grows_deferred(self):
+        sweep = figures.figure4_c3_sweep(c3_values=(1.0, 4.0, 8.0), resolution=15)
+        deferred_areas = sweep.series("deferred")
+        assert deferred_areas[0] == 0.0
+        assert deferred_areas[-1] > 0.0
+
+    def test_figure6_immediate_and_loopjoin_split(self):
+        region = figures.figure6(resolution=12)
+        assert region.area_fraction(Strategy.IMMEDIATE) > 0.2
+        assert region.area_fraction(Strategy.QM_LOOPJOIN) > 0.1
+
+    def test_figure7_loopjoin_grows_with_small_queries(self):
+        fig6 = figures.figure6(resolution=12)
+        fig7 = figures.figure7(resolution=12)
+        assert (fig7.area_fraction(Strategy.QM_LOOPJOIN)
+                > fig6.area_fraction(Strategy.QM_LOOPJOIN))
+
+
+class TestFigure5:
+    def test_materialized_beats_loopjoin_at_low_p(self, fig5):
+        assert fig5.series("immediate")[0] < fig5.series("loopjoin")[0]
+
+    def test_loopjoin_wins_at_high_p(self, fig5):
+        assert fig5.series("loopjoin")[-1] < fig5.series("immediate")[-1]
+        assert fig5.series("loopjoin")[-1] < fig5.series("deferred")[-1]
+
+    def test_loopjoin_flat(self, fig5):
+        series = fig5.series("loopjoin")
+        assert max(series) == pytest.approx(min(series))
+
+    def test_crossover_in_upper_half(self, fig5):
+        crossings = [
+            x for x, row in zip(fig5.x_values, fig5.rows)
+            if row["loopjoin"] < row["immediate"]
+        ]
+        assert crossings and min(crossings) > 0.5
+
+
+class TestFigure8:
+    def test_maintained_aggregates_tiny_for_small_l(self, fig8):
+        first = fig8.rows[0]
+        assert first["immediate"] < 0.01 * first["clustered"]
+        assert first["deferred"] < 0.02 * first["clustered"]
+
+    def test_recompute_flat_in_l(self, fig8):
+        series = fig8.series("clustered")
+        assert max(series) == pytest.approx(min(series))
+
+    def test_maintenance_costs_grow_with_l(self, fig8):
+        series = fig8.series("immediate")
+        assert list(series) == sorted(series)
+
+
+class TestFigure9:
+    def test_curves_present_for_each_f(self, fig9):
+        assert set(fig9.series_labels) == {
+            "f=0.05", "f=0.1", "f=0.25", "f=0.5", "f=1",
+        }
+
+    def test_curves_decline_with_l(self, fig9):
+        for label in fig9.series_labels:
+            series = [p for p in fig9.series(label) if p is not None]
+            assert series == sorted(series, reverse=True)
+
+    def test_larger_f_gives_higher_curve(self, fig9):
+        at_large_l = fig9.rows[-1]
+        assert at_large_l["f=1"] > at_large_l["f=0.05"]
+
+    def test_probabilities_in_unit_interval(self, fig9):
+        for row in fig9.rows:
+            for value in row.values():
+                if value is not None:
+                    assert 0.0 < value < 1.0
+
+
+class TestFigureDataPlumbing:
+    def test_mismatched_rows_rejected(self):
+        with pytest.raises(ValueError):
+            FigureData("x", "t", "x", "y", (1.0, 2.0), ({"a": 1.0},))
+
+    def test_csv_round_trip_columns(self, fig1):
+        csv_text = fig1.to_csv()
+        header = csv_text.splitlines()[0]
+        assert header.startswith("P,")
+        assert "deferred" in header
+        assert len(csv_text.splitlines()) == len(fig1.x_values) + 1
+
+    def test_render_produces_chart(self, fig1):
+        chart = fig1.render(width=40, height=10)
+        assert "legend:" in chart
+        assert "P:" in chart
+
+    def test_render_log_scale(self, fig8):
+        chart = fig8.render(log_y=True)
+        assert "(log)" in chart

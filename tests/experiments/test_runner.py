@@ -1,0 +1,107 @@
+"""Experiment CLI runner and ASCII report rendering."""
+
+import pytest
+
+from repro.core.regions import RegionMap
+from repro.experiments.report import render_chart
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+from repro.experiments.series import FigureData
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_id(self):
+        for exp_id in ("params", "fig1", "fig2", "fig3", "fig4", "fig5",
+                       "fig6", "fig7", "fig8", "fig9", "emp-dept", "yao",
+                       "validate", "ablation", "sensitivity"):
+            assert exp_id in EXPERIMENTS
+
+    def test_run_experiment_returns_artifacts(self):
+        artifacts = run_experiment("fig1")
+        assert artifacts
+        assert isinstance(artifacts[0], FigureData)
+
+    def test_region_experiments_return_maps(self):
+        artifacts = run_experiment("fig2")
+        assert isinstance(artifacts[0], RegionMap)
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestCLI:
+    def test_single_experiment(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+
+    def test_multiple_experiments(self, capsys):
+        assert main(["fig8", "yao"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "Yao" in out
+
+    def test_unknown_experiment_exits_nonzero(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_csv_output(self, tmp_path, capsys):
+        assert main(["fig1", "--csv", str(tmp_path)]) == 0
+        csv_file = tmp_path / "fig1.csv"
+        assert csv_file.exists()
+        assert csv_file.read_text().startswith("P,")
+
+    def test_csv_output_for_region_map(self, tmp_path, capsys):
+        assert main(["fig2", "--csv", str(tmp_path)]) == 0
+        text = (tmp_path / "fig2.csv").read_text()
+        assert text.startswith("f,P,winner")
+
+    def test_log_y_flag(self, capsys):
+        assert main(["fig8", "--log-y"]) == 0
+        assert "(log)" in capsys.readouterr().out
+
+
+class TestRenderChart:
+    def test_empty_series_handled(self):
+        figure = FigureData("x", "Empty", "x", "y", (1.0,), ({"s": None},))
+        assert "(no data)" in render_chart(figure)
+
+    def test_log_axis_skips_non_positive(self):
+        figure = FigureData(
+            "x", "Mixed", "x", "y", (1.0, 2.0),
+            ({"s": 0.0}, {"s": 10.0}),
+        )
+        chart = render_chart(figure, log_y=True)
+        assert "Mixed" in chart
+
+    def test_markers_distinct_per_series(self):
+        figure = FigureData(
+            "x", "Two", "x", "y", (1.0, 2.0),
+            ({"a": 1.0, "b": 5.0}, {"a": 2.0, "b": 6.0}),
+        )
+        chart = render_chart(figure, width=20, height=8)
+        assert "d=a" in chart and "i=b" in chart
+
+
+class TestMarkdownReport:
+    def test_markdown_report_written(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        assert main(["fig8", "yao", "--markdown", str(report)]) == 0
+        text = report.read_text()
+        assert text.startswith("# Reproduction report")
+        assert "Figure 8" in text
+        assert "| l (tuples per transaction) |" in text
+
+    def test_region_maps_fenced(self, tmp_path, capsys):
+        report = tmp_path / "report.md"
+        assert main(["fig2", "--markdown", str(report)]) == 0
+        text = report.read_text()
+        assert "```" in text
+        assert "legend:" in text
+
+    def test_figure_markdown_round_trip(self):
+        from repro.experiments.figures import figure8
+
+        md = figure8().to_markdown()
+        assert md.startswith("### Figure 8")
+        assert "| 25 |" in md

@@ -1,0 +1,82 @@
+"""Engine-measured counterparts of Figures 1, 5 and 8."""
+
+import pytest
+
+from repro.experiments import sim_figures
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return sim_figures.simulated_figure1()
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return sim_figures.simulated_figure5()
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return sim_figures.simulated_figure8()
+
+
+class TestSimulatedFigure1:
+    def test_materialized_costs_grow_with_p(self, fig1):
+        for label in ("deferred", "immediate"):
+            series = fig1.series(label)
+            assert list(series) == sorted(series)
+
+    def test_clustered_roughly_flat(self, fig1):
+        series = fig1.series("clustered")
+        assert max(series) < 1.25 * min(series)
+
+    def test_clustered_wins_everywhere_on_sweep(self, fig1):
+        for row in fig1.rows:
+            assert row["clustered"] == min(row.values())
+
+    def test_unclustered_always_worst(self, fig1):
+        for row in fig1.rows:
+            assert row["unclustered"] == max(row.values())
+
+
+class TestSimulatedFigure5:
+    def test_materialization_wins_low_p(self, fig5):
+        low = fig5.rows[0]
+        assert low["immediate"] < low["loopjoin"]
+        assert low["deferred"] < low["loopjoin"]
+
+    def test_loopjoin_wins_high_p(self, fig5):
+        high = fig5.rows[-1]
+        assert high["loopjoin"] < high["immediate"]
+        assert high["loopjoin"] < high["deferred"]
+
+    def test_loopjoin_roughly_flat(self, fig5):
+        series = fig5.series("loopjoin")
+        assert max(series) < 1.2 * min(series)
+
+    def test_crossover_exists_in_sweep(self, fig5):
+        """The measured curves cross somewhere inside the sweep."""
+        diffs = [row["immediate"] - row["loopjoin"] for row in fig5.rows]
+        assert diffs[0] < 0 < diffs[-1]
+
+
+class TestSimulatedFigure8:
+    def test_maintained_fraction_small(self, fig8):
+        for row in fig8.rows:
+            assert row["immediate"] < 0.15 * row["clustered"]
+
+    def test_immediate_grows_with_l(self, fig8):
+        series = fig8.series("immediate")
+        assert list(series) == sorted(series)
+
+    def test_deferred_above_immediate(self, fig8):
+        for row in fig8.rows:
+            assert row["deferred"] > row["immediate"]
+
+
+class TestRegistration:
+    def test_runner_ids(self):
+        from repro.experiments.runner import EXPERIMENTS
+
+        for exp_id in ("sim-fig1", "sim-fig5", "sim-fig8"):
+            assert exp_id in EXPERIMENTS

@@ -1,0 +1,100 @@
+"""Table regeneration: parameters, EMP-DEPT, Yao, sensitivity."""
+
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.core.strategies import ViewModel
+from repro.experiments import tables
+from repro.experiments.series import TableData
+
+
+class TestParameterTable:
+    def test_contains_all_defaults(self):
+        table = tables.parameter_table()
+        by_name = {row[0]: row[2] for row in table.rows}
+        assert by_name["N"] == 100_000
+        assert by_name["b"] == 2_500
+        assert by_name["T"] == 40
+        assert by_name["c2"] == 30
+
+    def test_render_and_csv(self):
+        table = tables.parameter_table()
+        assert "parameter" in table.render()
+        assert table.to_csv().startswith("parameter,")
+
+
+class TestBreakdownTable:
+    def test_totals_row_per_strategy(self):
+        table = tables.cost_breakdown_table(model=ViewModel.SELECT_PROJECT)
+        totals = [row for row in table.rows if row[1] == "TOTAL"]
+        assert len(totals) == 5
+
+    def test_components_sum_to_total(self):
+        table = tables.cost_breakdown_table(model=ViewModel.JOIN)
+        by_strategy = {}
+        for strategy, component, ms in table.rows:
+            by_strategy.setdefault(strategy, {})[component] = ms
+        for strategy, components in by_strategy.items():
+            total = components.pop("TOTAL")
+            assert sum(components.values()) == pytest.approx(total, abs=0.1)
+
+
+class TestEmpDept:
+    def test_crossovers_near_paper_value(self):
+        table = tables.emp_dept_case()
+        assert len(table.rows) == 2
+        for row in table.rows:
+            assert row[2] is not None
+            assert 0.03 < row[2] < 0.12
+
+    def test_notes_reference_paper(self):
+        assert ".08" in tables.emp_dept_case().notes
+
+
+class TestYaoTriangle:
+    def test_all_rows_satisfy_inequality(self):
+        table = tables.yao_triangle_table()
+        for row in table.rows:
+            batch, splits, pages, saved, holds = row
+            assert holds is True
+            assert saved >= -1e-9
+
+    def test_savings_grow_with_splits_within_batch(self):
+        table = tables.yao_triangle_table(batch_sizes=(200,), splits=(2, 5, 10))
+        savings = [row[3] for row in table.rows]
+        assert savings == sorted(savings)
+
+
+class TestYaoAccuracy:
+    def test_error_shrinks_with_blocking_factor(self):
+        table = tables.yao_accuracy_table()
+        errors = [float(row[3].rstrip("%")) for row in table.rows]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_large_blocking_factor_very_close(self):
+        """Appendix B: very close when n/m > 10."""
+        table = tables.yao_accuracy_table(blocking_factors=(40,))
+        error = float(table.rows[0][3].rstrip("%"))
+        assert error < 1.0
+
+
+class TestSensitivityTable:
+    def test_covers_five_parameters(self):
+        table = tables.sensitivity_table()
+        parameters = {row[0] for row in table.rows}
+        assert parameters == {"P", "f", "f_v", "l", "c3"}
+
+    def test_has_flip_rows(self):
+        table = tables.sensitivity_table()
+        flips = [row for row in table.rows if row[1] == "winner flips?"]
+        assert len(flips) == 5
+
+
+class TestTableDataPlumbing:
+    def test_row_shape_enforced(self):
+        with pytest.raises(ValueError):
+            TableData("t", "title", ("a", "b"), ((1,),))
+
+    def test_render_includes_notes(self):
+        table = TableData("t", "title", ("a",), ((1,),), notes="hello")
+        assert "hello" in table.render()

@@ -1,0 +1,285 @@
+"""Hypothetical relations: the deferred-maintenance substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hr.differential import ClusteredRelation, HypotheticalRelation, SeparateFilesHR
+from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+from repro.storage.tuples import Schema
+
+SCHEMA = Schema("r", ("id", "a", "val"), "id", tuple_bytes=100)
+
+
+def make_base(n=200, pool_pages=64, clustered_on="a"):
+    meter = CostMeter()
+    pool = BufferPool(SimulatedDisk(meter), capacity=pool_pages)
+    base = ClusteredRelation(SCHEMA, pool, clustered_on)
+    base.bulk_load([SCHEMA.new_record(id=i, a=i % 20, val=i) for i in range(n)])
+    return base, meter, pool
+
+
+def make_hr(n=200, separate=False, **kwargs):
+    base, meter, pool = make_base(n, **kwargs)
+    cls = SeparateFilesHR if separate else HypotheticalRelation
+    return cls(base, ad_buckets=4), meter, pool
+
+
+class TestClusteredRelation:
+    def test_rejects_unknown_cluster_field(self):
+        pool = BufferPool(SimulatedDisk(CostMeter()), 8)
+        with pytest.raises(ValueError):
+            ClusteredRelation(SCHEMA, pool, "bogus")
+
+    def test_insert_and_read(self):
+        base, _, _ = make_base(10)
+        base.insert(SCHEMA.new_record(id=100, a=3, val=1))
+        assert base.read_by_key(100)["val"] == 1
+        assert len(base) == 11
+
+    def test_duplicate_key_rejected(self):
+        base, _, _ = make_base(10)
+        with pytest.raises(KeyError):
+            base.insert(SCHEMA.new_record(id=5, a=0, val=0))
+
+    def test_delete_returns_old(self):
+        base, _, _ = make_base(10)
+        old = base.delete_by_key(5)
+        assert old.key == 5
+        assert base.peek_by_key(5) is None
+
+    def test_delete_missing_raises(self):
+        base, _, _ = make_base(10)
+        with pytest.raises(KeyError):
+            base.delete_by_key(999)
+
+    def test_update_moves_in_tree(self):
+        base, _, _ = make_base(10)
+        base.update_by_key(5, a=19)
+        found = [r for r in base.range_scan(19, 19) if r.key == 5]
+        assert len(found) == 1
+
+    def test_read_by_key_charges_one_io(self):
+        base, meter, _ = make_base(10)
+        meter.reset()
+        base.read_by_key(5)
+        assert meter.page_reads == 1
+
+    def test_peek_charges_nothing(self):
+        base, meter, _ = make_base(10)
+        meter.reset()
+        base.peek_by_key(5)
+        assert meter.page_ios == 0
+
+    def test_scan_all_sorted_by_cluster_field(self):
+        base, _, _ = make_base(50)
+        values = [r["a"] for r in base.scan_all()]
+        assert values == sorted(values)
+
+
+class TestHRUpdateProtocol:
+    def test_update_is_three_ios_with_warm_bucket(self):
+        hr, meter, pool = make_hr(200)
+        hr.update_by_key(0, val=-1)  # warm AD bucket 0 (keys hash mod 4)
+        pool.invalidate_all()
+        meter.reset()
+        hr.update_by_key(4, val=-2)  # same bucket as key 0
+        pool.flush_all()
+        # read base (1) + read AD chain (1) + write AD page (1)
+        assert meter.page_reads == 2
+        assert meter.page_writes == 1
+
+    def test_cold_bucket_update_is_two_ios(self):
+        """An empty AD bucket needs no read: base read + AD write."""
+        hr, meter, pool = make_hr(200)
+        pool.invalidate_all()
+        meter.reset()
+        hr.update_by_key(1, val=-2)
+        pool.flush_all()
+        assert meter.page_reads == 1
+        assert meter.page_writes == 1
+
+    def test_separate_files_cost_five_ios_with_warm_buckets(self):
+        hr, meter, pool = make_hr(200, separate=True)
+        hr.update_by_key(0, val=-1)
+        pool.invalidate_all()
+        meter.reset()
+        hr.update_by_key(4, val=-2)  # same bucket as key 0
+        pool.flush_all()
+        # read base + read D chain + write D + read A chain + write A
+        assert meter.page_reads == 3
+        assert meter.page_writes == 2
+
+    def test_combined_cheaper_than_separate(self):
+        combined, m1, p1 = make_hr(200)
+        separate, m2, p2 = make_hr(200, separate=True)
+        rng = random.Random(1)
+        keys = [rng.randrange(200) for _ in range(50)]
+        for hr, pool in ((combined, p1), (separate, p2)):
+            for key in keys:
+                pool.invalidate_all()
+                hr.update_by_key(key, val=rng.randrange(100))
+            pool.flush_all()
+        assert m1.page_ios < m2.page_ios
+
+
+class TestHRReads:
+    def test_read_unmodified_skips_ad(self):
+        hr, meter, pool = make_hr(100)
+        pool.invalidate_all()
+        meter.reset()
+        record = hr.read_by_key(7)
+        assert record["val"] == 7
+        assert meter.page_reads == 1  # Bloom screened AD away
+
+    def test_read_sees_pending_update(self):
+        hr, _, _ = make_hr(100)
+        hr.update_by_key(7, val=999)
+        assert hr.read_by_key(7)["val"] == 999
+
+    def test_read_sees_pending_delete(self):
+        hr, _, _ = make_hr(100)
+        hr.delete_by_key(7)
+        assert hr.read_by_key(7) is None
+
+    def test_read_sees_pending_insert(self):
+        hr, _, _ = make_hr(100)
+        hr.insert(SCHEMA.new_record(id=500, a=1, val=5))
+        assert hr.read_by_key(500)["val"] == 5
+
+    def test_latest_action_wins(self):
+        hr, _, _ = make_hr(100)
+        hr.update_by_key(7, val=1)
+        hr.update_by_key(7, val=2)
+        assert hr.read_by_key(7)["val"] == 2
+
+    def test_duplicate_insert_rejected(self):
+        hr, _, _ = make_hr(100)
+        with pytest.raises(KeyError):
+            hr.insert(SCHEMA.new_record(id=7, a=1, val=5))
+
+    def test_delete_missing_raises(self):
+        hr, _, _ = make_hr(100)
+        with pytest.raises(KeyError):
+            hr.delete_by_key(9999)
+
+    def test_scan_logical_merges_everything(self):
+        hr, _, _ = make_hr(100)
+        hr.update_by_key(7, val=999)
+        hr.delete_by_key(8)
+        hr.insert(SCHEMA.new_record(id=500, a=1, val=5))
+        logical = {r.key: r for r in hr.scan_logical()}
+        assert len(logical) == 100  # 100 - 1 deleted + 1 inserted
+        assert logical[7]["val"] == 999
+        assert 8 not in logical
+        assert logical[500]["val"] == 5
+
+
+class TestNetChangesAndReset:
+    def test_net_changes_fold_multiple_updates(self):
+        hr, _, _ = make_hr(100)
+        hr.update_by_key(7, val=1)
+        hr.update_by_key(7, val=2)
+        net = hr.net_changes()
+        assert net.invariant_ok()
+        assert [r["val"] for r in net.inserted] == [2]
+        assert [r.key for r in net.deleted] == [7]
+
+    def test_insert_then_delete_nets_to_nothing(self):
+        hr, _, _ = make_hr(100)
+        hr.insert(SCHEMA.new_record(id=500, a=1, val=5))
+        hr.delete_by_key(500)
+        net = hr.net_changes()
+        assert not net
+
+    def test_reset_folds_into_base(self):
+        hr, _, _ = make_hr(100)
+        hr.update_by_key(7, val=999)
+        hr.delete_by_key(8)
+        hr.insert(SCHEMA.new_record(id=500, a=1, val=5))
+        hr.reset()
+        assert hr.ad_entry_count() == 0
+        assert hr.base.peek_by_key(7)["val"] == 999
+        assert hr.base.peek_by_key(8) is None
+        assert hr.base.peek_by_key(500)["val"] == 5
+
+    def test_reset_clears_bloom(self):
+        hr, meter, pool = make_hr(100)
+        hr.update_by_key(7, val=999)
+        hr.reset()
+        pool.invalidate_all()
+        meter.reset()
+        hr.read_by_key(7)
+        assert meter.page_reads == 1  # straight to base again
+
+    def test_reset_accepts_precomputed_net(self):
+        hr, _, _ = make_hr(100)
+        hr.update_by_key(7, val=999)
+        net = hr.net_changes()
+        hr.reset(net)
+        assert hr.base.peek_by_key(7)["val"] == 999
+
+    def test_separate_files_net_and_reset(self):
+        hr, _, _ = make_hr(100, separate=True)
+        hr.update_by_key(7, val=999)
+        hr.insert(SCHEMA.new_record(id=500, a=1, val=5))
+        hr.delete_by_key(9)
+        net = hr.net_changes()
+        assert len(net.inserted) == 2 and len(net.deleted) == 2
+        hr.reset(net)
+        assert hr.ad_entry_count() == 0
+        assert hr.base.peek_by_key(7)["val"] == 999
+        assert hr.base.peek_by_key(9) is None
+
+
+class TestAgainstModel:
+    """Property: HR semantics == a plain dict, for any op sequence."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["insert", "delete", "update", "reset"]),
+                      st.integers(0, 30)),
+            max_size=60,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_ops_match_reference(self, ops):
+        hr, _, _ = make_hr(10, pool_pages=256)
+        reference = {i: i for i in range(10)}  # key -> val
+        next_val = 1000
+        for action, key in ops:
+            if action == "insert" and key not in reference:
+                hr.insert(SCHEMA.new_record(id=key, a=key % 20, val=next_val))
+                reference[key] = next_val
+                next_val += 1
+            elif action == "delete" and key in reference:
+                hr.delete_by_key(key)
+                del reference[key]
+            elif action == "update" and key in reference:
+                hr.update_by_key(key, val=next_val)
+                reference[key] = next_val
+                next_val += 1
+            elif action == "reset":
+                hr.reset()
+        observed = {r.key: r["val"] for r in hr.scan_logical()}
+        assert observed == reference
+
+
+class TestLogicalSnapshot:
+    def test_matches_scan_logical_without_io(self):
+        hr, meter, _ = make_hr(100)
+        hr.update_by_key(7, val=999)
+        hr.delete_by_key(8)
+        hr.insert(SCHEMA.new_record(id=500, a=1, val=5))
+        meter.reset()
+        snapshot = hr.logical_snapshot()
+        assert meter.page_ios == 0
+        assert {r.key: r["val"] for r in snapshot} == {
+            r.key: r["val"] for r in hr.scan_logical()
+        }
+
+    def test_empty_pending_returns_base(self):
+        hr, _, _ = make_hr(50)
+        assert len(hr.logical_snapshot()) == 50

@@ -1,0 +1,103 @@
+"""Shared deferred refresh across views on one relation (Section 4)."""
+
+import random
+
+import pytest
+
+from repro.core.strategies import Strategy
+from repro.engine.database import Database
+from repro.engine.transaction import Transaction, Update
+from repro.maintenance.deferred import DeferredCoordinator
+from repro.storage.tuples import Schema
+from repro.views.definition import AggregateView, SelectProjectView
+from repro.views.predicate import IntervalPredicate
+
+R = Schema("r", ("id", "a", "v"), "id", tuple_bytes=100)
+
+SP = SelectProjectView("tuples_view", "r", IntervalPredicate("a", 0, 9),
+                       ("id", "a"), "a")
+AGG = AggregateView("sum_view", "r", IntervalPredicate("a", 0, 9), "sum", "v")
+
+
+@pytest.fixture
+def db():
+    database = Database(buffer_pages=256)
+    rng = random.Random(0)
+    records = [R.new_record(id=i, a=rng.randrange(50), v=rng.randrange(100))
+               for i in range(300)]
+    database.create_relation(R, "a", kind="hypothetical", records=records,
+                             ad_buckets=2)
+    database.define_view(SP, Strategy.DEFERRED)
+    database.define_view(AGG, Strategy.DEFERRED)
+    return database
+
+
+class TestSharedCoordinator:
+    def test_views_share_one_coordinator(self, db):
+        sp_impl = db.views["tuples_view"]
+        agg_impl = db.views["sum_view"]
+        assert sp_impl.coordinator is agg_impl.coordinator
+        assert set(sp_impl.coordinator.views) == {sp_impl, agg_impl}
+
+    def test_second_view_not_starved_by_first_refresh(self, db):
+        """The bug the coordinator prevents: querying view A must not
+        throw away the AD contents view B still needs."""
+        db.apply_transaction(Transaction.of("r", [
+            Update(0, {"a": 5, "v": 1000}),
+            Update(1, {"a": 500}),
+        ]))
+        db.query_view("tuples_view", 0, 9)  # refreshes + folds AD
+        total = db.query_view("sum_view")
+        snapshot = db.relations["r"].base.records_snapshot()
+        assert total == AGG.evaluate(snapshot)
+
+    def test_one_query_refreshes_every_sibling(self, db):
+        sp_impl = db.views["tuples_view"]
+        agg_impl = db.views["sum_view"]
+        db.apply_transaction(Transaction.of("r", [Update(0, {"a": 5})]))
+        db.query_view("tuples_view", 0, 9)
+        assert sp_impl.refresh_count == 1
+        assert agg_impl.refresh_count == 1
+
+    def test_ad_read_shared_not_repeated(self, db):
+        """Section 4: refreshing all views on one AD read avoids
+        re-reading the hypothetical database."""
+        db.apply_transaction(Transaction.of("r", [Update(0, {"a": 5})]))
+        db.query_view("tuples_view", 0, 9)
+        meter_before = db.meter.snapshot()
+        db.query_view("sum_view")  # AD already empty: nothing to read
+        delta = db.meter.delta_since(meter_before)
+        assert delta.page_reads <= 2  # state page (+ a boundary read)
+
+    def test_interleaved_queries_stay_consistent(self, db):
+        rng = random.Random(4)
+        for _ in range(6):
+            db.apply_transaction(Transaction.of("r", [
+                Update(rng.randrange(300), {"a": rng.randrange(50)}),
+                Update(rng.randrange(300), {"v": rng.randrange(100)}),
+            ]))
+            snapshot = list(db.relations["r"].scan_logical())
+            assert db.query_view("sum_view") == AGG.evaluate(snapshot)
+            tuples = db.query_view("tuples_view", 0, 9)
+            assert len(tuples) == len(SP.evaluate(snapshot))
+
+
+class TestCoordinatorAPI:
+    def test_register_rejects_foreign_view(self, db):
+        other_db = Database()
+        records = [R.new_record(id=i, a=i, v=0) for i in range(10)]
+        other_db.create_relation(R, "a", kind="hypothetical", records=records)
+        other_db.define_view(SP, Strategy.DEFERRED)
+        foreign = other_db.views["tuples_view"]
+        coordinator = db.views["sum_view"].coordinator
+        with pytest.raises(ValueError):
+            coordinator.register(foreign)
+
+    def test_standalone_view_gets_private_coordinator(self):
+        database = Database()
+        records = [R.new_record(id=i, a=i, v=0) for i in range(10)]
+        database.create_relation(R, "a", kind="hypothetical", records=records)
+        database.define_view(SP, Strategy.DEFERRED)
+        impl = database.views["tuples_view"]
+        assert isinstance(impl.coordinator, DeferredCoordinator)
+        assert impl.coordinator.views == (impl,)

@@ -1,0 +1,184 @@
+"""Two-sided deferred join maintenance (hashed hypothetical inner)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.strategies import Strategy
+from repro.engine.database import CatalogError, Database
+from repro.engine.transaction import Delete, Insert, Transaction, Update
+from repro.hr.hashed import HashedHypotheticalRelation
+from repro.storage.tuples import Schema
+from repro.views.definition import JoinView
+from repro.views.predicate import IntervalPredicate
+
+R1 = Schema("r1", ("id", "a", "j"), "id", tuple_bytes=100)
+R2 = Schema("r2", ("j", "c"), "j", tuple_bytes=100)
+
+VIEW = JoinView("v", "r1", "r2", "j", IntervalPredicate("a", 0, 9),
+                ("id", "a"), ("j", "c"), "a")
+
+
+def build(n=120, inner=12, seed=0):
+    db = Database(buffer_pages=256)
+    rng = random.Random(seed)
+    outers = [R1.new_record(id=i, a=rng.randrange(50), j=rng.randrange(inner))
+              for i in range(n)]
+    inners = [R2.new_record(j=j, c=j * 10) for j in range(inner)]
+    db.create_relation(R1, "a", kind="hypothetical", records=outers,
+                       ad_buckets=4)
+    db.create_relation(R2, "j", kind="hashed_hypothetical", records=inners,
+                       ad_buckets=4)
+    db.define_view(VIEW, Strategy.DEFERRED)
+    db.reset_meter()
+    return db
+
+
+def ground_truth(db):
+    return Counter(VIEW.evaluate(
+        db.relations["r1"].logical_snapshot(),
+        db.relations["r2"].logical_snapshot(),
+    ))
+
+
+class TestHashedHypotheticalRelation:
+    def _make(self):
+        from repro.engine.relations import HashedRelation
+        from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+
+        pool = BufferPool(SimulatedDisk(CostMeter()), capacity=64)
+        base = HashedRelation(R2, pool, "j")
+        base.bulk_load([R2.new_record(j=j, c=j) for j in range(20)])
+        return HashedHypotheticalRelation(base, ad_buckets=4)
+
+    def test_requires_key_clustering(self):
+        from repro.engine.relations import HashedRelation
+        from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+
+        schema = Schema("x", ("k", "j"), "k")
+        pool = BufferPool(SimulatedDisk(CostMeter()), capacity=8)
+        base = HashedRelation(schema, pool, "j")  # hashed on non-key
+        with pytest.raises(ValueError, match="key"):
+            HashedHypotheticalRelation(base)
+
+    def test_update_read_roundtrip(self):
+        hr = self._make()
+        hr.update_by_key(3, c=999)
+        assert hr.read_by_key(3)["c"] == 999
+        assert hr.probe(3)[0]["c"] == 999
+
+    def test_probe_base_sees_old_state(self):
+        hr = self._make()
+        hr.update_by_key(3, c=999)
+        assert hr.probe_base(3)[0]["c"] == 3  # pre-batch value
+
+    def test_net_and_reset(self):
+        hr = self._make()
+        hr.update_by_key(3, c=999)
+        hr.insert(R2.new_record(j=100, c=1))
+        hr.delete_by_key(5)
+        net = hr.net_changes()
+        assert len(net.inserted) == 2 and len(net.deleted) == 2
+        hr.reset(net)
+        assert hr.ad_entry_count() == 0
+        assert hr.probe_base(3)[0]["c"] == 999
+        assert hr.probe_base(5) == []
+
+    def test_duplicate_insert_rejected(self):
+        hr = self._make()
+        with pytest.raises(KeyError):
+            hr.insert(R2.new_record(j=3, c=0))
+
+    def test_logical_snapshot_no_io(self):
+        hr = self._make()
+        hr.update_by_key(3, c=999)
+        hr.meter.reset()
+        snapshot = {r.key: r for r in hr.logical_snapshot()}
+        assert hr.meter.page_ios == 0
+        assert snapshot[3]["c"] == 999
+
+
+class TestTwoSidedDeferred:
+    def test_inner_update_deferred_then_applied(self):
+        db = build()
+        inner = db.relations["r2"]
+        db.apply_transaction(Transaction.of("r2", [Update(3, {"c": 999})]))
+        assert inner.ad_entry_count() > 0  # deferred, not applied yet
+        answer = Counter(db.query_view("v", 0, 9))
+        assert answer == ground_truth(db)
+        assert inner.ad_entry_count() == 0  # folded at refresh
+
+    def test_outer_and_inner_batched_together(self):
+        db = build()
+        rng = random.Random(5)
+        for _ in range(4):
+            db.apply_transaction(Transaction.of("r1", [
+                Update(rng.randrange(120), {"a": rng.randrange(50)}),
+            ]))
+            db.apply_transaction(Transaction.of("r2", [
+                Update(rng.randrange(12), {"c": rng.randrange(1000)}),
+            ]))
+        assert Counter(db.query_view("v", 0, 9)) == ground_truth(db)
+
+    def test_inner_insert_and_delete(self):
+        db = build()
+        db.apply_transaction(Transaction.of("r1", [
+            Insert(R1.new_record(id=900, a=5, j=99)),
+        ]))
+        db.apply_transaction(Transaction.of("r2", [
+            Insert(R2.new_record(j=99, c=7)),
+            Delete(3),
+        ]))
+        answer = Counter(db.query_view("v", 0, 9))
+        assert answer == ground_truth(db)
+        assert any(vt["j"] == 99 for vt in answer)
+        assert not any(vt["j"] == 3 for vt in answer)
+
+    def test_both_sides_of_a_pair_deleted_once(self):
+        """The Appendix-A scenario, end to end: deleting both halves of
+        a joining pair removes the view tuple exactly once."""
+        db = build()
+        db.apply_transaction(Transaction.of("r1", [Update(0, {"a": 5, "j": 7})]))
+        db.query_view("v", 0, 9)  # settle
+        db.apply_transaction(Transaction.of("r1", [Delete(0)]))
+        db.apply_transaction(Transaction.of("r2", [Delete(7)]))
+        answer = Counter(db.query_view("v", 0, 9))
+        assert answer == ground_truth(db)
+
+    def test_repeated_interleaving_stays_consistent(self):
+        db = build()
+        rng = random.Random(9)
+        next_j = 100
+        for round_ in range(6):
+            db.apply_transaction(Transaction.of("r1", [
+                Update(rng.randrange(120), {"j": rng.randrange(12)}),
+                Update(rng.randrange(120), {"a": rng.randrange(50)}),
+            ]))
+            if round_ % 2 == 0:
+                db.apply_transaction(Transaction.of("r2", [
+                    Insert(R2.new_record(j=next_j, c=1)),
+                ]))
+                next_j += 1
+            assert Counter(db.query_view("v", 0, 9)) == ground_truth(db), round_
+
+
+class TestCatalogRules:
+    def test_hashed_hypothetical_requires_deferred(self):
+        db = Database()
+        outers = [R1.new_record(id=i, a=i % 50, j=0) for i in range(10)]
+        db.create_relation(R1, "a", kind="plain", records=outers)
+        db.create_relation(R2, "j", kind="hashed_hypothetical",
+                           records=[R2.new_record(j=0, c=0)])
+        with pytest.raises(CatalogError, match="deferred"):
+            db.define_view(VIEW, Strategy.IMMEDIATE)
+
+    def test_plain_inner_still_rejects_inner_updates(self):
+        db = Database()
+        outers = [R1.new_record(id=i, a=i % 50, j=0) for i in range(10)]
+        db.create_relation(R1, "a", kind="hypothetical", records=outers)
+        db.create_relation(R2, "j", kind="hashed",
+                           records=[R2.new_record(j=0, c=0)])
+        db.define_view(VIEW, Strategy.DEFERRED)
+        with pytest.raises(NotImplementedError, match="hashed_hypothetical"):
+            db.apply_transaction(Transaction.of("r2", [Update(0, {"c": 5})]))

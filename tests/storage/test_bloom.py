@@ -1,0 +1,96 @@
+"""Bloom filter: the differential-file screen of Section 2.2.2."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.bloom import BloomFilter, optimal_bits, optimal_hashes
+
+
+class TestSizing:
+    def test_optimal_bits_formula(self):
+        # m = -n ln(p) / (ln 2)^2
+        assert optimal_bits(1000, 0.01) == 9586
+
+    def test_optimal_bits_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            optimal_bits(10, 0.0)
+        with pytest.raises(ValueError):
+            optimal_bits(10, 1.0)
+
+    def test_optimal_bits_rejects_negative_items(self):
+        with pytest.raises(ValueError):
+            optimal_bits(-1, 0.01)
+
+    def test_optimal_hashes_formula(self):
+        assert optimal_hashes(9586, 1000) == 7
+
+    def test_for_load_builds_consistent_filter(self):
+        bf = BloomFilter.for_load(500, 0.01)
+        assert bf.bits >= 4000
+        assert bf.hashes >= 1
+
+
+class TestBehaviour:
+    def test_empty_filter_contains_nothing(self):
+        bf = BloomFilter(128)
+        assert not bf.maybe_contains("x")
+
+    @given(st.lists(st.integers(), max_size=200, unique=True))
+    @settings(max_examples=50)
+    def test_no_false_negatives(self, items):
+        """The load-bearing property: added items always report present."""
+        bf = BloomFilter.for_load(max(len(items), 1), 0.05)
+        for item in items:
+            bf.add(item)
+        assert all(bf.maybe_contains(item) for item in items)
+
+    def test_false_positive_rate_near_design_target(self):
+        bf = BloomFilter.for_load(2000, 0.02)
+        for i in range(2000):
+            bf.add(("member", i))
+        false_hits = sum(bf.maybe_contains(("other", i)) for i in range(20_000))
+        assert false_hits / 20_000 < 0.05  # design target 0.02, generous slack
+
+    def test_growing_m_reduces_false_drops(self):
+        """Section 2.2.2: screening can be made arbitrarily good by
+        increasing m."""
+        def fp_rate(bits: int) -> float:
+            bf = BloomFilter(bits, hashes=4)
+            for i in range(500):
+                bf.add(("member", i))
+            return sum(bf.maybe_contains(("other", i)) for i in range(5_000)) / 5_000
+
+        assert fp_rate(64_000) < fp_rate(2_000)
+
+    def test_clear_empties_filter(self):
+        bf = BloomFilter(256)
+        bf.add("x")
+        bf.clear()
+        assert not bf.maybe_contains("x")
+        assert bf.items_added == 0
+        assert bf.fill_fraction == 0.0
+
+    def test_estimated_fp_rate_zero_when_empty(self):
+        assert BloomFilter(128).estimated_fp_rate() == 0.0
+
+    def test_estimated_fp_rate_grows_with_load(self):
+        bf = BloomFilter(256, hashes=3)
+        rates = []
+        for i in range(50):
+            bf.add(i)
+            rates.append(bf.estimated_fp_rate())
+        assert rates == sorted(rates)
+
+    def test_deterministic_across_instances(self):
+        a, b = BloomFilter(512, hashes=4), BloomFilter(512, hashes=4)
+        a.add("key-1")
+        b.add("key-1")
+        probes = [f"probe-{i}" for i in range(100)]
+        assert [a.maybe_contains(p) for p in probes] == [b.maybe_contains(p) for p in probes]
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, hashes=0)

@@ -1,0 +1,249 @@
+"""Clustered B+-tree: correctness and I/O accounting."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.bplustree import BPlusTree
+from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+from repro.storage.tuples import Schema
+
+SCHEMA = Schema("r", ("id", "a"), "id", tuple_bytes=100)
+
+
+def make_tree(leaf_capacity=4, fanout=4, pool_pages=64):
+    meter = CostMeter()
+    pool = BufferPool(SimulatedDisk(meter), capacity=pool_pages)
+    tree = BPlusTree("t", pool, sort_key=lambda r: r["a"],
+                     records_per_leaf=leaf_capacity, fanout=fanout)
+    return tree, meter, pool
+
+
+def rec(i, a):
+    return SCHEMA.new_record(id=i, a=a)
+
+
+class TestConstruction:
+    def test_rejects_bad_leaf_capacity(self):
+        pool = BufferPool(SimulatedDisk(CostMeter()), 4)
+        with pytest.raises(ValueError):
+            BPlusTree("t", pool, sort_key=lambda r: r["a"], records_per_leaf=0)
+
+    def test_rejects_tiny_fanout(self):
+        pool = BufferPool(SimulatedDisk(CostMeter()), 4)
+        with pytest.raises(ValueError):
+            BPlusTree("t", pool, sort_key=lambda r: r["a"],
+                      records_per_leaf=4, fanout=2)
+
+    def test_empty_tree(self):
+        tree, _, _ = make_tree()
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert list(tree.scan_all()) == []
+
+
+class TestInsertSearch:
+    def test_insert_then_search(self):
+        tree, _, _ = make_tree()
+        tree.insert(rec(1, 10))
+        assert tree.search(10) == [rec(1, 10)]
+        assert tree.search(11) == []
+
+    def test_duplicate_sort_keys_coexist(self):
+        tree, _, _ = make_tree()
+        for i in range(10):
+            tree.insert(rec(i, 5))
+        assert sorted(r.key for r in tree.search(5)) == list(range(10))
+
+    def test_splits_grow_height(self):
+        tree, _, _ = make_tree(leaf_capacity=2, fanout=3)
+        for i in range(50):
+            tree.insert(rec(i, i))
+        assert tree.height > 2
+        assert [r["a"] for r in tree.scan_all()] == list(range(50))
+
+    def test_scan_all_sorted_after_random_inserts(self):
+        tree, _, _ = make_tree()
+        rng = random.Random(3)
+        values = [rng.randrange(100) for _ in range(300)]
+        for i, a in enumerate(values):
+            tree.insert(rec(i, a))
+        scanned = [r["a"] for r in tree.scan_all()]
+        assert scanned == sorted(values)
+        assert len(tree) == 300
+
+
+class TestRangeScan:
+    def test_inclusive_bounds(self):
+        tree, _, _ = make_tree()
+        for i in range(20):
+            tree.insert(rec(i, i))
+        assert [r["a"] for r in tree.range_scan(5, 8)] == [5, 6, 7, 8]
+
+    def test_empty_range(self):
+        tree, _, _ = make_tree()
+        for i in range(20):
+            tree.insert(rec(i, i * 2))  # evens only
+        assert list(tree.range_scan(5, 5)) == []
+
+    def test_range_spanning_leaves(self):
+        tree, _, _ = make_tree(leaf_capacity=2)
+        for i in range(40):
+            tree.insert(rec(i, i))
+        assert [r["a"] for r in tree.range_scan(10, 30)] == list(range(10, 31))
+
+    def test_unbounded_style_range(self):
+        tree, _, _ = make_tree()
+        for i in range(10):
+            tree.insert(rec(i, i))
+        assert len(list(tree.range_scan(float("-inf"), float("inf")))) == 10
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        tree, _, _ = make_tree()
+        tree.insert(rec(1, 10))
+        assert tree.delete(rec(1, 10))
+        assert tree.search(10) == []
+        assert len(tree) == 0
+
+    def test_delete_missing_returns_false(self):
+        tree, _, _ = make_tree()
+        tree.insert(rec(1, 10))
+        assert not tree.delete(rec(2, 10))
+        assert len(tree) == 1
+
+    def test_delete_requires_exact_record(self):
+        tree, _, _ = make_tree()
+        tree.insert(rec(1, 10))
+        assert not tree.delete(SCHEMA.new_record(id=1, a=11))
+
+    def test_interleaved_insert_delete(self):
+        tree, _, _ = make_tree(leaf_capacity=3, fanout=3)
+        rng = random.Random(5)
+        live = {}
+        for i in range(400):
+            if live and rng.random() < 0.4:
+                key = rng.choice(list(live))
+                assert tree.delete(live.pop(key))
+            else:
+                record = rec(i, rng.randrange(50))
+                tree.insert(record)
+                live[i] = record
+        scanned = sorted((r["a"], r.key) for r in tree.scan_all())
+        expected = sorted((r["a"], r.key) for r in live.values())
+        assert scanned == expected
+
+
+class TestUpdate:
+    def test_update_moves_record(self):
+        tree, _, _ = make_tree()
+        tree.insert(rec(1, 10))
+        assert tree.update(rec(1, 10), rec(1, 99))
+        assert tree.search(10) == []
+        assert tree.search(99) == [rec(1, 99)]
+
+    def test_update_missing_returns_false(self):
+        tree, _, _ = make_tree()
+        assert not tree.update(rec(1, 10), rec(1, 99))
+
+
+class TestBulkLoad:
+    def test_matches_incremental_content(self):
+        records = [rec(i, i % 17) for i in range(500)]
+        bulk, _, _ = make_tree(leaf_capacity=5, fanout=5)
+        bulk.bulk_load(records)
+        incremental, _, _ = make_tree(leaf_capacity=5, fanout=5)
+        for r in records:
+            incremental.insert(r)
+        assert list(bulk.scan_all()) == list(incremental.scan_all())
+
+    def test_bulk_load_empty(self):
+        tree, _, _ = make_tree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_load_requires_empty_tree(self):
+        tree, _, _ = make_tree()
+        tree.insert(rec(1, 1))
+        with pytest.raises(RuntimeError):
+            tree.bulk_load([rec(2, 2)])
+
+    def test_bulk_load_then_mutate(self):
+        tree, _, _ = make_tree(leaf_capacity=4, fanout=4)
+        tree.bulk_load([rec(i, i) for i in range(100)])
+        tree.insert(rec(1000, 50))
+        assert tree.delete(rec(3, 3))
+        values = [r["a"] for r in tree.scan_all()]
+        assert values == sorted(values)
+        assert len(tree) == 100
+
+    def test_stats_reflect_structure(self):
+        tree, _, _ = make_tree(leaf_capacity=10, fanout=5)
+        tree.bulk_load([rec(i, i) for i in range(200)])
+        stats = tree.stats()
+        assert stats.entries == 200
+        assert stats.leaf_pages == 20
+        assert stats.height == tree.height
+
+
+class TestIOAccounting:
+    def test_search_costs_height_reads_when_cold(self):
+        tree, meter, pool = make_tree(leaf_capacity=4, fanout=4)
+        tree.bulk_load([rec(i, i) for i in range(200)])
+        pool.invalidate_all()
+        meter.reset()
+        tree.search(77)
+        assert meter.page_reads == tree.height
+
+    def test_warm_search_is_free(self):
+        tree, meter, pool = make_tree()
+        tree.bulk_load([rec(i, i) for i in range(50)])
+        tree.search(5)
+        meter.reset()
+        tree.search(5)
+        assert meter.page_reads == 0
+
+    def test_range_scan_reads_proportional_leaves(self):
+        tree, meter, pool = make_tree(leaf_capacity=10, fanout=50)
+        tree.bulk_load([rec(i, i) for i in range(1000)])  # 100 leaves
+        pool.invalidate_all()
+        meter.reset()
+        list(tree.range_scan(0, 499))
+        # ~50 leaves + descent (+1 boundary leaf)
+        assert 50 <= meter.page_reads <= 55
+
+
+class TestAgainstModel:
+    """Property: the tree behaves like a sorted multiset."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]),
+                      st.integers(min_value=0, max_value=30)),
+            max_size=120,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_ops_match_reference(self, ops):
+        tree, _, _ = make_tree(leaf_capacity=3, fanout=3, pool_pages=256)
+        reference = []
+        next_id = 0
+        by_a = {}
+        for action, a in ops:
+            if action == "insert":
+                record = rec(next_id, a)
+                next_id += 1
+                tree.insert(record)
+                reference.append(record)
+                by_a.setdefault(a, []).append(record)
+            else:
+                candidates = by_a.get(a) or []
+                if candidates:
+                    victim = candidates.pop()
+                    assert tree.delete(victim)
+                    reference.remove(victim)
+        scanned = sorted((r["a"], r.key) for r in tree.scan_all())
+        assert scanned == sorted((r["a"], r.key) for r in reference)

@@ -1,0 +1,163 @@
+"""Clustered hash file."""
+
+import pytest
+
+from repro.storage.hashindex import HashFile
+from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+from repro.storage.tuples import Schema
+
+SCHEMA = Schema("r2", ("j", "c"), "j", tuple_bytes=100)
+
+
+def make_file(records_per_page=4, buckets=4, pool_pages=64):
+    meter = CostMeter()
+    pool = BufferPool(SimulatedDisk(meter), capacity=pool_pages)
+    hf = HashFile("h", pool, hash_key=lambda r: r["j"],
+                  records_per_page=records_per_page, buckets=buckets)
+    return hf, meter, pool
+
+
+def rec(j, c=0):
+    return SCHEMA.new_record(j=j, c=c)
+
+
+class TestConstruction:
+    def test_rejects_bad_capacity(self):
+        pool = BufferPool(SimulatedDisk(CostMeter()), 4)
+        with pytest.raises(ValueError):
+            HashFile("h", pool, hash_key=lambda r: r["j"], records_per_page=0)
+
+    def test_rejects_zero_buckets(self):
+        pool = BufferPool(SimulatedDisk(CostMeter()), 4)
+        with pytest.raises(ValueError):
+            HashFile("h", pool, hash_key=lambda r: r["j"],
+                     records_per_page=4, buckets=0)
+
+
+class TestInsertLookup:
+    def test_lookup_finds_inserted(self):
+        hf, _, _ = make_file()
+        hf.insert(rec(1, 7))
+        assert hf.lookup(1) == [rec(1, 7)]
+
+    def test_lookup_missing_is_empty(self):
+        hf, _, _ = make_file()
+        assert hf.lookup(99) == []
+
+    def test_multiple_records_per_key(self):
+        hf, _, _ = make_file()
+        hf.insert(rec(1, 7))
+        hf.insert(rec(1, 8))
+        assert sorted(r["c"] for r in hf.lookup(1)) == [7, 8]
+
+    def test_chains_grow_past_page_capacity(self):
+        hf, _, _ = make_file(records_per_page=2, buckets=1)
+        for i in range(10):
+            hf.insert(rec(1, i))
+        assert len(hf.lookup(1)) == 10
+        assert hf.page_count() >= 5
+
+    def test_scan_all_returns_everything(self):
+        hf, _, _ = make_file()
+        for i in range(25):
+            hf.insert(rec(i, i))
+        assert len(list(hf.scan_all())) == 25
+        assert len(hf) == 25
+
+
+class TestInsertPair:
+    def test_pair_lands_together(self):
+        hf, meter, pool = make_file(records_per_page=4, buckets=2)
+        hf.insert(rec(1, 0))  # warm the bucket
+        pool.invalidate_all()
+        meter.reset()
+        hf.insert_pair(rec(1, 1), rec(1, 2))
+        pool.flush_all()
+        # one chain read + one page write
+        assert meter.page_reads == 1
+        assert meter.page_writes == 1
+        assert len(hf.lookup(1)) == 3
+
+    def test_pair_rejects_cross_bucket(self):
+        hf, _, _ = make_file(buckets=13)
+        with pytest.raises(ValueError):
+            hf.insert_pair(rec(1), rec(2))
+
+
+class TestDelete:
+    def test_delete_exact_record(self):
+        hf, _, _ = make_file()
+        hf.insert(rec(1, 7))
+        assert hf.delete(rec(1, 7))
+        assert hf.lookup(1) == []
+        assert len(hf) == 0
+
+    def test_delete_missing_returns_false(self):
+        hf, _, _ = make_file()
+        assert not hf.delete(rec(1, 7))
+
+    def test_delete_key_removes_all(self):
+        hf, _, _ = make_file()
+        for i in range(5):
+            hf.insert(rec(1, i))
+        hf.insert(rec(2, 0))
+        assert hf.delete_key(1) == 5
+        assert hf.lookup(1) == []
+        assert len(hf) == 1
+
+
+class TestBulkLoadTruncate:
+    def test_bulk_load_matches_lookup(self):
+        hf, _, _ = make_file(records_per_page=3, buckets=5)
+        records = [rec(i % 7, i) for i in range(60)]
+        hf.bulk_load(records)
+        assert len(hf) == 60
+        for j in range(7):
+            expected = sorted(r["c"] for r in records if r["j"] == j)
+            assert sorted(r["c"] for r in hf.lookup(j)) == expected
+
+    def test_bulk_load_requires_empty(self):
+        hf, _, _ = make_file()
+        hf.insert(rec(1))
+        with pytest.raises(RuntimeError):
+            hf.bulk_load([rec(2)])
+
+    def test_truncate_drops_everything(self):
+        hf, _, _ = make_file()
+        for i in range(10):
+            hf.insert(rec(i))
+        hf.truncate()
+        assert len(hf) == 0
+        assert hf.page_count() == 0
+        assert hf.lookup(3) == []
+
+    def test_insert_after_truncate(self):
+        hf, _, _ = make_file()
+        hf.insert(rec(1))
+        hf.truncate()
+        hf.insert(rec(1, 5))
+        assert hf.lookup(1) == [rec(1, 5)]
+
+
+class TestIOAccounting:
+    def test_cold_lookup_reads_one_chain_page(self):
+        hf, meter, pool = make_file(records_per_page=10, buckets=8)
+        for i in range(8):
+            hf.insert(rec(i))
+        pool.invalidate_all()
+        meter.reset()
+        hf.lookup(3)
+        assert meter.page_reads == 1
+
+    def test_lookup_pinned_keeps_pages_resident(self):
+        hf, meter, pool = make_file(records_per_page=10, buckets=2, pool_pages=2)
+        for i in range(4):
+            hf.insert(rec(i))
+        pool.invalidate_all()
+        meter.reset()
+        hf.lookup_pinned(0)
+        reads_first = meter.page_reads
+        # Fill the pool with other traffic, then probe again.
+        hf.lookup_pinned(0)
+        assert meter.page_reads == reads_first  # still buffered (pinned)
+        pool.unpin_all()

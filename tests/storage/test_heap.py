@@ -1,0 +1,92 @@
+"""Heap file."""
+
+import pytest
+
+from repro.storage.heap import HeapFile
+from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
+from repro.storage.tuples import Schema
+
+SCHEMA = Schema("h", ("id", "v"), "id", tuple_bytes=100)
+
+
+def make_heap(records_per_page=4):
+    meter = CostMeter()
+    pool = BufferPool(SimulatedDisk(meter), capacity=16)
+    return HeapFile("heap", pool, records_per_page), meter, pool
+
+
+def rec(i, v=0):
+    return SCHEMA.new_record(id=i, v=v)
+
+
+class TestBasics:
+    def test_rejects_bad_capacity(self):
+        pool = BufferPool(SimulatedDisk(CostMeter()), 4)
+        with pytest.raises(ValueError):
+            HeapFile("h", pool, 0)
+
+    def test_insert_and_scan(self):
+        heap, _, _ = make_heap()
+        for i in range(10):
+            heap.insert(rec(i))
+        assert [r.key for r in heap.scan()] == list(range(10))
+        assert len(heap) == 10
+
+    def test_pages_fill_before_allocating(self):
+        heap, _, _ = make_heap(records_per_page=4)
+        for i in range(9):
+            heap.insert(rec(i))
+        assert heap.page_count == 3
+
+    def test_bulk_load(self):
+        heap, _, _ = make_heap(records_per_page=4)
+        heap.bulk_load([rec(i) for i in range(10)])
+        assert heap.page_count == 3
+        assert len(list(heap.scan())) == 10
+
+    def test_scan_pages(self):
+        heap, _, _ = make_heap(records_per_page=4)
+        heap.bulk_load([rec(i) for i in range(8)])
+        pages = list(heap.scan_pages())
+        assert len(pages) == 2
+        assert all(len(p.records) == 4 for p in pages)
+
+
+class TestDelete:
+    def test_delete_where(self):
+        heap, _, _ = make_heap()
+        heap.bulk_load([rec(i) for i in range(10)])
+        removed = heap.delete_where(lambda r: r.key % 2 == 0)
+        assert removed == 5
+        assert [r.key for r in heap.scan()] == [1, 3, 5, 7, 9]
+
+    def test_delete_where_no_match(self):
+        heap, _, _ = make_heap()
+        heap.bulk_load([rec(i) for i in range(4)])
+        assert heap.delete_where(lambda r: False) == 0
+
+    def test_truncate(self):
+        heap, _, _ = make_heap()
+        heap.bulk_load([rec(i) for i in range(10)])
+        heap.truncate()
+        assert heap.page_count == 0
+        assert list(heap.scan()) == []
+
+
+class TestIO:
+    def test_scan_reads_each_page_once(self):
+        heap, meter, pool = make_heap(records_per_page=5)
+        heap.bulk_load([rec(i) for i in range(50)])
+        pool.invalidate_all()
+        meter.reset()
+        list(heap.scan())
+        assert meter.page_reads == 10
+
+    def test_delete_where_writes_only_changed_pages(self):
+        heap, meter, pool = make_heap(records_per_page=5)
+        heap.bulk_load([rec(i) for i in range(50)])
+        pool.invalidate_all()
+        meter.reset()
+        heap.delete_where(lambda r: r.key == 7)  # one page changes
+        pool.flush_all()
+        assert meter.page_writes == 1

@@ -1,0 +1,201 @@
+"""Simulated disk, buffer pool and cost meter."""
+
+import pytest
+
+from repro.core.parameters import PAPER_DEFAULTS
+from repro.storage.pager import (
+    BufferPool,
+    CostMeter,
+    Page,
+    PageId,
+    PageOverflowError,
+    SimulatedDisk,
+)
+
+
+@pytest.fixture
+def disk():
+    return SimulatedDisk(CostMeter())
+
+
+class TestPage:
+    def test_capacity_enforced(self):
+        page = Page(PageId("f", 0), capacity=2)
+        page.add(1)
+        page.add(2)
+        with pytest.raises(PageOverflowError):
+            page.add(3)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Page(PageId("f", 0), capacity=0)
+
+    def test_clone_is_independent(self):
+        page = Page(PageId("f", 0), capacity=4)
+        page.add("x")
+        clone = page.clone()
+        clone.add("y")
+        assert page.records == ["x"]
+        assert clone.records == ["x", "y"]
+
+
+class TestDisk:
+    def test_allocate_assigns_sequential_numbers(self, disk):
+        a = disk.allocate("f", 4)
+        b = disk.allocate("f", 4)
+        assert (a.page_id.number, b.page_id.number) == (0, 1)
+
+    def test_allocation_charges_no_io(self, disk):
+        disk.allocate("f", 4)
+        assert disk.meter.page_ios == 0
+
+    def test_read_charges_one_io(self, disk):
+        page = disk.allocate("f", 4)
+        disk.read(page.page_id)
+        assert disk.meter.page_reads == 1
+
+    def test_write_charges_one_io(self, disk):
+        page = disk.allocate("f", 4)
+        disk.write(page)
+        assert disk.meter.page_writes == 1
+
+    def test_read_unknown_page_raises(self, disk):
+        with pytest.raises(KeyError):
+            disk.read(PageId("nope", 0))
+
+    def test_write_unallocated_page_raises(self, disk):
+        with pytest.raises(KeyError):
+            disk.write(Page(PageId("nope", 0), 4))
+
+    def test_read_returns_persisted_image(self, disk):
+        page = disk.allocate("f", 4)
+        page.add("x")
+        disk.write(page)
+        fetched = disk.read(page.page_id)
+        assert fetched.records == ["x"]
+
+    def test_unwritten_mutation_is_lost(self, disk):
+        """Reads return clones: mutating without write-back must not persist."""
+        page = disk.allocate("f", 4)
+        disk.write(page)
+        image = disk.read(page.page_id)
+        image.add("sneaky")
+        assert disk.read(page.page_id).records == []
+
+    def test_file_pages_sorted(self, disk):
+        for _ in range(3):
+            disk.allocate("f", 4)
+        disk.allocate("g", 4)
+        assert [p.number for p in disk.file_pages("f")] == [0, 1, 2]
+        assert disk.page_count("f") == 3
+        assert disk.page_count("g") == 1
+
+    def test_free_removes_page(self, disk):
+        page = disk.allocate("f", 4)
+        disk.free(page.page_id)
+        assert page.page_id not in disk
+
+
+class TestBufferPool:
+    def test_hit_costs_nothing(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        page = disk.allocate("f", 4)
+        pool.get(page.page_id)
+        before = disk.meter.page_reads
+        pool.get(page.page_id)
+        assert disk.meter.page_reads == before
+        assert pool.hits == 1
+
+    def test_miss_reads_from_disk(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        page = disk.allocate("f", 4)
+        pool.get(page.page_id)
+        assert pool.misses == 1
+        assert disk.meter.page_reads == 1
+
+    def test_eviction_respects_capacity(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        pages = [disk.allocate("f", 4) for _ in range(3)]
+        for page in pages:
+            pool.get(page.page_id)
+        assert len(pool) == 2
+
+    def test_eviction_flushes_dirty_victim(self, disk):
+        pool = BufferPool(disk, capacity=1)
+        a = disk.allocate("f", 4)
+        b = disk.allocate("f", 4)
+        page = pool.get(a.page_id)
+        page.add("x")
+        pool.mark_dirty(a.page_id)
+        pool.get(b.page_id)  # evicts a
+        assert disk.read(a.page_id).records == ["x"]
+
+    def test_repeated_writes_collapse_to_one_flush(self, disk):
+        """Write-back: a page dirtied many times costs one write."""
+        pool = BufferPool(disk, capacity=4)
+        page = disk.allocate("f", 10)
+        for i in range(5):
+            buffered = pool.get(page.page_id)
+            buffered.add(i)
+            pool.put(buffered, dirty=True)
+        pool.flush_all()
+        assert disk.meter.page_writes == 1
+
+    def test_pinned_pages_survive_eviction(self, disk):
+        pool = BufferPool(disk, capacity=2)
+        pinned = disk.allocate("f", 4)
+        pool.pin(pinned.page_id)
+        for _ in range(4):
+            pool.get(disk.allocate("f", 4).page_id)
+        before = disk.meter.page_reads
+        pool.get(pinned.page_id)
+        assert disk.meter.page_reads == before  # still buffered
+
+    def test_all_pinned_pool_grows(self, disk):
+        pool = BufferPool(disk, capacity=1)
+        a, b = disk.allocate("f", 4), disk.allocate("f", 4)
+        pool.pin(a.page_id)
+        pool.pin(b.page_id)
+        assert len(pool) == 2  # grew rather than deadlocked
+
+    def test_invalidate_flushes_then_clears(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        page = disk.allocate("f", 4)
+        buffered = pool.get(page.page_id)
+        buffered.add("x")
+        pool.put(buffered, dirty=True)
+        pool.invalidate_all()
+        assert len(pool) == 0
+        assert disk.read(page.page_id).records == ["x"]
+
+    def test_mark_dirty_requires_residency(self, disk):
+        pool = BufferPool(disk, capacity=4)
+        with pytest.raises(KeyError):
+            pool.mark_dirty(PageId("f", 99))
+
+    def test_rejects_zero_capacity(self, disk):
+        with pytest.raises(ValueError):
+            BufferPool(disk, capacity=0)
+
+
+class TestCostMeter:
+    def test_milliseconds_uses_parameter_constants(self):
+        meter = CostMeter(page_reads=2, page_writes=1, screens=10, ad_ops=4)
+        ms = meter.milliseconds(PAPER_DEFAULTS)
+        assert ms == pytest.approx(3 * 30 + 10 * 1 + 4 * 1)
+
+    def test_snapshot_and_delta(self):
+        meter = CostMeter()
+        meter.record_read(3)
+        snap = meter.snapshot()
+        meter.record_read(2)
+        meter.record_screen(5)
+        delta = meter.delta_since(snap)
+        assert delta.page_reads == 2
+        assert delta.screens == 5
+        assert snap.page_reads == 3  # snapshot unaffected
+
+    def test_reset(self):
+        meter = CostMeter(page_reads=5)
+        meter.reset()
+        assert meter.page_ios == 0

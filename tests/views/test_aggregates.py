@@ -1,0 +1,165 @@
+"""Incremental aggregates: sum/count/avg (paper) + min/max (extension)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.views.aggregates import (
+    AGGREGATE_NAMES,
+    make_aggregate,
+)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(AGGREGATE_NAMES) == {"count", "sum", "avg", "min", "max"}
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_aggregate("median")
+
+
+class TestCount:
+    def test_empty(self):
+        f = make_aggregate("count")
+        assert f.value(f.initial_state()) == 0
+
+    def test_insert_delete(self):
+        f = make_aggregate("count")
+        state = f.initial_state()
+        f.insert(state, 10)
+        f.insert(state, 20)
+        f.delete(state, 10)
+        assert f.value(state) == 1
+
+    def test_underflow_raises(self):
+        f = make_aggregate("count")
+        with pytest.raises(ValueError):
+            f.delete(f.initial_state(), 1)
+
+    def test_merge(self):
+        f = make_aggregate("count")
+        a, b = f.initial_state(), f.initial_state()
+        f.insert(a, 1)
+        f.insert(b, 2)
+        f.merge(a, b)
+        assert f.value(a) == 2
+
+
+class TestSum:
+    def test_empty_is_zero(self):
+        f = make_aggregate("sum")
+        assert f.value(f.initial_state()) == 0
+
+    def test_insert_delete(self):
+        f = make_aggregate("sum")
+        state = f.initial_state()
+        for v in (3, 4, 5):
+            f.insert(state, v)
+        f.delete(state, 4)
+        assert f.value(state) == 8
+
+    def test_underflow_raises(self):
+        f = make_aggregate("sum")
+        with pytest.raises(ValueError):
+            f.delete(f.initial_state(), 1)
+
+    def test_merge(self):
+        f = make_aggregate("sum")
+        a, b = f.initial_state(), f.initial_state()
+        f.insert(a, 10)
+        f.insert(b, 5)
+        f.merge(a, b)
+        assert f.value(a) == 15
+
+
+class TestAverage:
+    def test_empty_is_none(self):
+        f = make_aggregate("avg")
+        assert f.value(f.initial_state()) is None
+
+    def test_running_average(self):
+        f = make_aggregate("avg")
+        state = f.initial_state()
+        for v in (2, 4, 6):
+            f.insert(state, v)
+        assert f.value(state) == pytest.approx(4.0)
+        f.delete(state, 6)
+        assert f.value(state) == pytest.approx(3.0)
+
+    def test_underflow_raises(self):
+        f = make_aggregate("avg")
+        with pytest.raises(ValueError):
+            f.delete(f.initial_state(), 1)
+
+
+class TestMinMax:
+    def test_empty_is_none(self):
+        for name in ("min", "max"):
+            f = make_aggregate(name)
+            assert f.value(f.initial_state()) is None
+
+    def test_min_survives_deleting_minimum(self):
+        """Why the state is a multiset: a bare running min cannot do this."""
+        f = make_aggregate("min")
+        state = f.initial_state()
+        for v in (5, 3, 9):
+            f.insert(state, v)
+        f.delete(state, 3)
+        assert f.value(state) == 5
+
+    def test_max_with_duplicates(self):
+        f = make_aggregate("max")
+        state = f.initial_state()
+        f.insert(state, 7)
+        f.insert(state, 7)
+        f.delete(state, 7)
+        assert f.value(state) == 7
+
+    def test_underflow_raises(self):
+        f = make_aggregate("min")
+        state = f.initial_state()
+        f.insert(state, 1)
+        with pytest.raises(ValueError):
+            f.delete(state, 2)
+
+    def test_merge(self):
+        f = make_aggregate("max")
+        a, b = f.initial_state(), f.initial_state()
+        f.insert(a, 1)
+        f.insert(b, 9)
+        f.merge(a, b)
+        assert f.value(a) == 9
+
+
+class TestIncrementalEqualsRecompute:
+    """Property: incremental maintenance == recomputation from scratch."""
+
+    @given(
+        name=st.sampled_from(["count", "sum", "avg", "min", "max"]),
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=-100, max_value=100)),
+            max_size=100,
+        ),
+    )
+    @settings(max_examples=100)
+    def test_random_streams(self, name, ops):
+        f = make_aggregate(name)
+        state = f.initial_state()
+        live: list[int] = []
+        for is_delete, value in ops:
+            if is_delete and value in live:
+                f.delete(state, value)
+                live.remove(value)
+            else:
+                f.insert(state, value)
+                live.append(value)
+        recomputed = f.initial_state()
+        for value in live:
+            f.insert(recomputed, value)
+        incremental_value = f.value(state)
+        recomputed_value = f.value(recomputed)
+        if incremental_value is None or recomputed_value is None:
+            assert incremental_value == recomputed_value
+        else:
+            assert incremental_value == pytest.approx(recomputed_value)

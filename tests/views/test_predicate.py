@@ -1,0 +1,150 @@
+"""Predicates, intervals, RIU analysis."""
+
+import pytest
+
+from repro.storage.tuples import Schema
+from repro.views.predicate import (
+    AndPredicate,
+    ComparisonPredicate,
+    Interval,
+    IntervalPredicate,
+    NotPredicate,
+    OrPredicate,
+    TruePredicate,
+    is_readily_ignorable,
+)
+
+SCHEMA = Schema("r", ("id", "a", "b"), "id")
+
+
+def rec(a=0, b=0, i=1):
+    return SCHEMA.new_record(id=i, a=a, b=b)
+
+
+class TestInterval:
+    def test_contains_inclusive(self):
+        iv = Interval("a", 1, 5)
+        assert iv.contains(1) and iv.contains(5) and iv.contains(3)
+        assert not iv.contains(0) and not iv.contains(6)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval("a", 5, 1)
+
+
+class TestTruePredicate:
+    def test_matches_everything(self):
+        assert TruePredicate().matches(rec())
+
+    def test_reads_no_fields(self):
+        assert TruePredicate().fields_read() == frozenset()
+
+    def test_no_intervals(self):
+        assert TruePredicate().intervals() == ()
+
+    def test_selectivity_one(self):
+        assert TruePredicate().selectivity_hint() == 1.0
+
+
+class TestIntervalPredicate:
+    def test_matches_inclusive(self):
+        p = IntervalPredicate("a", 10, 20)
+        assert p.matches(rec(a=10)) and p.matches(rec(a=20))
+        assert not p.matches(rec(a=9)) and not p.matches(rec(a=21))
+
+    def test_missing_field_fails(self):
+        p = IntervalPredicate("zz", 0, 1)
+        assert not p.matches(rec())
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            IntervalPredicate("a", 5, 4)
+
+    def test_interval_exposed_for_tlocks(self):
+        p = IntervalPredicate("a", 3, 9)
+        assert p.intervals() == (Interval("a", 3, 9),)
+
+    def test_selectivity_hint(self):
+        assert IntervalPredicate("a", 0, 1, selectivity=0.25).selectivity_hint() == 0.25
+        assert IntervalPredicate("a", 0, 1).selectivity_hint() is None
+
+
+class TestComparisonPredicate:
+    @pytest.mark.parametrize("op,value,expected", [
+        ("==", 5, True), ("==", 6, False),
+        ("!=", 6, True), ("!=", 5, False),
+        ("<", 6, True), ("<", 5, False),
+        ("<=", 5, True), ("<=", 4, False),
+        (">", 4, True), (">", 5, False),
+        (">=", 5, True), (">=", 6, False),
+    ])
+    def test_operators(self, op, value, expected):
+        assert ComparisonPredicate("a", op, value).matches(rec(a=5)) is expected
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(ValueError):
+            ComparisonPredicate("a", "~=", 1)
+
+    def test_equality_yields_point_interval(self):
+        assert ComparisonPredicate("a", "==", 7).intervals() == (Interval("a", 7, 7),)
+
+    def test_inequality_not_coverable(self):
+        assert ComparisonPredicate("a", "<", 7).intervals() == ()
+
+
+class TestComposition:
+    def test_and_matches_all(self):
+        p = IntervalPredicate("a", 0, 10) & IntervalPredicate("b", 5, 5)
+        assert p.matches(rec(a=3, b=5))
+        assert not p.matches(rec(a=3, b=6))
+
+    def test_or_matches_any(self):
+        p = IntervalPredicate("a", 0, 1) | IntervalPredicate("b", 9, 9)
+        assert p.matches(rec(a=5, b=9))
+        assert not p.matches(rec(a=5, b=5))
+
+    def test_not_inverts(self):
+        p = ~IntervalPredicate("a", 0, 10)
+        assert p.matches(rec(a=11))
+        assert not p.matches(rec(a=5))
+
+    def test_and_collects_fields_and_intervals(self):
+        p = IntervalPredicate("a", 0, 10) & IntervalPredicate("b", 5, 5)
+        assert p.fields_read() == {"a", "b"}
+        assert len(p.intervals()) == 2
+
+    def test_and_selectivity_product(self):
+        p = AndPredicate((
+            IntervalPredicate("a", 0, 1, selectivity=0.5),
+            IntervalPredicate("b", 0, 1, selectivity=0.2),
+        ))
+        assert p.selectivity_hint() == pytest.approx(0.1)
+
+    def test_and_selectivity_unknown_propagates(self):
+        p = AndPredicate((
+            IntervalPredicate("a", 0, 1, selectivity=0.5),
+            IntervalPredicate("b", 0, 1),
+        ))
+        assert p.selectivity_hint() is None
+
+    def test_or_coverable_only_if_all_branches_are(self):
+        coverable = OrPredicate((IntervalPredicate("a", 0, 1),
+                                 IntervalPredicate("b", 0, 1)))
+        assert len(coverable.intervals()) == 2
+        partial = OrPredicate((IntervalPredicate("a", 0, 1),
+                               ComparisonPredicate("b", "<", 5)))
+        assert partial.intervals() == ()
+
+    def test_not_never_coverable(self):
+        assert NotPredicate(IntervalPredicate("a", 0, 1)).intervals() == ()
+
+
+class TestRIU:
+    def test_disjoint_fields_are_ignorable(self):
+        assert is_readily_ignorable({"salary"}, {"dept", "name"})
+
+    def test_overlap_not_ignorable(self):
+        assert not is_readily_ignorable({"dept", "salary"}, {"dept"})
+
+    def test_empty_write_set_ignorable(self):
+        assert is_readily_ignorable(set(), {"a"})

@@ -1,0 +1,150 @@
+"""Scenario generation: determinism, interleaving, structure."""
+
+import pytest
+
+from repro.core.strategies import Strategy, ViewModel
+from repro.hr.differential import HypotheticalRelation
+from repro.workload.generator import QueryOp, UpdateOp, build_scenario
+from repro.workload.spec import SCALED_DEFAULTS, ScenarioConfig
+
+
+def small_params(**overrides):
+    base = dict(N=500, k=6, l=3, q=8)
+    base.update(overrides)
+    return SCALED_DEFAULTS.with_updates(**base)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("model", list(ViewModel))
+    def test_operation_counts_match_parameters(self, model):
+        strategy = (Strategy.QM_LOOPJOIN if model is ViewModel.JOIN
+                    else Strategy.QM_CLUSTERED)
+        config = ScenarioConfig(params=small_params(), model=model, strategy=strategy)
+        scenario = build_scenario(config)
+        assert scenario.query_count() == 8
+        assert scenario.update_count() == 6
+
+    def test_updates_spread_between_queries(self):
+        config = ScenarioConfig(params=small_params(k=4, q=8))
+        scenario = build_scenario(config)
+        kinds = ["U" if isinstance(op, UpdateOp) else "Q" for op in scenario.operations]
+        # k/q = 0.5: no two updates adjacent.
+        assert "UU" not in "".join(kinds)
+
+    def test_update_heavy_interleaving(self):
+        config = ScenarioConfig(params=small_params(k=16, q=4))
+        scenario = build_scenario(config)
+        kinds = "".join("U" if isinstance(op, UpdateOp) else "Q"
+                        for op in scenario.operations)
+        assert kinds.count("Q") == 4
+        assert kinds.count("U") == 16
+        # Four updates before each query.
+        assert kinds == "UUUUQ" * 4
+
+    def test_query_ranges_inside_view(self):
+        config = ScenarioConfig(params=small_params())
+        scenario = build_scenario(config)
+        for op in scenario.operations:
+            if isinstance(op, QueryOp):
+                assert 0 <= op.lo <= op.hi < config.view_bound
+
+    def test_transactions_have_l_operations(self):
+        config = ScenarioConfig(params=small_params())
+        scenario = build_scenario(config)
+        for op in scenario.operations:
+            if isinstance(op, UpdateOp):
+                assert len(op.txn) == 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = build_scenario(ScenarioConfig(params=small_params(), seed=5))
+        b = build_scenario(ScenarioConfig(params=small_params(), seed=5))
+        ops_a = [(type(op).__name__, getattr(op, "lo", None)) for op in a.operations]
+        ops_b = [(type(op).__name__, getattr(op, "lo", None)) for op in b.operations]
+        assert ops_a == ops_b
+
+    def test_different_seed_differs(self):
+        a = build_scenario(ScenarioConfig(params=small_params(), seed=5))
+        b = build_scenario(ScenarioConfig(params=small_params(), seed=6))
+        ranges_a = [(op.lo, op.hi) for op in a.operations if isinstance(op, QueryOp)]
+        ranges_b = [(op.lo, op.hi) for op in b.operations if isinstance(op, QueryOp)]
+        assert ranges_a != ranges_b
+
+    def test_calibration_twin_has_same_updates(self):
+        with_view = build_scenario(ScenarioConfig(params=small_params(), seed=5))
+        without = build_scenario(
+            ScenarioConfig(params=small_params(), seed=5, include_view=False)
+        )
+        txns_a = [op.txn for op in with_view.operations if isinstance(op, UpdateOp)]
+        txns_b = [op.txn for op in without.operations if isinstance(op, UpdateOp)]
+        assert txns_a == txns_b
+
+
+class TestRelationKinds:
+    def test_deferred_gets_hypothetical_relation(self):
+        scenario = build_scenario(
+            ScenarioConfig(params=small_params(), strategy=Strategy.DEFERRED)
+        )
+        assert isinstance(scenario.database.relations["r"], HypotheticalRelation)
+
+    def test_calibration_twin_is_plain_even_for_deferred(self):
+        scenario = build_scenario(
+            ScenarioConfig(params=small_params(), strategy=Strategy.DEFERRED,
+                           include_view=False)
+        )
+        assert not isinstance(scenario.database.relations["r"], HypotheticalRelation)
+        assert scenario.database.views == {}
+
+    def test_unclustered_scenario_clusters_on_key(self):
+        scenario = build_scenario(
+            ScenarioConfig(params=small_params(), strategy=Strategy.QM_UNCLUSTERED)
+        )
+        assert scenario.database.relations["r"].clustered_on == "id"
+
+    def test_join_scenario_builds_hashed_inner(self):
+        from repro.engine.relations import HashedRelation
+
+        scenario = build_scenario(
+            ScenarioConfig(params=small_params(), model=ViewModel.JOIN,
+                           strategy=Strategy.QM_LOOPJOIN)
+        )
+        assert isinstance(scenario.database.relations["r2"], HashedRelation)
+        expected_inner = round(0.1 * 500)
+        assert len(scenario.database.relations["r2"]) == expected_inner
+
+
+class TestUpdateSkew:
+    def test_hot_skew_concentrates_updates(self):
+        import collections
+
+        config = ScenarioConfig(params=small_params(k=20, q=4),
+                                update_skew="hot", seed=3)
+        scenario = build_scenario(config)
+        counts = collections.Counter()
+        for op in scenario.operations:
+            if isinstance(op, UpdateOp):
+                for inner in op.txn.operations:
+                    counts[inner.key] += 1
+        hot_cutoff = 500 // 5  # hottest 20% of the 500 keys
+        hot_hits = sum(c for key, c in counts.items() if key < hot_cutoff)
+        assert hot_hits / sum(counts.values()) > 0.6
+
+    def test_uniform_skew_spreads_updates(self):
+        import collections
+
+        config = ScenarioConfig(params=small_params(k=20, q=4),
+                                update_skew="uniform", seed=3)
+        scenario = build_scenario(config)
+        counts = collections.Counter()
+        for op in scenario.operations:
+            if isinstance(op, UpdateOp):
+                for inner in op.txn.operations:
+                    counts[inner.key] += 1
+        hot_cutoff = 500 // 5
+        hot_hits = sum(c for key, c in counts.items() if key < hot_cutoff)
+        assert hot_hits / sum(counts.values()) < 0.4
+
+    def test_invalid_skew_rejected(self):
+        with pytest.raises(ValueError, match="update_skew"):
+            ScenarioConfig(params=small_params(), update_skew="zipf")

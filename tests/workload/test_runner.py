@@ -1,0 +1,86 @@
+"""Simulation runner: phase accounting and calibration."""
+
+import pytest
+
+from repro.core.strategies import Strategy, ViewModel
+from repro.workload.generator import build_scenario
+from repro.workload.runner import (
+    SimulationResult,
+    measure_base_update_cost,
+    run_config,
+    run_scenario,
+)
+from repro.workload.spec import SCALED_DEFAULTS, ScenarioConfig
+
+
+def small_config(**overrides):
+    params = SCALED_DEFAULTS.with_updates(N=800, k=6, l=3, q=8)
+    defaults = dict(params=params, model=ViewModel.SELECT_PROJECT,
+                    strategy=Strategy.IMMEDIATE, seed=3)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+class TestRunScenario:
+    def test_counts_operations(self):
+        result = run_scenario(build_scenario(small_config()))
+        assert result.queries == 8
+        assert result.updates == 6
+        assert len(result.answer_sizes) == 8
+
+    def test_phase_split_sums_to_total(self):
+        result = run_scenario(build_scenario(small_config()))
+        assert result.total_ms == pytest.approx(result.query_ms + result.update_ms)
+
+    def test_query_modification_has_zero_update_screens(self):
+        result = run_scenario(build_scenario(small_config(strategy=Strategy.QM_CLUSTERED)))
+        assert result.update_meter.screens == 0
+        assert result.update_meter.ad_ops == 0
+
+    def test_immediate_pays_update_side_costs(self):
+        result = run_scenario(build_scenario(small_config(strategy=Strategy.IMMEDIATE)))
+        assert result.update_meter.ad_ops > 0
+
+    def test_deferred_query_phase_carries_refresh(self):
+        deferred = run_scenario(build_scenario(small_config(strategy=Strategy.DEFERRED)))
+        qm = run_scenario(build_scenario(small_config(strategy=Strategy.QM_CLUSTERED)))
+        # Deferred writes the view (and folds AD) inside the query phase.
+        assert deferred.query_meter.page_writes > qm.query_meter.page_writes
+
+
+class TestCalibration:
+    def test_base_cost_positive(self):
+        assert measure_base_update_cost(small_config()) > 0
+
+    def test_overhead_subtracts_base(self):
+        config = small_config()
+        base = measure_base_update_cost(config)
+        result = run_scenario(build_scenario(config), base_update_ms=base)
+        assert result.view_overhead_ms == pytest.approx(
+            max(0.0, result.total_ms - base)
+        )
+        assert result.avg_cost_per_query == pytest.approx(
+            result.view_overhead_ms / result.queries
+        )
+
+    def test_run_config_calibrates_by_default(self):
+        result = run_config(small_config())
+        assert result.base_update_ms > 0
+
+    def test_run_config_without_calibration(self):
+        result = run_config(small_config(), calibrate=False)
+        assert result.base_update_ms == 0.0
+
+    def test_describe_readable(self):
+        result = run_config(small_config())
+        text = result.describe()
+        assert "immediate" in text
+        assert "ms/query" in text
+
+
+class TestDeterminism:
+    def test_same_config_same_measurement(self):
+        a = run_config(small_config())
+        b = run_config(small_config())
+        assert a.avg_cost_per_query == b.avg_cost_per_query
+        assert a.query_meter.page_ios == b.query_meter.page_ios

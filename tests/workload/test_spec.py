@@ -1,0 +1,54 @@
+"""Scenario configuration."""
+
+import pytest
+
+from repro.core.strategies import Strategy, ViewModel
+from repro.workload.spec import SCALED_DEFAULTS, ScenarioConfig
+
+
+class TestScaledDefaults:
+    def test_same_shape_as_paper(self):
+        p = SCALED_DEFAULTS
+        assert p.f == 0.1 and p.f_v == 0.1 and p.f_r2 == 0.1
+        assert (p.c1, p.c2, p.c3) == (1.0, 30.0, 1.0)
+
+    def test_integral_workload_counts(self):
+        p = SCALED_DEFAULTS
+        assert p.k == int(p.k) and p.q == int(p.q) and p.l == int(p.l)
+
+
+class TestScenarioConfig:
+    def test_defaults_valid(self):
+        config = ScenarioConfig()
+        assert config.model is ViewModel.SELECT_PROJECT
+        assert config.strategy is Strategy.DEFERRED
+
+    def test_view_bound_tracks_f(self):
+        config = ScenarioConfig(domain=1000)
+        assert config.view_bound == 100  # f = .1
+
+    def test_query_width_tracks_fv(self):
+        config = ScenarioConfig(domain=1000)
+        assert config.query_width == 10  # f_v = .1 of the view's 100 values
+
+    def test_view_bound_never_zero(self):
+        config = ScenarioConfig(
+            params=SCALED_DEFAULTS.with_updates(f=0.001), domain=100
+        )
+        assert config.view_bound >= 1
+        assert config.query_width >= 1
+
+    def test_rejects_tiny_domain(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(domain=1)
+
+    def test_rejects_fractional_counts(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(params=SCALED_DEFAULTS.with_updates(k=2.5))
+        with pytest.raises(ValueError):
+            ScenarioConfig(params=SCALED_DEFAULTS.with_updates(l=2.5))
+
+    def test_describe_mentions_strategy_and_p(self):
+        text = ScenarioConfig().describe()
+        assert "deferred" in text
+        assert "P=" in text
