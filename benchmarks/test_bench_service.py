@@ -1,0 +1,30 @@
+"""Benchmark for the serving layer's adaptive-vs-static claim.
+
+The ``ext-service`` experiment replays one seeded drifting-``P``
+request stream under every static strategy and under the adaptive
+router.  The acceptance bar: adaptive must strictly beat the worst
+static strategy, land within 15% of the best static strategy chosen in
+hindsight, and perform at least one mid-run migration.
+"""
+
+from repro.experiments.service import run_serving_comparison
+from .conftest import run_once
+
+
+def test_adaptive_serving(benchmark):
+    runs = run_once(benchmark, run_serving_comparison)
+    for run in runs:
+        print(f"\n{run.mode:<18} {run.ms_per_query:8.1f} ms/query "
+              f"({run.queries} queries)")
+
+    statics = [r for r in runs if r.mode != "adaptive"]
+    adaptive = next(r for r in runs if r.mode == "adaptive")
+    best = min(r.ms_per_query for r in statics)
+    worst = max(r.ms_per_query for r in statics)
+
+    # All runs served identical traffic.
+    assert len({(r.queries, r.updates) for r in runs}) == 1
+
+    assert adaptive.ms_per_query < worst
+    assert adaptive.ms_per_query <= 1.15 * best
+    assert adaptive.switches, "the router never migrated a view"

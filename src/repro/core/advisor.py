@@ -58,6 +58,17 @@ class Recommendation:
             return 0.0
         return self.margin / self.runner_up.total
 
+    def to_dict(self) -> dict:
+        """JSON-ready form: winner, margins, and the full ranking."""
+        return {
+            "model": int(self.model),
+            "recommended": self.strategy.value,
+            "total_ms": self.best.total,
+            "margin_ms": self.margin,
+            "relative_margin": self.relative_margin,
+            "ranking": [bd.to_dict() for bd in self.ranking],
+        }
+
     def describe(self) -> str:
         """Readable report: winner, margin, and the ranked costs."""
         lines = [

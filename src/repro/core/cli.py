@@ -6,11 +6,13 @@ the paper's cost comparison and a recommendation::
     repro-advisor --model 1 --n-tuples 250000 -f 0.05 --fv 0.5 -P 0.1
     repro-advisor --model 2 --sweep-p      # winner across P
     repro-advisor --model 3 --breakdown    # component-level costs
+    repro-advisor --json                   # machine-readable output
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .advisor import evaluate, recommend
@@ -61,6 +63,8 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print component-level costs for every strategy")
     parser.add_argument("--sweep-p", action="store_true",
                         help="print the winner across update probabilities")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
     return parser
 
 
@@ -95,15 +99,31 @@ def main(argv: list[str] | None = None) -> int:
     model = ViewModel(args.model)
 
     if args.sweep_p:
-        print(f"Winner vs update probability (Model {args.model}):")
+        points = []
         for percent in range(5, 100, 5):
             p = percent / 100
             rec = recommend(params.with_update_probability(p), model)
+            points.append((p, rec))
+        if args.json:
+            print(json.dumps({
+                "model": args.model,
+                "sweep": [
+                    {"P": p, "recommended": rec.strategy.value,
+                     "total_ms": rec.best.total}
+                    for p, rec in points
+                ],
+            }, indent=2))
+            return 0
+        print(f"Winner vs update probability (Model {args.model}):")
+        for p, rec in points:
             print(f"  P = {p:4.2f}  {rec.strategy.label:<12} "
                   f"{rec.best.total:12.1f} ms/query")
         return 0
 
     rec = recommend(params, model)
+    if args.json:
+        print(json.dumps(rec.to_dict(), indent=2))
+        return 0
     print(rec.describe())
     if args.breakdown:
         print()

@@ -55,6 +55,15 @@ class CostBreakdown:
             return 0.0
         return self.components[name] / self.total
 
+    def to_dict(self) -> dict:
+        """JSON-ready form: strategy/model tags, components, total."""
+        return {
+            "strategy": self.strategy.value,
+            "model": int(self.model),
+            "components": dict(self.components),
+            "total_ms": self.total,
+        }
+
     def describe(self) -> str:
         """Multi-line human-readable rendering, largest component first."""
         lines = [f"{self.strategy.label} (Model {int(self.model)}): {self.total:.1f} ms"]

@@ -254,6 +254,104 @@ class Database:
         self.meter.reset()
 
     # ------------------------------------------------------------------
+    # catalog changes after definition (the serving layer's surface)
+    # ------------------------------------------------------------------
+    def views_on(self, relation_name: str) -> tuple[str, ...]:
+        """Names of the views sourced from one relation."""
+        return tuple(self._views_by_relation.get(relation_name, ()))
+
+    def view_definition(self, name: str) -> Any:
+        """The declarative definition a view was registered with."""
+        impl = self.views.get(name)
+        if impl is None:
+            raise CatalogError(f"unknown view {name!r}")
+        return impl.definition
+
+    def settle_relation(self, relation_name: str) -> None:
+        """Fold a hypothetical relation's pending AD changes into its base.
+
+        Query-modification plans read the *base* file, which lags the
+        true relation while updates sit in the AD file — so a strategy
+        migration (or any base-level read) must settle first.  When
+        deferred views exist the fold goes through their shared
+        coordinator so every sibling is refreshed from the same AD read
+        (dropping the batch would corrupt them); otherwise the relation
+        folds directly.  Settling charges the normal refresh I/O.
+        """
+        relation = self._base_of(relation_name)
+        if not isinstance(relation, HypotheticalRelation):
+            return
+        if relation.ad_entry_count() == 0:
+            return
+        coordinator = self._deferred_coordinators.get(relation_name)
+        if coordinator is not None and coordinator.views:
+            coordinator.refresh_all()
+        else:
+            relation.reset()
+        self.pool.flush_all()
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view and free its stored copy's pages.
+
+        Deferred views are simply deregistered from their coordinator —
+        the relation's AD backlog stays for the remaining siblings (or
+        for :meth:`settle_relation`).  Page deallocation is a catalog
+        operation and charges no I/O, like the paper's file drops.
+        """
+        impl = self.views.pop(name, None)
+        if impl is None:
+            raise CatalogError(f"unknown view {name!r}")
+        for view_names in self._views_by_relation.values():
+            while name in view_names:
+                view_names.remove(name)
+        if impl.strategy is Strategy.DEFERRED:
+            coordinator = impl.coordinator
+            coordinator.deregister(impl)
+            for rel_name, shared in list(self._deferred_coordinators.items()):
+                if shared is coordinator and not coordinator.views:
+                    del self._deferred_coordinators[rel_name]
+        matview = getattr(impl, "matview", None)
+        if matview is not None:
+            matview.tree.reset()
+        store = getattr(impl, "store", None)
+        if store is not None:
+            store.free()
+
+    def migrate_view(
+        self,
+        name: str,
+        strategy: Strategy,
+        plan: str | None = None,
+        index_field: str | None = None,
+        refresh_every: int = 10,
+    ) -> "MaintenanceStrategy":
+        """Re-register a view under a different maintenance strategy.
+
+        The old implementation is dropped, the source relation settled
+        (so a rebuild reads current data), and the view defined afresh.
+        All I/O this incurs — the settle plus, for materialized
+        targets, the bulk load of the new stored copy — stays on the
+        meter: it *is* the migration's cost, which the adaptive router
+        weighs against the steady-state win.
+        """
+        impl = self.views.get(name)
+        if impl is None:
+            raise CatalogError(f"unknown view {name!r}")
+        if impl.strategy is strategy:
+            return impl
+        definition = impl.definition
+        self.drop_view(name)
+        sources = [definition.outer if isinstance(definition, JoinView) else definition.relation]
+        for source in sources:
+            self.settle_relation(source)
+        new_impl = self.define_view(
+            definition, strategy,
+            plan=plan, index_field=index_field, refresh_every=refresh_every,
+        )
+        self.pool.flush_all()
+        return new_impl
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _base_of(self, relation_name: str) -> Any:

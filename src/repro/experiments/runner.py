@@ -6,8 +6,8 @@ one: the paper's artifacts (``fig1`` .. ``fig9``, ``params``,
 ``emp-dept``, ``yao``, ``sensitivity``, ``breakdown``), the
 simulation-side checks (``validate``, ``sim-fig1``/``5``/``8``,
 ``ablation``) and the extensions (``ext-async``, ``ext-snapshot``,
-``ext-hybrid``, ``ext-five``).  ``--csv DIR`` additionally writes raw
-data files.
+``ext-hybrid``, ``ext-five``, ``ext-service``).  ``--csv DIR``
+additionally writes raw data files.
 """
 
 from __future__ import annotations
@@ -18,7 +18,16 @@ from pathlib import Path
 from typing import Callable
 
 from repro.core.regions import RegionMap
-from . import ablation, components, extensions, figures, sim_figures, tables, validation
+from . import (
+    ablation,
+    components,
+    extensions,
+    figures,
+    service,
+    sim_figures,
+    tables,
+    validation,
+)
 from .series import FigureData, TableData
 
 __all__ = ["main", "EXPERIMENTS", "run_experiment"]
@@ -58,6 +67,7 @@ EXPERIMENTS: dict[str, Callable[[], list[Artifact]]] = {
     "ext-hybrid": lambda: [extensions.hybrid_routing_table()],
     "ext-five": lambda: [extensions.five_mechanisms_table()],
     "ext-skew": lambda: [extensions.update_skew_table()],
+    "ext-service": lambda: [service.adaptive_serving_table()],
     "ablation": lambda: [
         ablation.ad_file_ablation(),
         ablation.bloom_filter_ablation(),

@@ -63,6 +63,12 @@ class DeferredCoordinator:
     def views(self) -> tuple["_DeferredBase", ...]:
         return tuple(self._views)
 
+    def deregister(self, view: "_DeferredBase") -> None:
+        """Remove a view (catalog drop); the AD backlog stays for the
+        remaining siblings."""
+        if view in self._views:
+            self._views.remove(view)
+
     def refresh_all(self) -> None:
         """Read AD once, refresh every registered view, reset the HR."""
         net = self.relation.net_changes()

@@ -1,0 +1,70 @@
+"""The serving layer: many views, live traffic, adaptive strategies.
+
+The paper's conclusion is a *decision procedure* — which maintenance
+strategy is cheapest depends on workload parameters (`P`, `l`, `f`,
+`f_v`) that shift at runtime.  This package turns the one-shot
+experiment harness into a long-lived **view server**:
+
+* :mod:`repro.service.server` — :class:`ViewServer` hosts many named
+  views over one shared :class:`~repro.engine.database.Database` and
+  serves interleaved update/query traffic from multiple logical
+  clients, sharing deferred refreshes per base relation.
+* :mod:`repro.service.router` — :class:`AdaptiveRouter` keeps running
+  workload statistics per view, re-runs the paper's advisor on live
+  estimates, and migrates views between strategies with hysteresis.
+* :mod:`repro.service.scheduler` — refresh policies beyond the paper's
+  on-demand refresh: periodic every-*j*-queries and asynchronous
+  background refresh, priced with :mod:`repro.core.policies`.
+* :mod:`repro.service.metrics` — a counter/gauge/histogram registry
+  recording per-view, per-strategy latency, refresh cost, AD-file
+  depth, Bloom-filter screening and strategy migrations; exportable as
+  JSON and as an ASCII dashboard.
+* :mod:`repro.service.traffic` — multi-client, multi-phase workload
+  generation (drifting update probability) and a demo server builder.
+* :mod:`repro.service.cli` — the ``repro-serve`` entry point.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSchemaError,
+    validate_metrics,
+)
+from .router import AdaptiveRouter, RouterConfig, StrategySwitch, WorkloadStats
+from .scheduler import RefreshPolicy, RefreshScheduler, StalenessReport
+from .server import ViewServer
+from .traffic import (
+    PhaseSpec,
+    Request,
+    ServiceDemo,
+    TrafficSummary,
+    demo_server,
+    drifting_traffic,
+    run_traffic,
+)
+
+__all__ = [
+    "AdaptiveRouter",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSchemaError",
+    "PhaseSpec",
+    "RefreshPolicy",
+    "RefreshScheduler",
+    "Request",
+    "RouterConfig",
+    "ServiceDemo",
+    "StalenessReport",
+    "StrategySwitch",
+    "TrafficSummary",
+    "ViewServer",
+    "WorkloadStats",
+    "demo_server",
+    "drifting_traffic",
+    "run_traffic",
+    "validate_metrics",
+]

@@ -1,0 +1,128 @@
+"""``repro-serve``: drive the view server from the command line.
+
+Replays a drifting-``P`` workload against the two-view demo server and
+reports what it cost — with the adaptive router on (default) or pinned
+to one static strategy::
+
+    repro-serve                                  # adaptive, default drift
+    repro-serve --static deferred                # a static baseline
+    repro-serve --phases 0.15:70:3,0.9:70:8      # P:ops[:l] per phase
+    repro-serve --json                           # metrics export (schema v1)
+    repro-serve --dashboard                      # ASCII metrics dashboard
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.strategies import Strategy
+from .router import RouterConfig
+from .traffic import PhaseSpec, demo_server, drifting_traffic, run_traffic
+
+__all__ = ["main", "parse_phases"]
+
+_STATIC_CHOICES = ("deferred", "immediate", "qm_clustered")
+
+DEFAULT_PHASES = "0.15:70:3,0.9:70:8"
+
+
+def parse_phases(text: str) -> tuple[PhaseSpec, ...]:
+    """Parse ``P:ops[:l]`` comma-separated phase specs."""
+    phases = []
+    for chunk in text.split(","):
+        parts = chunk.strip().split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"bad phase {chunk!r}: expected P:operations[:batch_size]"
+            )
+        p = float(parts[0])
+        ops = int(parts[1])
+        batch = int(parts[2]) if len(parts) == 3 else 5
+        phases.append(PhaseSpec(operations=ops, update_probability=p, batch_size=batch))
+    if not phases:
+        raise ValueError("at least one phase is required")
+    return tuple(phases)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve a drifting update/query workload over materialized "
+        "views, with adaptive strategy routing (Hanson, SIGMOD 1987).",
+    )
+    parser.add_argument("--n-tuples", type=int, default=2000,
+                        help="tuples in the base relation (default 2000)")
+    parser.add_argument("--domain", type=int, default=1000,
+                        help="attribute domain size (default 1000)")
+    parser.add_argument("--view-bound", type=int, default=100,
+                        help="view covers a in [0, bound) (default 100)")
+    parser.add_argument("--phases", default=DEFAULT_PHASES,
+                        help="comma-separated P:operations[:batch] phases "
+                        f"(default {DEFAULT_PHASES!r})")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="seed for data and traffic (default 7)")
+    parser.add_argument("--static", choices=_STATIC_CHOICES, default=None,
+                        help="pin one strategy instead of adaptive routing")
+    parser.add_argument("--decision-every", type=int, default=20,
+                        help="router re-decides every N ops per view (default 20)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the metrics JSON export instead of the summary")
+    parser.add_argument("--dashboard", action="store_true",
+                        help="print the ASCII metrics dashboard after the summary")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        phases = parse_phases(args.phases)
+    except ValueError as exc:
+        print(f"invalid phases: {exc}", file=sys.stderr)
+        return 2
+
+    adaptive = args.static is None
+    demo = demo_server(
+        n_tuples=args.n_tuples,
+        domain=args.domain,
+        view_bound=args.view_bound,
+        seed=args.seed,
+        strategy=Strategy(args.static) if args.static else Strategy.DEFERRED,
+        adaptive=adaptive,
+        router_config=RouterConfig(decision_every=args.decision_every),
+    )
+    requests = drifting_traffic(demo, phases, seed=args.seed + 1)
+    summary = run_traffic(demo.server, requests)
+
+    total_ms = demo.database.meter.milliseconds(demo.server.params)
+    per_query = total_ms / summary.queries if summary.queries else 0.0
+
+    if args.json:
+        print(demo.server.metrics_json())
+        return 0
+
+    mode = "adaptive" if adaptive else f"static {args.static}"
+    print(f"served {summary.operations} requests "
+          f"({summary.queries} queries, {summary.updates} updates) [{mode}]")
+    print(f"total modelled cost {total_ms:.0f} ms, {per_query:.1f} ms/query")
+    router = demo.server.router
+    if router is not None:
+        if router.switches:
+            for sw in router.switches:
+                print(f"  switch: {sw.view} {sw.from_strategy.label} -> "
+                      f"{sw.to_strategy.label} at op {sw.at_operation} "
+                      f"(P~{sw.estimated_p:.2f}, advantage {sw.relative_advantage:.0%})")
+        else:
+            print("  no strategy switches")
+    for view in demo.view_names:
+        report = demo.server.staleness(view)
+        print(f"  {view}: strategy={demo.server.strategy_of(view).label}, "
+              f"pending AD entries={report.pending_ad_entries}")
+    if args.dashboard:
+        print()
+        print(demo.server.dashboard())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,300 @@
+"""Observability for the serving layer: counters, gauges, histograms.
+
+The paper prices strategies analytically; the server *measures* them.
+Every request through :class:`~repro.service.server.ViewServer` lands
+in a :class:`MetricsRegistry` — per-view and per-strategy query
+latency, refresh cost, AD-file depth, Bloom-filter screening
+effectiveness and strategy-switch events — so an operator (or the
+adaptive router's tests) can see the cost model playing out live.
+
+Instruments are keyed by ``(name, labels)`` like Prometheus series.
+The registry exports a versioned JSON document (schema tag
+``repro.service.metrics/v1``, checked by :func:`validate_metrics`) and
+renders a plain-ASCII dashboard for the ``repro-serve`` CLI.
+
+Latency here is *modelled milliseconds*: the serving layer converts
+:class:`~repro.storage.pager.CostMeter` deltas with the workload's
+cost constants (``c1``/``c2``/``c3``), so one histogram observation is
+directly comparable with the paper's ``TOTAL_*`` formulas.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSchemaError",
+    "SCHEMA",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "validate_metrics",
+]
+
+#: Version tag stamped into every export; bump on breaking changes.
+SCHEMA = "repro.service.metrics/v1"
+
+#: Default histogram bucket upper bounds, in modelled milliseconds.
+#: Spans one screen (c1=1) up to thousands of I/Os; +inf catches the rest.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0, math.inf,
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _labels_of(labels: Mapping[str, Any]) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (requests served, switches)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A point-in-time level (AD depth, Bloom fill, staleness)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """A cumulative-bucket latency/cost distribution.
+
+    Buckets are upper bounds (the last must be ``+inf``); ``observe``
+    also tracks count/sum/min/max so mean latency needs no bucket math.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: Labels,
+        buckets: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_MS,
+    ) -> None:
+        if not buckets or buckets[-1] != math.inf:
+            raise ValueError(f"histogram {name!r} buckets must end with +inf")
+        if list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r} buckets must be sorted")
+        self.name = name
+        self.labels = labels
+        self.buckets = buckets
+        self.bucket_counts = [0] * len(buckets)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean,
+            "buckets": [
+                {"le": "inf" if bound == math.inf else bound, "count": n}
+                for bound, n in zip(self.buckets, self.bucket_counts)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Keyed store of instruments, exportable as JSON or a dashboard."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, Labels], Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    def _get(self, cls: type, name: str, labels: Mapping[str, Any]) -> Any:
+        key = (name, _labels_of(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {instrument.kind}, "
+                f"requested {cls.kind}"
+            )
+        return instrument
+
+    def series(self, name: str | None = None) -> list[Counter | Gauge | Histogram]:
+        """All instruments (optionally filtered by name), sorted by key."""
+        items = sorted(self._instruments.items())
+        return [inst for (n, _), inst in items if name is None or n == name]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Versioned export: the whole registry as plain data."""
+        return {
+            "schema": SCHEMA,
+            "metrics": [inst.to_dict() for inst in self.series()],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_dashboard(self, width: int = 72) -> str:
+        """Plain-ASCII dashboard for terminals and logs."""
+        lines = [f"{' metrics ':=^{width}}"]
+        for inst in self.series():
+            label_str = ",".join(f"{k}={v}" for k, v in inst.labels)
+            head = f"{inst.name}{{{label_str}}}" if label_str else inst.name
+            if isinstance(inst, Histogram):
+                if inst.count:
+                    lines.append(
+                        f"{head:<52} n={inst.count:<6} mean={inst.mean:10.1f} ms"
+                    )
+                    lines.append(self._spark(inst, width))
+                else:
+                    lines.append(f"{head:<52} n=0")
+            else:
+                lines.append(f"{head:<52} {inst.value:14.1f}")
+        lines.append("=" * width)
+        return "\n".join(lines)
+
+    @staticmethod
+    def _spark(hist: Histogram, width: int) -> str:
+        peak = max(hist.bucket_counts) or 1
+        marks = "".join(
+            " .:-=+*#"[min(7, (n * 7 + peak - 1) // peak)] for n in hist.bucket_counts
+        )
+        return f"    [{marks}] <= {hist.buckets[-2] if len(hist.buckets) > 1 else 'inf'} ms ... inf"
+
+
+class MetricsSchemaError(ValueError):
+    """A metrics export violates the ``repro.service.metrics/v1`` schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise MetricsSchemaError(message)
+
+
+def validate_metrics(doc: Mapping[str, Any]) -> None:
+    """Check an export against the v1 schema; raises on violations.
+
+    The schema check is what tests (and downstream scrapers) rely on:
+    top-level ``schema``/``metrics`` keys, per-series ``name``/``kind``/
+    ``labels``, kind-appropriate fields, cumulative histogram buckets
+    ending at ``inf`` with counts summing to ``count``.
+    """
+    _require(isinstance(doc, Mapping), "export must be a mapping")
+    _require(doc.get("schema") == SCHEMA, f"schema tag must be {SCHEMA!r}")
+    metrics = doc.get("metrics")
+    _require(isinstance(metrics, list), "'metrics' must be a list")
+    for entry in metrics:
+        _require(isinstance(entry, Mapping), "each metric must be a mapping")
+        name = entry.get("name")
+        _require(isinstance(name, str) and bool(name), "metric name must be a non-empty string")
+        kind = entry.get("kind")
+        _require(kind in ("counter", "gauge", "histogram"), f"{name}: bad kind {kind!r}")
+        labels = entry.get("labels")
+        _require(isinstance(labels, Mapping), f"{name}: labels must be a mapping")
+        _require(
+            all(isinstance(k, str) and isinstance(v, str) for k, v in labels.items()),
+            f"{name}: label keys and values must be strings",
+        )
+        if kind in ("counter", "gauge"):
+            _require(
+                isinstance(entry.get("value"), (int, float)),
+                f"{name}: {kind} needs a numeric 'value'",
+            )
+            if kind == "counter":
+                _require(entry["value"] >= 0, f"{name}: counter must be >= 0")
+        else:
+            _validate_histogram(name, entry)
+
+
+def _validate_histogram(name: str, entry: Mapping[str, Any]) -> None:
+    for field in ("count", "sum", "mean"):
+        _require(
+            isinstance(entry.get(field), (int, float)),
+            f"{name}: histogram needs numeric {field!r}",
+        )
+    buckets = entry.get("buckets")
+    _require(isinstance(buckets, list) and bool(buckets), f"{name}: needs buckets")
+    bounds: list[float] = []
+    total = 0
+    for bucket in buckets:
+        _require(isinstance(bucket, Mapping), f"{name}: bucket must be a mapping")
+        le = bucket.get("le")
+        bounds.append(math.inf if le == "inf" else float(le))
+        count = bucket.get("count")
+        _require(isinstance(count, int) and count >= 0, f"{name}: bucket count must be >= 0")
+        total += count
+    _require(bounds == sorted(bounds), f"{name}: bucket bounds must be sorted")
+    _require(bounds[-1] == math.inf, f"{name}: last bucket must be 'inf'")
+    _require(total == entry["count"], f"{name}: bucket counts must sum to count")

@@ -1,0 +1,396 @@
+"""The view server: many views, one database, live traffic.
+
+:class:`ViewServer` is the serving layer over
+:class:`~repro.engine.database.Database`.  It hosts any number of
+named views (each under its own maintenance strategy), applies update
+transactions from logical clients, answers view queries, and around
+every request:
+
+* attributes the request's :class:`~repro.storage.pager.CostMeter`
+  delta to per-view / per-strategy / per-client metrics (in modelled
+  milliseconds, so measurements line up with the paper's formulas),
+* lets the :class:`~repro.service.scheduler.RefreshScheduler` decide
+  whether a deferred view folds its backlog now, later, or in
+  background "idle time",
+* feeds the :class:`~repro.service.router.AdaptiveRouter`, which may
+  migrate a view to a cheaper strategy as the observed workload
+  drifts.
+
+Deferred views over one relation share refresh work through the
+engine's :class:`~repro.maintenance.deferred.DeferredCoordinator` (one
+AD read refreshes all siblings).  A re-entrant lock serializes the
+request surface, so concurrent client threads interleave at request
+granularity — single-writer semantics, like the paper's one-user cost
+model, but safe to drive from many threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.parameters import PAPER_DEFAULTS, Parameters
+from repro.core.strategies import Strategy
+from repro.engine.database import CatalogError, Database
+from repro.engine.transaction import Transaction
+from repro.hr.differential import HypotheticalRelation
+from repro.views.definition import AggregateView, JoinView, SelectProjectView
+from .metrics import MetricsRegistry
+from .router import AdaptiveRouter
+from .scheduler import RefreshPolicy, RefreshScheduler, StalenessReport
+
+__all__ = ["ViewServer", "ServedView"]
+
+ViewDefinition = SelectProjectView | JoinView | AggregateView
+
+
+@dataclass
+class ServedView:
+    """Catalog entry the server keeps per hosted view."""
+
+    definition: ViewDefinition
+    #: Whether the adaptive router may migrate this view.
+    adaptive: bool
+    queries: int = 0
+    updates_seen: int = 0
+
+
+class ViewServer:
+    """Serve interleaved update/query traffic over many views."""
+
+    def __init__(
+        self,
+        database: Database,
+        params: Parameters | None = None,
+        router: AdaptiveRouter | None = None,
+        scheduler: RefreshScheduler | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.database = database
+        #: Cost constants used to convert meter deltas to milliseconds.
+        self.params = params or PAPER_DEFAULTS
+        self.router = router
+        self.scheduler = scheduler or RefreshScheduler()
+        self.metrics = registry or MetricsRegistry()
+        self._catalog: dict[str, ServedView] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------
+    # catalog surface
+    # ------------------------------------------------------------------
+    def register_view(
+        self,
+        definition: ViewDefinition,
+        strategy: Strategy,
+        adaptive: bool = True,
+        policy: RefreshPolicy | None = None,
+        plan: str | None = None,
+        index_field: str | None = None,
+        refresh_every: int = 10,
+        charge_setup: bool = False,
+    ) -> None:
+        """Host a view under a strategy and (optionally) a refresh policy.
+
+        Setup I/O (materializing the initial copy) is reported in the
+        ``view_setup_ms`` metric; unless ``charge_setup`` it is then
+        cleared from the database meter, mirroring the paper's practice
+        of excluding initial materialization from per-query costs.
+        """
+        with self._lock:
+            before = self.database.meter.snapshot()
+            self.database.define_view(
+                definition, strategy,
+                plan=plan, index_field=index_field, refresh_every=refresh_every,
+            )
+            self.database.pool.flush_all()
+            setup = self.database.meter.diff(before)
+            self._catalog[definition.name] = ServedView(definition, adaptive)
+            self.scheduler.set_policy(
+                definition.name, policy or RefreshPolicy.on_demand()
+            )
+            self.metrics.gauge("view_setup_ms", view=definition.name).set(
+                setup.milliseconds(self.params)
+            )
+            self._set_strategy_gauge(definition.name, strategy)
+            if not charge_setup:
+                # Roll the meter back to the pre-setup checkpoint.
+                meter = self.database.meter
+                meter.page_reads = before.page_reads
+                meter.page_writes = before.page_writes
+                meter.screens = before.screens
+                meter.ad_ops = before.ad_ops
+
+    def views(self) -> tuple[str, ...]:
+        return tuple(self._catalog)
+
+    def definition_of(self, name: str) -> ViewDefinition:
+        return self._entry(name).definition
+
+    def strategy_of(self, name: str) -> Strategy:
+        with self._lock:
+            impl = self.database.views.get(name)
+            if impl is None:
+                raise CatalogError(f"unknown view {name!r}")
+            return impl.strategy
+
+    # ------------------------------------------------------------------
+    # traffic surface
+    # ------------------------------------------------------------------
+    def apply_update(self, txn: Transaction, client: str = "anon") -> None:
+        """Apply one update transaction and run the post-update hooks.
+
+        The transaction's own cost lands in ``update_ms`` per affected
+        view's strategy; background refreshes triggered by async
+        policies are measured separately (``background_refresh_ms``) —
+        they model idle-time work off the request's critical path.
+        """
+        with self._lock:
+            meter = self.database.meter
+            before = meter.snapshot()
+            self.database.apply_transaction(txn)
+            affected = self.database.views_on(txn.relation)
+            self._settle_if_no_deferred(txn.relation)
+            ms = meter.diff(before).milliseconds(self.params)
+            self.metrics.counter("updates_total", client=client).inc()
+            self.metrics.histogram("update_ms", relation=txn.relation).observe(ms)
+            for name in affected:
+                entry = self._catalog.get(name)
+                if entry is None:
+                    continue
+                entry.updates_seen += 1
+                if self.router is not None and entry.adaptive:
+                    self.router.observe_update(name, len(txn))
+            self._run_background_refreshes(txn.relation, affected)
+            self._note_relation_health(txn.relation)
+            if self.router is not None:
+                for name in affected:
+                    entry = self._catalog.get(name)
+                    if entry is not None and entry.adaptive:
+                        self._maybe_route(name)
+
+    def query(self, name: str, lo: Any = None, hi: Any = None, client: str = "anon") -> Any:
+        """Answer a view query under the view's strategy and policy.
+
+        A deferred view whose periodic policy says "not yet" serves the
+        stale stored copy directly (staleness is tracked and exported);
+        every other path goes through the strategy's own ``query``.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            impl = self.database.views.get(name)
+            if impl is None:
+                raise CatalogError(f"unknown view {name!r}")
+            meter = self.database.meter
+            before = meter.snapshot()
+            strategy = impl.strategy
+            refresh_now = self.scheduler.should_refresh_on_query(name)
+            if strategy is Strategy.DEFERRED and not refresh_now:
+                answer = self._stale_read(impl, lo, hi)
+                self.scheduler.note_stale_answer(name)
+            else:
+                if strategy.is_query_modification():
+                    self._settle_for_query_modification(entry.definition)
+                answer = self.database.query_view(name, lo, hi)
+                if strategy is Strategy.DEFERRED:
+                    self.scheduler.note_refreshed(name)
+            ms = meter.diff(before).milliseconds(self.params)
+            entry.queries += 1
+            self.metrics.counter("queries_total", client=client).inc()
+            self.metrics.histogram(
+                "query_ms", view=name, strategy=strategy.value
+            ).observe(ms)
+            if self.router is not None and entry.adaptive:
+                self.router.observe_query(name, self._query_width(lo, hi))
+                self._maybe_route(name)
+            return answer
+
+    # ------------------------------------------------------------------
+    # migration
+    # ------------------------------------------------------------------
+    def migrate(self, name: str, strategy: Strategy) -> None:
+        """Move a view to another strategy, pricing the migration."""
+        with self._lock:
+            old = self.strategy_of(name)
+            if old is strategy:
+                return
+            meter = self.database.meter
+            before = meter.snapshot()
+            self.database.migrate_view(name, strategy)
+            ms = meter.diff(before).milliseconds(self.params)
+            self.metrics.counter(
+                "strategy_switches_total",
+                view=name, from_strategy=old.value, to_strategy=strategy.value,
+            ).inc()
+            self.metrics.histogram("migration_ms", view=name).observe(ms)
+            self._set_strategy_gauge(name, strategy)
+
+    # ------------------------------------------------------------------
+    # observability surface
+    # ------------------------------------------------------------------
+    def staleness(self, name: str) -> StalenessReport:
+        """How far behind the live relation a view's answers may be."""
+        with self._lock:
+            entry = self._entry(name)
+            definition = entry.definition
+            relation_name = (
+                definition.outer if isinstance(definition, JoinView)
+                else definition.relation
+            )
+            relation = self.database.relations[relation_name]
+            pending = (
+                relation.ad_entry_count()
+                if isinstance(relation, HypotheticalRelation)
+                else 0
+            )
+            if self.strategy_of(name).is_query_modification():
+                pending = 0  # recomputation always sees the true relation
+            return StalenessReport(
+                view=name,
+                policy=self.scheduler.policy_of(name).kind,
+                pending_ad_entries=pending,
+                queries_since_refresh=self.scheduler.queries_since_refresh(name),
+            )
+
+    def metrics_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return self.metrics.to_dict()
+
+    def metrics_json(self, indent: int | None = 2) -> str:
+        with self._lock:
+            return self.metrics.to_json(indent=indent)
+
+    def dashboard(self) -> str:
+        with self._lock:
+            return self.metrics.render_dashboard()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _entry(self, name: str) -> ServedView:
+        entry = self._catalog.get(name)
+        if entry is None:
+            raise CatalogError(f"view {name!r} is not registered with this server")
+        return entry
+
+    @staticmethod
+    def _query_width(lo: Any, hi: Any) -> float | None:
+        try:
+            return float(hi - lo + 1) if lo is not None and hi is not None else None
+        except TypeError:
+            return None
+
+    def _set_strategy_gauge(self, name: str, strategy: Strategy) -> None:
+        # One-hot over the strategies this view has ever run under.
+        for inst in self.metrics.series("view_strategy"):
+            if dict(inst.labels).get("view") == name:
+                inst.set(0.0)
+        self.metrics.gauge("view_strategy", view=name, strategy=strategy.value).set(1.0)
+
+    def _settle_for_query_modification(self, definition: ViewDefinition) -> None:
+        """QM plans read base files — fold any pending AD first."""
+        sources = (
+            (definition.outer,) if isinstance(definition, JoinView)
+            else (definition.relation,)
+        )
+        for source in sources:
+            self.database.settle_relation(source)
+
+    def _stale_read(self, impl: Any, lo: Any, hi: Any) -> Any:
+        """Read a deferred view's stored copy without refreshing it."""
+        meter = self.database.meter
+        if self.database.cold_operations:
+            self.database.pool.invalidate_all()
+        store = getattr(impl, "store", None)
+        if store is not None:  # aggregate: one state-page read
+            answer = store.value()
+        else:
+            lo_b = float("-inf") if lo is None else lo
+            hi_b = float("inf") if hi is None else hi
+            answer = []
+            for vt in impl.matview.scan_range(lo_b, hi_b):
+                meter.record_screen()
+                answer.append(vt)
+        self.database.pool.flush_all()
+        self.database.queries_answered += 1
+        return answer
+
+    def _settle_if_no_deferred(self, relation_name: str) -> None:
+        """Fold a hypothetical relation eagerly when nothing defers.
+
+        Keeping relations hypothetical is what lets a view migrate back
+        to deferred later, but someone must eventually fold the AD
+        backlog.  The timing follows the strategies present:
+
+        * a deferred view exists — its refresh folds (batched, the
+          paper's scheme); leave the backlog alone.
+        * only query-modification views — fold lazily at query time
+          (:meth:`_settle_for_query_modification`), which batches the
+          fold exactly like a deferred refresh would.
+        * an immediate/snapshot-style materialized view exists (or no
+          view at all) — fold now, per transaction: write-through
+          semantics, the substrate the immediate cost model assumes.
+        """
+        relation = self.database.relations.get(relation_name)
+        if not isinstance(relation, HypotheticalRelation):
+            return
+        strategies = set()
+        for name in self.database.views_on(relation_name):
+            impl = self.database.views.get(name)
+            if impl is not None:
+                strategies.add(impl.strategy)
+        if Strategy.DEFERRED in strategies:
+            return
+        if strategies and all(s.is_query_modification() for s in strategies):
+            return
+        self.database.settle_relation(relation_name)
+
+    def _run_background_refreshes(self, relation: str, affected: tuple[str, ...]) -> None:
+        """Async-policy views fold their backlog right after the update.
+
+        The work is real and metered (``background_refresh_ms``), but
+        kept out of ``update_ms``/``query_ms`` — it models the idle-CPU
+        refresh of the paper's Section 4.
+        """
+        refreshed_relations: set[str] = set()
+        for name in affected:
+            if not self.scheduler.wants_background_refresh(name):
+                continue
+            impl = self.database.views.get(name)
+            if impl is None or impl.strategy is not Strategy.DEFERRED:
+                continue
+            rel = impl.relation.schema.name
+            if rel in refreshed_relations:
+                continue  # the coordinator already refreshed the siblings
+            meter = self.database.meter
+            before = meter.snapshot()
+            impl.refresh()
+            self.database.pool.flush_all()
+            ms = meter.diff(before).milliseconds(self.params)
+            self.metrics.histogram("background_refresh_ms", view=name).observe(ms)
+            self.scheduler.note_refreshed(name)
+            refreshed_relations.add(rel)
+
+    def _note_relation_health(self, relation_name: str) -> None:
+        relation = self.database.relations.get(relation_name)
+        if not isinstance(relation, HypotheticalRelation):
+            return
+        self.metrics.gauge("ad_entries", relation=relation_name).set(
+            relation.ad_entry_count()
+        )
+        self.metrics.gauge("ad_pages", relation=relation_name).set(
+            relation.ad_page_count()
+        )
+        bloom = relation.bloom
+        self.metrics.gauge("bloom_fill_fraction", relation=relation_name).set(
+            bloom.fill_fraction
+        )
+        self.metrics.gauge("bloom_negative_rate", relation=relation_name).set(
+            bloom.negative_rate
+        )
+
+    def _maybe_route(self, name: str) -> None:
+        assert self.router is not None
+        switch = self.router.maybe_switch(self, name)
+        if switch is not None:
+            self.metrics.gauge("router_estimated_p", view=name).set(switch.estimated_p)

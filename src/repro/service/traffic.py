@@ -1,0 +1,264 @@
+"""Multi-client traffic with a drifting workload mix, plus a demo server.
+
+The experiments in :mod:`repro.workload` run one view under one
+strategy with a fixed ``P``.  The serving layer's whole argument is
+about what happens when ``P`` *drifts*: this module builds deterministic
+multi-phase request streams (each phase its own update probability and
+batch size, interleaved Bresenham-style so any mix spreads evenly) and
+a small two-view demo database to serve them against.
+
+Everything is seeded — replaying the same stream against servers with
+different strategies is what makes the adaptive-vs-static comparison
+(``ext-service`` experiment and benchmark) apples-to-apples.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.parameters import Parameters
+from repro.core.strategies import Strategy
+from repro.engine.database import Database
+from repro.engine.transaction import Transaction, Update
+from repro.storage.tuples import Schema
+from repro.views.definition import AggregateView, SelectProjectView
+from repro.views.predicate import IntervalPredicate
+from .router import AdaptiveRouter, RouterConfig
+from .scheduler import RefreshPolicy
+from .server import ViewServer
+
+__all__ = [
+    "PhaseSpec",
+    "Request",
+    "ServiceDemo",
+    "demo_server",
+    "drifting_traffic",
+    "run_traffic",
+]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One segment of the drifting workload."""
+
+    #: Requests in this phase (updates + queries).
+    operations: int
+    #: Fraction of requests that are update transactions (the paper's P).
+    update_probability: float
+    #: Tuples modified per update transaction (the paper's l).
+    batch_size: int = 5
+
+    def __post_init__(self) -> None:
+        if self.operations < 1:
+            raise ValueError(f"phase needs >= 1 operations, got {self.operations}")
+        if not 0.0 <= self.update_probability < 1.0:
+            raise ValueError(
+                f"update probability must be in [0, 1), got {self.update_probability}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {self.batch_size}")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One client request: an update transaction or a view query."""
+
+    client: str
+    kind: str  # "update" | "query"
+    view: str | None = None
+    txn: Transaction | None = None
+    lo: Any = None
+    hi: Any = None
+
+
+@dataclass
+class ServiceDemo:
+    """A ready-to-serve database: one relation, two views, known keys."""
+
+    database: Database
+    server: ViewServer
+    relation: str
+    view_names: tuple[str, ...]
+    keys: list[int]
+    domain: int
+    view_bound: int
+
+    def tuple_view(self) -> str:
+        return self.view_names[0]
+
+    def aggregate_view(self) -> str:
+        return self.view_names[1]
+
+
+def demo_server(
+    n_tuples: int = 2000,
+    domain: int = 1000,
+    view_bound: int = 100,
+    seed: int = 7,
+    strategy: Strategy = Strategy.DEFERRED,
+    adaptive: bool = True,
+    router: AdaptiveRouter | None = None,
+    router_config: RouterConfig | None = None,
+    policy: RefreshPolicy | None = None,
+    params: Parameters | None = None,
+    block_bytes: int = 4000,
+    tuple_bytes: int = 100,
+    with_aggregate: bool = True,
+) -> ServiceDemo:
+    """Build the standard serving-layer demo.
+
+    One relation ``r`` (clustered on the predicate attribute ``a``,
+    hypothetical so deferred maintenance — and migration back to it —
+    stays available) carrying two views over ``a in [0, view_bound)``:
+    ``v_tuples`` (Model 1 select-project) and ``v_total`` (Model 3
+    sum).  ``strategy`` picks their initial strategy; ``adaptive``
+    arms the router (pass ``adaptive=False`` for the static baselines).
+    """
+    rng = random.Random(seed)
+    selectivity = view_bound / domain
+    db = Database(block_bytes=block_bytes, cold_operations=True)
+    schema = Schema("r", ("id", "a", "v"), "id", tuple_bytes=tuple_bytes)
+    records = [
+        schema.new_record(id=i, a=rng.randrange(domain), v=rng.randrange(10_000))
+        for i in range(n_tuples)
+    ]
+    db.create_relation(schema, "a", kind="hypothetical", records=records, ad_buckets=4)
+
+    if router is None and adaptive:
+        router = AdaptiveRouter(router_config)
+    cost_params = params or Parameters(
+        N=n_tuples, S=tuple_bytes, B=block_bytes, f=selectivity
+    )
+    server = ViewServer(db, params=cost_params, router=router if adaptive else None)
+
+    predicate = IntervalPredicate("a", 0, view_bound - 1, selectivity=selectivity)
+    definitions: list[SelectProjectView | AggregateView] = [
+        SelectProjectView(
+            name="v_tuples", relation="r", predicate=predicate,
+            projection=("id", "a"), view_key="a",
+        )
+    ]
+    if with_aggregate:
+        definitions.append(
+            AggregateView(
+                name="v_total", relation="r", predicate=predicate,
+                aggregate="sum", field="v",
+            )
+        )
+    for definition in definitions:
+        server.register_view(definition, strategy, adaptive=adaptive, policy=policy)
+    db.reset_meter()
+    return ServiceDemo(
+        database=db,
+        server=server,
+        relation="r",
+        view_names=tuple(d.name for d in definitions),
+        keys=list(range(n_tuples)),
+        domain=domain,
+        view_bound=view_bound,
+    )
+
+
+def drifting_traffic(
+    demo: ServiceDemo,
+    phases: tuple[PhaseSpec, ...],
+    seed: int = 11,
+    clients: tuple[str, ...] = ("alice", "bob", "carol"),
+    query_width: int | None = None,
+) -> list[Request]:
+    """A deterministic multi-phase request stream over the demo's views.
+
+    Within each phase, updates are spread among queries with the same
+    fractional-credit interleaving the workload generator uses, so a
+    phase's realized mix matches its ``update_probability`` exactly
+    (up to rounding).  Queries round-robin over the demo's views;
+    clients round-robin over the whole stream.
+    """
+    rng = random.Random(seed)
+    width = query_width or demo.view_bound
+    requests: list[Request] = []
+    view_cycle = 0
+    client_cycle = 0
+
+    def next_client() -> str:
+        nonlocal client_cycle
+        client = clients[client_cycle % len(clients)]
+        client_cycle += 1
+        return client
+
+    def make_update(batch_size: int) -> Request:
+        chosen = rng.sample(demo.keys, min(batch_size, len(demo.keys)))
+        ops = [
+            Update(key, {"a": rng.randrange(demo.domain), "v": rng.randrange(10_000)})
+            for key in chosen
+        ]
+        return Request(
+            client=next_client(), kind="update",
+            txn=Transaction.of(demo.relation, ops),
+        )
+
+    def make_query() -> Request:
+        nonlocal view_cycle
+        view = demo.view_names[view_cycle % len(demo.view_names)]
+        view_cycle += 1
+        hi_start = max(0, demo.view_bound - width)
+        lo = rng.randint(0, hi_start) if hi_start > 0 else 0
+        return Request(
+            client=next_client(), kind="query",
+            view=view, lo=lo, hi=lo + width - 1,
+        )
+
+    for phase in phases:
+        updates = round(phase.operations * phase.update_probability)
+        queries = phase.operations - updates
+        if queries == 0:
+            requests.extend(make_update(phase.batch_size) for _ in range(updates))
+            continue
+        credit, issued = 0.0, 0
+        per_query = updates / queries
+        for _ in range(queries):
+            credit += per_query
+            while credit >= 1.0 and issued < updates:
+                requests.append(make_update(phase.batch_size))
+                issued += 1
+                credit -= 1.0
+            requests.append(make_query())
+        while issued < updates:
+            requests.append(make_update(phase.batch_size))
+            issued += 1
+    return requests
+
+
+@dataclass
+class TrafficSummary:
+    """What one replay of a request stream did and cost."""
+
+    queries: int = 0
+    updates: int = 0
+    answers: list = field(default_factory=list)
+
+    @property
+    def operations(self) -> int:
+        return self.queries + self.updates
+
+
+def run_traffic(server: ViewServer, requests: list[Request]) -> TrafficSummary:
+    """Replay a request stream through a server."""
+    summary = TrafficSummary()
+    for request in requests:
+        if request.kind == "update":
+            assert request.txn is not None
+            server.apply_update(request.txn, client=request.client)
+            summary.updates += 1
+        else:
+            assert request.view is not None
+            answer = server.query(
+                request.view, request.lo, request.hi, client=request.client
+            )
+            summary.answers.append(
+                len(answer) if isinstance(answer, list) else answer
+            )
+            summary.queries += 1
+    return summary

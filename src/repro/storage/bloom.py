@@ -59,6 +59,12 @@ class BloomFilter:
             raise ValueError(f"hashes must be >= 1, got {self.hashes}")
         self._array = bytearray((bits + 7) // 8)
         self.items_added = 0
+        #: Lifetime probe statistics (not reset by :meth:`clear`): a
+        #: negative answer is the filter doing its job — the AD lookup
+        #: it saved is the Severance & Lohman payoff the serving
+        #: layer's hit-rate metric reports.
+        self.probes = 0
+        self.negatives = 0
 
     @classmethod
     def for_load(cls, expected_items: int, target_fp_rate: float = 0.01) -> "BloomFilter":
@@ -81,10 +87,17 @@ class BloomFilter:
 
     def maybe_contains(self, item: Any) -> bool:
         """False => definitely absent; True => possibly present."""
+        self.probes += 1
         for pos in self._positions(item):
             if not self._array[pos >> 3] & (1 << (pos & 7)):
+                self.negatives += 1
                 return False
         return True
+
+    @property
+    def negative_rate(self) -> float:
+        """Fraction of probes answered "definitely absent" so far."""
+        return self.negatives / self.probes if self.probes else 0.0
 
     def clear(self) -> None:
         """Reset to empty (used when the differential file is folded in)."""

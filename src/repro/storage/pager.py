@@ -150,6 +150,29 @@ class CostMeter:
             ad_ops=self.ad_ops - earlier.ad_ops,
         )
 
+    def diff(self, earlier: "CostMeter") -> "CostMeter":
+        """Counters accumulated since an earlier snapshot.
+
+        Alias of :meth:`delta_since` with the argument order spelled
+        the way request-attribution code reads:
+        ``meter.diff(before)``.
+        """
+        return self.delta_since(earlier)
+
+    def merge(self, other: "CostMeter") -> "CostMeter":
+        """Accumulate another meter's counts into this one.
+
+        Lets per-phase accounting fold request deltas into a bucket
+        meter (``query_meter.merge(meter.diff(before))``) without
+        re-recording each event class by hand.  Returns ``self`` so
+        merges chain.
+        """
+        self.page_reads += other.page_reads
+        self.page_writes += other.page_writes
+        self.screens += other.screens
+        self.ad_ops += other.ad_ops
+        return self
+
     def reset(self) -> None:
         """Zero every counter."""
         self.page_reads = 0

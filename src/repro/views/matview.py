@@ -194,6 +194,11 @@ class AggregateStateStore:
         """Current aggregate value (reads the state page)."""
         return self.function.value(self.read_state())
 
+    def free(self) -> None:
+        """Deallocate the state page (catalog drop; no I/O charged)."""
+        self.pool.discard(self._page_id)
+        self.pool.disk.free(self._page_id)
+
     def apply(self, entering: list[Any], leaving: list[Any]) -> bool:
         """Fold value changes into the state; returns True if written.
 

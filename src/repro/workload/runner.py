@@ -109,19 +109,11 @@ def run_scenario(scenario: Scenario, base_update_ms: float = 0.0) -> SimulationR
         before = meter.snapshot()
         if isinstance(op, UpdateOp):
             db.apply_transaction(op.txn)
-            delta = meter.delta_since(before)
-            update_meter.record_read(delta.page_reads)
-            update_meter.record_write(delta.page_writes)
-            update_meter.record_screen(delta.screens)
-            update_meter.record_ad_op(delta.ad_ops)
+            update_meter.merge(meter.diff(before))
             updates += 1
         else:
             answer = db.query_view(scenario.view_name, op.lo, op.hi)
-            delta = meter.delta_since(before)
-            query_meter.record_read(delta.page_reads)
-            query_meter.record_write(delta.page_writes)
-            query_meter.record_screen(delta.screens)
-            query_meter.record_ad_op(delta.ad_ops)
+            query_meter.merge(meter.diff(before))
             answer_sizes.append(len(answer) if isinstance(answer, list) else 1)
             queries += 1
 
@@ -159,8 +151,7 @@ def measure_base_update_cost(config: ScenarioConfig) -> float:
         if isinstance(op, UpdateOp):
             before = meter.snapshot()
             db.apply_transaction(op.txn)
-            delta = meter.delta_since(before)
-            total += delta.milliseconds(config.params)
+            total += meter.diff(before).milliseconds(config.params)
     return total
 
 

@@ -1,5 +1,7 @@
 """repro-advisor CLI."""
 
+import json
+
 import pytest
 
 from repro.core.cli import main
@@ -42,6 +44,31 @@ class TestAdvisorCLI:
     def test_invalid_parameters_exit_2(self, capsys):
         assert main(["-f", "2.0"]) == 2
         assert "invalid parameters" in capsys.readouterr().err
+
+    def test_json_output_parses_and_ranks(self, capsys):
+        assert main(["--model", "1", "-P", "0.1", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == 1
+        assert doc["recommended"] == doc["ranking"][0]["strategy"]
+        totals = [bd["total_ms"] for bd in doc["ranking"]]
+        assert totals == sorted(totals)
+        for bd in doc["ranking"]:
+            assert bd["total_ms"] == pytest.approx(sum(bd["components"].values()))
+
+    def test_json_matches_text_recommendation(self, capsys):
+        main(["--model", "2", "-P", "0.95", "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        main(["--model", "2", "-P", "0.95"])
+        text = capsys.readouterr().out.splitlines()[0]
+        assert doc["recommended"] == "qm_loopjoin"
+        assert "loopjoin" in text
+
+    def test_json_sweep(self, capsys):
+        assert main(["--model", "3", "--sweep-p", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["model"] == 3
+        assert [point["P"] for point in doc["sweep"]][:2] == [0.05, 0.10]
+        assert all(point["total_ms"] > 0 for point in doc["sweep"])
 
     def test_io_cost_flag_scales_costs(self, capsys):
         main(["--io-ms", "30"])

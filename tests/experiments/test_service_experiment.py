@@ -1,0 +1,42 @@
+"""The ext-service experiment: adaptive vs static serving."""
+
+from repro.experiments.runner import EXPERIMENTS
+from repro.experiments.service import adaptive_serving_table, run_serving_comparison
+from repro.service.traffic import PhaseSpec
+
+FAST_PHASES = (
+    PhaseSpec(operations=30, update_probability=0.15, batch_size=3),
+    PhaseSpec(operations=30, update_probability=0.85, batch_size=6),
+)
+
+
+class TestServingComparison:
+    def test_registered_as_experiment(self):
+        assert "ext-service" in EXPERIMENTS
+
+    def test_all_runs_see_identical_traffic(self):
+        runs = run_serving_comparison(FAST_PHASES)
+        assert len({(r.queries, r.updates) for r in runs}) == 1
+        assert [r.mode for r in runs] == [
+            "static deferred", "static immediate", "static clustered", "adaptive",
+        ]
+
+    def test_table_shape_and_notes(self):
+        table = adaptive_serving_table(FAST_PHASES)
+        assert table.table_id == "ext-service"
+        assert len(table.rows) == 4
+        assert "Best static in hindsight" in table.notes
+        modes = [row[0] for row in table.rows]
+        assert "adaptive" in modes
+
+    def test_acceptance_bounds_on_default_workload(self):
+        """Acceptance: adaptive strictly beats the worst static and is
+        within 15% of the best-in-hindsight static strategy."""
+        runs = run_serving_comparison()
+        statics = [r for r in runs if r.mode != "adaptive"]
+        adaptive = next(r for r in runs if r.mode == "adaptive")
+        best = min(r.ms_per_query for r in statics)
+        worst = max(r.ms_per_query for r in statics)
+        assert adaptive.ms_per_query < worst
+        assert adaptive.ms_per_query <= 1.15 * best
+        assert adaptive.switches

@@ -82,7 +82,71 @@ class TestSharedCoordinator:
             assert len(tuples) == len(SP.evaluate(snapshot))
 
 
+class TestMatchesIndependentCopies:
+    def test_shared_refresh_equals_solo_databases(self):
+        """Sharing one AD read across siblings must not change answers:
+        each view agrees with a twin database maintaining it alone."""
+        def build(definitions):
+            database = Database(buffer_pages=256)
+            rng = random.Random(0)
+            records = [
+                R.new_record(id=i, a=rng.randrange(50), v=rng.randrange(100))
+                for i in range(300)
+            ]
+            database.create_relation(R, "a", kind="hypothetical",
+                                     records=records, ad_buckets=2)
+            for definition in definitions:
+                database.define_view(definition, Strategy.DEFERRED)
+            return database
+
+        shared = build([SP, AGG])
+        solo_sp = build([SP])
+        solo_agg = build([AGG])
+
+        rng = random.Random(9)
+        for step in range(8):
+            ops = [
+                Update(rng.randrange(300),
+                       {"a": rng.randrange(50), "v": rng.randrange(100)})
+                for _ in range(3)
+            ]
+            for database in (shared, solo_sp, solo_agg):
+                database.apply_transaction(Transaction.of("r", list(ops)))
+            if step % 2 == 0:
+                assert (shared.query_view("tuples_view", 0, 9)
+                        == solo_sp.query_view("tuples_view", 0, 9))
+            else:
+                assert (shared.query_view("sum_view")
+                        == solo_agg.query_view("sum_view"))
+
+        assert (shared.query_view("tuples_view", 0, 9)
+                == solo_sp.query_view("tuples_view", 0, 9))
+        assert shared.query_view("sum_view") == solo_agg.query_view("sum_view")
+
+
 class TestCoordinatorAPI:
+    def test_deregister_keeps_backlog_for_siblings(self, db):
+        """Dropping one deferred view must not fold or lose the AD
+        backlog its siblings still need."""
+        db.apply_transaction(Transaction.of("r", [
+            Update(0, {"a": 5, "v": 1000}),
+            Update(1, {"a": 500}),
+        ]))
+        coordinator = db.views["sum_view"].coordinator
+        coordinator.deregister(db.views["tuples_view"])
+        assert [v.definition.name for v in coordinator.views] == ["sum_view"]
+        assert db.relations["r"].ad_entry_count() > 0
+        snapshot = list(db.relations["r"].scan_logical())
+        assert db.query_view("sum_view") == AGG.evaluate(snapshot)
+
+    def test_deregister_unknown_view_is_noop(self, db):
+        coordinator = db.views["sum_view"].coordinator
+        impl = db.views["tuples_view"]
+        coordinator.deregister(impl)
+        coordinator.deregister(impl)  # second call: already gone
+        assert len(coordinator.views) == 1
+
+
     def test_register_rejects_foreign_view(self, db):
         other_db = Database()
         records = [R.new_record(id=i, a=i, v=0) for i in range(10)]

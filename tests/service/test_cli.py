@@ -1,0 +1,52 @@
+"""repro-serve CLI."""
+
+import json
+
+import pytest
+
+from repro.service.cli import main, parse_phases
+from repro.service.metrics import validate_metrics
+
+
+class TestParsePhases:
+    def test_two_and_three_part_specs(self):
+        phases = parse_phases("0.2:50,0.9:30:8")
+        assert [p.update_probability for p in phases] == [0.2, 0.9]
+        assert [p.operations for p in phases] == [50, 30]
+        assert [p.batch_size for p in phases] == [5, 8]
+
+    def test_rejects_malformed_spec(self):
+        with pytest.raises(ValueError):
+            parse_phases("0.2")
+        with pytest.raises(ValueError):
+            parse_phases("0.2:10:5:9")
+
+
+class TestServeCLI:
+    ARGS = ["--n-tuples", "400", "--phases", "0.2:16:3", "--seed", "3"]
+
+    def test_adaptive_run(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "[adaptive]" in out
+        assert "ms/query" in out
+        assert "v_tuples" in out and "v_total" in out
+
+    def test_static_run(self, capsys):
+        assert main([*self.ARGS, "--static", "deferred"]) == 0
+        out = capsys.readouterr().out
+        assert "[static deferred]" in out
+        assert "switch" not in out
+
+    def test_json_export_is_schema_valid(self, capsys):
+        assert main([*self.ARGS, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_metrics(doc)
+
+    def test_dashboard_flag(self, capsys):
+        assert main([*self.ARGS, "--dashboard"]) == 0
+        assert "query_ms" in capsys.readouterr().out
+
+    def test_invalid_phases_exit_2(self, capsys):
+        assert main(["--phases", "nope"]) == 2
+        assert "invalid phases" in capsys.readouterr().err

@@ -1,0 +1,137 @@
+"""Metrics registry and the v1 export schema."""
+
+import json
+import math
+
+import pytest
+
+from repro.service.metrics import (
+    SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    MetricsSchemaError,
+    validate_metrics,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests", client="alice")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value == 3.0
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter("requests")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_set_and_add(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3.0
+
+    def test_histogram_tracks_distribution(self):
+        hist = MetricsRegistry().histogram("latency")
+        for value in (0.5, 3.0, 3.0, 40.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(46.5)
+        assert hist.mean == pytest.approx(46.5 / 4)
+        assert hist.min == 0.5 and hist.max == 40.0
+        assert sum(hist.bucket_counts) == hist.count
+
+    def test_histogram_buckets_must_end_at_inf(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=(2.0, 1.0, math.inf))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_is_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", view="v", strategy="deferred")
+        b = registry.counter("hits", strategy="deferred", view="v")
+        assert a is b
+
+    def test_different_labels_are_different_series(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", view="v1")
+        b = registry.counter("hits", view="v2")
+        assert a is not b
+        assert len(registry.series("hits")) == 2
+
+    def test_kind_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_dashboard_renders_every_series(self):
+        registry = MetricsRegistry()
+        registry.counter("requests", client="a").inc()
+        registry.gauge("ad_entries", relation="r").set(7)
+        registry.histogram("query_ms", view="v").observe(12.0)
+        text = registry.render_dashboard()
+        assert "requests{client=a}" in text
+        assert "ad_entries{relation=r}" in text
+        assert "query_ms{view=v}" in text
+
+
+class TestExportSchema:
+    def make_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", client="alice").inc(3)
+        registry.gauge("ad_entries", relation="r").set(4)
+        hist = registry.histogram("query_ms", view="v", strategy="deferred")
+        hist.observe(2.0)
+        hist.observe(750.0)
+        return registry
+
+    def test_export_passes_validation(self):
+        doc = self.make_registry().to_dict()
+        validate_metrics(doc)  # must not raise
+        assert doc["schema"] == SCHEMA
+
+    def test_json_round_trip_passes_validation(self):
+        text = self.make_registry().to_json()
+        validate_metrics(json.loads(text))
+
+    def test_rejects_wrong_schema_tag(self):
+        doc = self.make_registry().to_dict()
+        doc["schema"] = "repro.service.metrics/v0"
+        with pytest.raises(MetricsSchemaError):
+            validate_metrics(doc)
+
+    def test_rejects_negative_counter(self):
+        doc = self.make_registry().to_dict()
+        for entry in doc["metrics"]:
+            if entry["kind"] == "counter":
+                entry["value"] = -1
+        with pytest.raises(MetricsSchemaError):
+            validate_metrics(doc)
+
+    def test_rejects_bucket_count_mismatch(self):
+        doc = self.make_registry().to_dict()
+        for entry in doc["metrics"]:
+            if entry["kind"] == "histogram":
+                entry["buckets"][0]["count"] += 1
+        with pytest.raises(MetricsSchemaError):
+            validate_metrics(doc)
+
+    def test_rejects_non_inf_final_bucket(self):
+        doc = self.make_registry().to_dict()
+        for entry in doc["metrics"]:
+            if entry["kind"] == "histogram":
+                entry["buckets"] = entry["buckets"][:-1]
+        with pytest.raises(MetricsSchemaError):
+            validate_metrics(doc)
+
+    def test_rejects_non_string_labels(self):
+        doc = self.make_registry().to_dict()
+        doc["metrics"][0]["labels"] = {"view": 3}
+        with pytest.raises(MetricsSchemaError):
+            validate_metrics(doc)

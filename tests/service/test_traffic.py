@@ -1,0 +1,63 @@
+"""Drifting-P traffic generation."""
+
+import pytest
+
+from repro.service.traffic import PhaseSpec, demo_server, drifting_traffic, run_traffic
+
+
+class TestPhaseSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(operations=0, update_probability=0.5)
+        with pytest.raises(ValueError):
+            PhaseSpec(operations=10, update_probability=1.0)
+        with pytest.raises(ValueError):
+            PhaseSpec(operations=10, update_probability=0.5, batch_size=0)
+
+
+class TestDriftingTraffic:
+    def make(self, phases, seed=11):
+        demo = demo_server(n_tuples=400)
+        return demo, drifting_traffic(demo, phases, seed=seed)
+
+    def test_realized_mix_matches_each_phase(self):
+        phases = (
+            PhaseSpec(operations=40, update_probability=0.25, batch_size=2),
+            PhaseSpec(operations=40, update_probability=0.75, batch_size=6),
+        )
+        _, requests = self.make(phases)
+        first, second = requests[:40], requests[40:]
+        assert sum(r.kind == "update" for r in first) == 10
+        assert sum(r.kind == "update" for r in second) == 30
+        assert all(len(r.txn) == 2 for r in first if r.kind == "update")
+        assert all(len(r.txn) == 6 for r in second if r.kind == "update")
+
+    def test_updates_interleave_rather_than_cluster(self):
+        phases = (PhaseSpec(operations=40, update_probability=0.5),)
+        _, requests = self.make(phases)
+        kinds = [r.kind for r in requests]
+        # A fair 1:1 mix must alternate, never run three of a kind.
+        for i in range(len(kinds) - 2):
+            assert len(set(kinds[i:i + 3])) > 1
+
+    def test_same_seed_same_stream(self):
+        phases = (PhaseSpec(operations=30, update_probability=0.4),)
+        demo_a, requests_a = self.make(phases, seed=5)
+        demo_b, requests_b = self.make(phases, seed=5)
+        assert [r.kind for r in requests_a] == [r.kind for r in requests_b]
+        assert [(r.lo, r.hi) for r in requests_a if r.kind == "query"] == \
+               [(r.lo, r.hi) for r in requests_b if r.kind == "query"]
+
+    def test_clients_round_robin(self):
+        phases = (PhaseSpec(operations=9, update_probability=0.0),)
+        _, requests = self.make(phases)
+        assert [r.client for r in requests[:4]] == ["alice", "bob", "carol", "alice"]
+
+    def test_run_traffic_counts(self):
+        phases = (PhaseSpec(operations=20, update_probability=0.3),)
+        demo, requests = self.make(phases)
+        summary = run_traffic(demo.server, requests)
+        assert summary.updates == 6
+        assert summary.queries == 14
+        assert summary.operations == 20
+        assert len(summary.answers) == 14

@@ -71,6 +71,26 @@ class TestBehaviour:
         assert bf.items_added == 0
         assert bf.fill_fraction == 0.0
 
+    def test_probe_stats_track_negatives(self):
+        bf = BloomFilter(256)
+        assert bf.negative_rate == 0.0  # no probes yet
+        bf.add("present")
+        bf.maybe_contains("present")
+        bf.maybe_contains("absent-1")
+        bf.maybe_contains("absent-2")
+        assert bf.probes == 3
+        assert bf.negatives == 2
+        assert bf.negative_rate == pytest.approx(2 / 3)
+
+    def test_probe_stats_survive_clear(self):
+        """clear() empties membership, not the lifetime screening stats
+        the serving layer exports."""
+        bf = BloomFilter(256)
+        bf.add("x")
+        bf.maybe_contains("y")
+        bf.clear()
+        assert bf.probes == 1
+
     def test_estimated_fp_rate_zero_when_empty(self):
         assert BloomFilter(128).estimated_fp_rate() == 0.0
 

@@ -195,6 +195,39 @@ class TestCostMeter:
         assert delta.screens == 5
         assert snap.page_reads == 3  # snapshot unaffected
 
+    def test_diff_is_delta_since_spelled_forward(self):
+        meter = CostMeter()
+        meter.record_read(3)
+        before = meter.snapshot()
+        meter.record_write(2)
+        meter.record_ad_op(4)
+        delta = meter.diff(before)
+        assert (delta.page_reads, delta.page_writes) == (0, 2)
+        assert delta.ad_ops == 4
+        assert delta.milliseconds(PAPER_DEFAULTS) == pytest.approx(2 * 30 + 4 * 1)
+
+    def test_merge_accumulates_and_chains(self):
+        bucket = CostMeter()
+        result = bucket.merge(
+            CostMeter(page_reads=1, screens=5)
+        ).merge(CostMeter(page_writes=2, screens=5, ad_ops=3))
+        assert result is bucket
+        assert bucket.page_reads == 1
+        assert bucket.page_writes == 2
+        assert bucket.screens == 10
+        assert bucket.ad_ops == 3
+
+    def test_merge_of_diffs_equals_total(self):
+        meter = CostMeter()
+        bucket = CostMeter()
+        for reads in (2, 3):
+            before = meter.snapshot()
+            meter.record_read(reads)
+            meter.record_screen()
+            bucket.merge(meter.diff(before))
+        assert bucket.page_reads == meter.page_reads == 5
+        assert bucket.screens == meter.screens == 2
+
     def test_reset(self):
         meter = CostMeter(page_reads=5)
         meter.reset()

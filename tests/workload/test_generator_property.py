@@ -1,0 +1,86 @@
+"""Property-based checks on the scenario generator.
+
+Whatever (k, q, l) a config asks for, the generated operation stream
+must deliver exactly that workload: the right mix, evenly interleaved,
+with each transaction touching ``l`` distinct tuples — the invariant
+that keeps a transaction's delete-set and add-set consistent (no tuple
+is updated twice within one AD batch).
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.parameters import Parameters
+from repro.core.strategies import Strategy, ViewModel
+from repro.workload.generator import UpdateOp, build_scenario
+from repro.workload.spec import ScenarioConfig
+
+N = 120
+DOMAIN = 200
+
+
+def make_config(k, q, l, strategy=Strategy.DEFERRED, skew="uniform"):
+    params = Parameters(N=N, S=100, B=4000, k=k, l=l, q=q, f=0.1, f_v=0.5)
+    return ScenarioConfig(
+        params=params,
+        model=ViewModel.SELECT_PROJECT,
+        strategy=strategy,
+        seed=13,
+        domain=DOMAIN,
+        update_skew=skew,
+    )
+
+
+mixes = st.tuples(
+    st.integers(min_value=0, max_value=30),   # k
+    st.integers(min_value=1, max_value=30),   # q
+    st.integers(min_value=1, max_value=12),   # l
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(mixes)
+def test_stream_delivers_the_requested_mix(mix):
+    k, q, l = mix
+    scenario = build_scenario(make_config(k, q, l))
+    assert scenario.update_count() == k
+    assert scenario.query_count() == q
+    assert len(scenario.operations) == k + q
+
+
+@settings(max_examples=25, deadline=None)
+@given(mixes)
+def test_transactions_touch_l_distinct_tuples(mix):
+    k, q, l = mix
+    scenario = build_scenario(make_config(k, q, l))
+    for op in scenario.operations:
+        if not isinstance(op, UpdateOp):
+            continue
+        keys = [update.key for update in op.txn.operations]
+        assert len(keys) == min(l, N)
+        assert len(set(keys)) == len(keys)  # A/D sets pair off cleanly
+        assert all(0 <= key < N for key in keys)
+
+
+@settings(max_examples=25, deadline=None)
+@given(mixes)
+def test_updates_interleave_evenly(mix):
+    k, q, l = mix
+    scenario = build_scenario(make_config(k, q, l))
+    longest_run = run = 0
+    for op in scenario.operations:
+        run = run + 1 if isinstance(op, UpdateOp) else 0
+        longest_run = max(longest_run, run)
+    assert longest_run <= math.ceil(k / q)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=2, max_value=12))
+def test_hot_skew_preserves_batch_invariants(l):
+    scenario = build_scenario(make_config(10, 10, l, skew="hot"))
+    for op in scenario.operations:
+        if isinstance(op, UpdateOp):
+            keys = [update.key for update in op.txn.operations]
+            assert len(set(keys)) == len(keys) == min(l, N)
