@@ -14,6 +14,7 @@ The shared :class:`~repro.storage.pager.CostMeter` prices everything;
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
@@ -39,6 +40,12 @@ BaseRelation = ClusteredRelation | HashedRelation
 
 class CatalogError(ValueError):
     """Invalid catalog operation (unknown names, bad combinations)."""
+
+
+@contextmanager
+def _null_phase():
+    """Stand-in for :meth:`CostMeter.setup_phase` when charging workload."""
+    yield
 
 
 class Database:
@@ -67,6 +74,17 @@ class Database:
         self._deferred_coordinators: dict[str, Any] = {}
         self.transactions_applied = 0
         self.queries_answered = 0
+        #: Catalog specs captured for checkpointing (repro.durability):
+        #: the create_relation / define_view arguments needed to rebuild
+        #: this catalog from persistent state.
+        self._relation_specs: dict[str, dict[str, Any]] = {}
+        self._view_specs: dict[str, dict[str, Any]] = {}
+        #: Write-ahead journal hook.  When set (and not suppressed), the
+        #: engine calls ``journal.log(event, payload)`` *before* applying
+        #: each state-changing operation.  ``repro.durability`` owns the
+        #: serialization; the engine only names the events.
+        self.journal: Any = None
+        self._journal_suppressed = 0
 
     @classmethod
     def from_parameters(cls, params: Parameters, **kwargs: Any) -> "Database":
@@ -100,6 +118,46 @@ class Database:
         """
         if schema.name in self.relations:
             raise CatalogError(f"relation {schema.name!r} already exists")
+        # Structure creation and the initial load are setup, not
+        # workload: charge the setup bucket so the first query's
+        # metered cost stays clean (the root-page flush of a fresh
+        # B+-tree or hash directory is not workload I/O either).
+        with self.meter.setup_phase():
+            relation = self._build_relation(
+                schema, clustered_on, kind, ad_buckets, hash_buckets
+            )
+            self.relations[schema.name] = relation
+            loaded: list[Record] | None = None
+            if records is not None:
+                loaded = list(records)
+                loader = relation.base if hasattr(relation, "base") else relation
+                loader.bulk_load(loaded)
+            self.pool.flush_all()
+        self._relation_specs[schema.name] = {
+            "clustered_on": clustered_on,
+            "kind": kind,
+            "ad_buckets": ad_buckets,
+            "hash_buckets": hash_buckets,
+        }
+        self._journal(
+            "create_relation",
+            schema=schema,
+            clustered_on=clustered_on,
+            kind=kind,
+            ad_buckets=ad_buckets,
+            hash_buckets=hash_buckets,
+            records=loaded,
+        )
+        return relation
+
+    def _build_relation(
+        self,
+        schema: Schema,
+        clustered_on: str,
+        kind: str,
+        ad_buckets: int,
+        hash_buckets: int | None,
+    ) -> BaseRelation | HypotheticalRelation:
         if kind in ("hashed", "hashed_hypothetical"):
             hashed = HashedRelation(
                 schema, self.pool, clustered_on,
@@ -129,10 +187,6 @@ class Database:
                     f"unknown relation kind {kind!r}; expected plain, "
                     "hypothetical, separate or hashed"
                 )
-        self.relations[schema.name] = relation
-        if records is not None:
-            loader = relation.base if hasattr(relation, "base") else relation
-            loader.bulk_load(list(records))
         return relation
 
     def create_secondary_index(self, relation_name: str, field: str) -> SecondaryIndex:
@@ -151,25 +205,34 @@ class Database:
         plan: str | None = None,
         index_field: str | None = None,
         refresh_every: int = 10,
+        setup_bucket: bool = True,
     ) -> "MaintenanceStrategy":
         """Register a view under one maintenance strategy.
 
         For materialized strategies the stored copy is built now from
-        the current base content (reset the meter afterwards if setup
-        cost should not be charged to the workload).
+        the current base content.  That materialization is charged to
+        the meter's *setup bucket* (not workload counters) unless
+        ``setup_bucket=False`` — migrations pass False because a
+        rebuild there *is* workload cost the router must weigh.
         """
         if definition.name in self.views:
             raise CatalogError(f"view {definition.name!r} already exists")
-        if isinstance(definition, SelectProjectView):
-            impl = self._define_select_project(
-                definition, strategy, plan, index_field, refresh_every
-            )
-        elif isinstance(definition, JoinView):
-            impl = self._define_join(definition, strategy)
-        elif isinstance(definition, AggregateView):
-            impl = self._define_aggregate(definition, strategy)
-        else:
-            raise CatalogError(f"unsupported view definition {type(definition).__name__}")
+        builder = self.meter.setup_phase if setup_bucket else _null_phase
+        with builder():
+            if isinstance(definition, SelectProjectView):
+                impl = self._define_select_project(
+                    definition, strategy, plan, index_field, refresh_every
+                )
+            elif isinstance(definition, JoinView):
+                impl = self._define_join(definition, strategy)
+            elif isinstance(definition, AggregateView):
+                impl = self._define_aggregate(definition, strategy)
+            else:
+                raise CatalogError(
+                    f"unsupported view definition {type(definition).__name__}"
+                )
+            if setup_bucket:
+                self.pool.flush_all()
         self.views[definition.name] = impl
         source = definition.outer if isinstance(definition, JoinView) else definition.relation
         self._views_by_relation.setdefault(source, []).append(definition.name)
@@ -181,6 +244,22 @@ class Database:
             )
         if strategy is Strategy.DEFERRED:
             self._share_deferred_coordinator(source, impl)
+            self._hook_coordinator(impl.coordinator)
+        self._view_specs[definition.name] = {
+            "definition": definition,
+            "strategy": strategy,
+            "plan": plan,
+            "index_field": index_field,
+            "refresh_every": refresh_every,
+        }
+        self._journal(
+            "define_view",
+            definition=definition,
+            strategy=strategy.value,
+            plan=plan,
+            index_field=index_field,
+            refresh_every=refresh_every,
+        )
         return impl
 
     def _share_deferred_coordinator(self, relation_name: str, impl: Any) -> None:
@@ -209,6 +288,9 @@ class Database:
         relation = self.relations.get(txn.relation)
         if relation is None:
             raise CatalogError(f"unknown relation {txn.relation!r}")
+        # Write-ahead: journal before touching any page, so a crash
+        # mid-transaction replays the whole batch from the log.
+        self._journal("txn", txn=txn)
         if self.cold_operations:
             self.pool.invalidate_all()
         delta = DeltaSet(txn.relation)
@@ -287,6 +369,7 @@ class Database:
         if coordinator is not None and coordinator.views:
             coordinator.refresh_all()
         else:
+            self._journal("net_install", relation=relation_name)
             relation.reset()
         self.pool.flush_all()
 
@@ -301,6 +384,8 @@ class Database:
         impl = self.views.pop(name, None)
         if impl is None:
             raise CatalogError(f"unknown view {name!r}")
+        self._view_specs.pop(name, None)
+        self._journal("drop_view", view=name)
         for view_names in self._views_by_relation.values():
             while name in view_names:
                 view_names.remove(name)
@@ -340,16 +425,74 @@ class Database:
         if impl.strategy is strategy:
             return impl
         definition = impl.definition
-        self.drop_view(name)
-        sources = [definition.outer if isinstance(definition, JoinView) else definition.relation]
-        for source in sources:
-            self.settle_relation(source)
-        new_impl = self.define_view(
-            definition, strategy,
-            plan=plan, index_field=index_field, refresh_every=refresh_every,
+        # One composite journal record; the drop/settle/define inside
+        # are replayed as a unit by re-running migrate_view.
+        self._journal(
+            "migrate",
+            view=name,
+            strategy=strategy.value,
+            plan=plan,
+            index_field=index_field,
+            refresh_every=refresh_every,
         )
+        with self._journal_paused():
+            self.drop_view(name)
+            sources = [definition.outer if isinstance(definition, JoinView) else definition.relation]
+            for source in sources:
+                self.settle_relation(source)
+            new_impl = self.define_view(
+                definition, strategy,
+                plan=plan, index_field=index_field, refresh_every=refresh_every,
+                setup_bucket=False,
+            )
         self.pool.flush_all()
         return new_impl
+
+    # ------------------------------------------------------------------
+    # durability hooks (repro.durability)
+    # ------------------------------------------------------------------
+    def attach_journal(self, journal: Any) -> None:
+        """Arm write-ahead journaling: ``journal.log(event, payload)``
+        is called before every state-changing operation.  Pass ``None``
+        to detach (recovery replays with the journal detached)."""
+        self.journal = journal
+        if journal is not None:
+            for impl in self.views.values():
+                coordinator = getattr(impl, "coordinator", None)
+                if coordinator is not None:
+                    self._hook_coordinator(coordinator)
+
+    def catalog_specs(self) -> dict[str, Any]:
+        """The create_relation/define_view arguments of the live catalog
+        (what a checkpoint needs to rebuild it)."""
+        return {
+            "relations": {
+                name: dict(spec) for name, spec in self._relation_specs.items()
+            },
+            "views": {name: dict(spec) for name, spec in self._view_specs.items()},
+            "secondary_indexes": sorted(self.secondary_indexes),
+        }
+
+    def _journal(self, event: str, **payload: Any) -> None:
+        if self.journal is not None and not self._journal_suppressed:
+            self.journal.log(event, payload)
+
+    @contextmanager
+    def _journal_paused(self) -> Any:
+        self._journal_suppressed += 1
+        try:
+            yield
+        finally:
+            self._journal_suppressed -= 1
+
+    def _hook_coordinator(self, coordinator: Any) -> None:
+        """Journal coordinator folds (query-triggered deferred refresh)."""
+        relation_name = coordinator.relation.schema.name
+
+        def on_refresh() -> None:
+            self._journal("net_install", relation=relation_name)
+
+        coordinator.on_refresh = on_refresh
 
     # ------------------------------------------------------------------
     # internals

@@ -6,8 +6,8 @@ one: the paper's artifacts (``fig1`` .. ``fig9``, ``params``,
 ``emp-dept``, ``yao``, ``sensitivity``, ``breakdown``), the
 simulation-side checks (``validate``, ``sim-fig1``/``5``/``8``,
 ``ablation``) and the extensions (``ext-async``, ``ext-snapshot``,
-``ext-hybrid``, ``ext-five``, ``ext-service``).  ``--csv DIR``
-additionally writes raw data files.
+``ext-hybrid``, ``ext-five``, ``ext-service``, ``ext-durability``).
+``--csv DIR`` additionally writes raw data files.
 """
 
 from __future__ import annotations
@@ -21,6 +21,7 @@ from repro.core.regions import RegionMap
 from . import (
     ablation,
     components,
+    durability,
     extensions,
     figures,
     service,
@@ -68,6 +69,7 @@ EXPERIMENTS: dict[str, Callable[[], list[Artifact]]] = {
     "ext-five": lambda: [extensions.five_mechanisms_table()],
     "ext-skew": lambda: [extensions.update_skew_table()],
     "ext-service": lambda: [service.adaptive_serving_table()],
+    "ext-durability": lambda: [durability.durability_table()],
     "ablation": lambda: [
         ablation.ad_file_ablation(),
         ablation.bloom_filter_ablation(),

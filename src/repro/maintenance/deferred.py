@@ -50,6 +50,10 @@ class DeferredCoordinator:
     def __init__(self, relation: HypotheticalRelation) -> None:
         self.relation = relation
         self._views: list["_DeferredBase"] = []
+        #: Durability hook: called (when set) just before a fold that
+        #: actually installs pending changes, so the write-ahead log can
+        #: journal the net-change install (:mod:`repro.durability`).
+        self.on_refresh: Any = None
 
     def register(self, view: "_DeferredBase") -> None:
         """Add a view over this coordinator's relation."""
@@ -71,6 +75,8 @@ class DeferredCoordinator:
 
     def refresh_all(self) -> None:
         """Read AD once, refresh every registered view, reset the HR."""
+        if self.on_refresh is not None and self.relation.ad_entry_count() > 0:
+            self.on_refresh()
         net = self.relation.net_changes()
         for view in self._views:
             view.apply_net(net)

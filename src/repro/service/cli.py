@@ -9,6 +9,7 @@ to one static strategy::
     repro-serve --phases 0.15:70:3,0.9:70:8      # P:ops[:l] per phase
     repro-serve --json                           # metrics export (schema v1)
     repro-serve --dashboard                      # ASCII metrics dashboard
+    repro-serve --state-dir st --checkpoint-every 50   # journaled + recoverable
 """
 
 from __future__ import annotations
@@ -70,6 +71,12 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="print the metrics JSON export instead of the summary")
     parser.add_argument("--dashboard", action="store_true",
                         help="print the ASCII metrics dashboard after the summary")
+    parser.add_argument("--state-dir", default=None, metavar="DIR",
+                        help="durability state directory (WAL + checkpoints); "
+                        "the run is journaled and recoverable with repro-recover")
+    parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                        help="checkpoint every N served requests "
+                        "(requires --state-dir)")
     return parser
 
 
@@ -80,6 +87,15 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         print(f"invalid phases: {exc}", file=sys.stderr)
         return 2
+    if args.checkpoint_every is not None:
+        if args.state_dir is None:
+            print("--checkpoint-every requires --state-dir "
+                  "(there is nowhere to write the checkpoint)", file=sys.stderr)
+            return 2
+        if args.checkpoint_every < 1:
+            print(f"invalid --checkpoint-every {args.checkpoint_every}: "
+                  "must be >= 1", file=sys.stderr)
+            return 2
 
     adaptive = args.static is None
     demo = demo_server(
@@ -91,8 +107,19 @@ def main(argv: list[str] | None = None) -> int:
         adaptive=adaptive,
         router_config=RouterConfig(decision_every=args.decision_every),
     )
+    if args.state_dir is not None:
+        from repro.durability.manager import DurabilityManager
+
+        manager = DurabilityManager(args.state_dir)
+        demo.server.attach_durability(manager, checkpoint_every=args.checkpoint_every)
+        # Baseline checkpoint: the demo bootstrap ran before journaling,
+        # so recovery must start from a snapshot that includes it.
+        demo.server.checkpoint()
+
     requests = drifting_traffic(demo, phases, seed=args.seed + 1)
     summary = run_traffic(demo.server, requests)
+    if args.state_dir is not None:
+        demo.server.shutdown()
 
     total_ms = demo.database.meter.milliseconds(demo.server.params)
     per_query = total_ms / summary.queries if summary.queries else 0.0
@@ -118,6 +145,12 @@ def main(argv: list[str] | None = None) -> int:
         report = demo.server.staleness(view)
         print(f"  {view}: strategy={demo.server.strategy_of(view).label}, "
               f"pending AD entries={report.pending_ad_entries}")
+    if args.state_dir is not None:
+        manager = demo.server.durability
+        assert manager is not None
+        print(f"  durability: {manager.checkpoints_taken} checkpoints, "
+              f"{manager.wal.records_appended} WAL records, "
+              f"{manager.wal.fsyncs} fsyncs -> {args.state_dir}")
     if args.dashboard:
         print()
         print(demo.server.dashboard())

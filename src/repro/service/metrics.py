@@ -206,6 +206,43 @@ class MetricsRegistry:
     def to_json(self, indent: int | None = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a v1 export (inverse of :meth:`to_dict`).
+
+        The document is schema-validated first, so a registry rebuilt
+        from its own export round-trips exactly:
+        ``from_dict(r.to_dict()).to_dict() == r.to_dict()``.  Used by
+        the durability layer to restore serving metrics state.
+        """
+        validate_metrics(doc)
+        registry = cls()
+        for entry in doc["metrics"]:
+            name = entry["name"]
+            labels = _labels_of(entry["labels"])
+            key = (name, labels)
+            if entry["kind"] == "counter":
+                counter = Counter(name, labels)
+                counter.value = float(entry["value"])
+                registry._instruments[key] = counter
+            elif entry["kind"] == "gauge":
+                gauge = Gauge(name, labels)
+                gauge.value = float(entry["value"])
+                registry._instruments[key] = gauge
+            else:
+                bounds = tuple(
+                    math.inf if b["le"] == "inf" else float(b["le"])
+                    for b in entry["buckets"]
+                )
+                hist = Histogram(name, labels, buckets=bounds)
+                hist.bucket_counts = [b["count"] for b in entry["buckets"]]
+                hist.count = int(entry["count"])
+                hist.sum = float(entry["sum"])
+                hist.min = math.inf if entry.get("min") is None else entry["min"]
+                hist.max = -math.inf if entry.get("max") is None else entry["max"]
+                registry._instruments[key] = hist
+        return registry
+
     def render_dashboard(self, width: int = 72) -> str:
         """Plain-ASCII dashboard for terminals and logs."""
         lines = [f"{' metrics ':=^{width}}"]

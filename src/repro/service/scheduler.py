@@ -81,6 +81,8 @@ class RefreshScheduler:
         self._policies: dict[str, RefreshPolicy] = {}
         self._queries_seen: dict[str, int] = {}
         self._queries_since_refresh: dict[str, int] = {}
+        self._checkpoint_every: int | None = None
+        self._ops_since_checkpoint = 0
 
     def set_policy(self, view: str, policy: RefreshPolicy) -> None:
         self._policies[view] = policy
@@ -122,6 +124,33 @@ class RefreshScheduler:
 
     def queries_since_refresh(self, view: str) -> int:
         return self._queries_since_refresh.get(view, 0)
+
+    # ------------------------------------------------------------------
+    # checkpoint cadence (repro.durability)
+    # ------------------------------------------------------------------
+    @property
+    def checkpoint_every(self) -> int | None:
+        return self._checkpoint_every
+
+    def set_checkpoint_every(self, every: int | None) -> None:
+        """Checkpoint after every ``every`` served requests (None = never)."""
+        if every is not None and every < 1:
+            raise ValueError(f"checkpoint period must be >= 1, got {every}")
+        self._checkpoint_every = every
+        self._ops_since_checkpoint = 0
+
+    def note_operation(self) -> None:
+        """Count one served request toward the checkpoint cadence."""
+        self._ops_since_checkpoint += 1
+
+    def should_checkpoint(self) -> bool:
+        return (
+            self._checkpoint_every is not None
+            and self._ops_since_checkpoint >= self._checkpoint_every
+        )
+
+    def note_checkpoint(self) -> None:
+        self._ops_since_checkpoint = 0
 
     # ------------------------------------------------------------------
     # pricing (Section 4 analyses)

@@ -27,8 +27,9 @@ model, but safe to drive from many threads.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.core.parameters import PAPER_DEFAULTS, Parameters
 from repro.core.strategies import Strategy
@@ -39,6 +40,10 @@ from repro.views.definition import AggregateView, JoinView, SelectProjectView
 from .metrics import MetricsRegistry
 from .router import AdaptiveRouter
 from .scheduler import RefreshPolicy, RefreshScheduler, StalenessReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.durability.checkpoint import CheckpointInfo
+    from repro.durability.manager import DurabilityManager
 
 __all__ = ["ViewServer", "ServedView"]
 
@@ -75,6 +80,109 @@ class ViewServer:
         self.metrics = registry or MetricsRegistry()
         self._catalog: dict[str, ServedView] = {}
         self._lock = threading.RLock()
+        #: Durability manager (WAL + checkpoints), armed by
+        #: :meth:`attach_durability` or :meth:`open`.
+        self.durability: "DurabilityManager | None" = None
+
+    @classmethod
+    def open(
+        cls,
+        state_dir: Any,
+        params: Parameters | None = None,
+        router: AdaptiveRouter | None = None,
+        scheduler: RefreshScheduler | None = None,
+        registry: MetricsRegistry | None = None,
+        default_config: dict[str, Any] | None = None,
+        fsync_every: int = 1,
+        checkpoint_every: int | None = None,
+    ) -> "ViewServer":
+        """Open a server over a durability state directory.
+
+        Recovers whatever the directory holds (checkpoint restore + WAL
+        replay), re-registers every recovered view with its saved policy
+        and counters, arms write-ahead journaling, and exports recovery
+        metrics (``recovery_replay_records``, ``recovery_ms``).  A fresh
+        directory yields an empty server — register views as usual and
+        they are journaled from the first operation.
+        """
+        from repro.durability.manager import DurabilityManager
+
+        manager = DurabilityManager(state_dir, fsync_every=fsync_every)
+        start = time.perf_counter()
+        db, report, service_state = manager.open(default_config)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        server = cls(
+            db, params=params, router=router, scheduler=scheduler, registry=registry
+        )
+        server.durability = manager
+        saved = service_state or {}
+        if checkpoint_every is None:
+            checkpoint_every = saved.get("checkpoint_every")
+        server.scheduler.set_checkpoint_every(checkpoint_every)
+        view_state = saved.get("views", {})
+        for name, impl in db.views.items():
+            state = view_state.get(name, {})
+            entry = ServedView(db.view_definition(name), state.get("adaptive", True))
+            entry.queries = state.get("queries", 0)
+            entry.updates_seen = state.get("updates_seen", 0)
+            server._catalog[name] = entry
+            policy_doc = state.get("policy")
+            policy = (
+                RefreshPolicy(policy_doc["kind"], every=policy_doc.get("every", 1))
+                if policy_doc
+                else RefreshPolicy.on_demand()
+            )
+            server.scheduler.set_policy(name, policy)
+            server._set_strategy_gauge(name, impl.strategy)
+        server.metrics.counter("recoveries_total").inc()
+        server.metrics.gauge("recovery_replay_records").set(report.replay_records)
+        server.metrics.gauge("recovery_ms").set(report.milliseconds(server.params))
+        server.metrics.gauge("recovery_wall_ms").set(wall_ms)
+        server.metrics.gauge("recovery_full_recomputes").set(
+            report.full_recomputes_during_replay
+        )
+        server._update_durability_gauges()
+        return server
+
+    # ------------------------------------------------------------------
+    # durability surface
+    # ------------------------------------------------------------------
+    def attach_durability(
+        self, manager: "DurabilityManager", checkpoint_every: int | None = None
+    ) -> None:
+        """Arm write-ahead journaling on a live server.
+
+        Operations from here on are journaled; take a :meth:`checkpoint`
+        right after attaching so recovery never has to replay the
+        pre-durability bootstrap (which is not in the log).
+        """
+        with self._lock:
+            self.durability = manager
+            manager.attach(self.database)
+            self.scheduler.set_checkpoint_every(checkpoint_every)
+            self._update_durability_gauges()
+
+    def checkpoint(self) -> "CheckpointInfo":
+        """Snapshot engine + serving state, truncating the WAL behind it."""
+        with self._lock:
+            manager = self._require_durability()
+            start = time.perf_counter()
+            info = manager.checkpoint(self.database, self._service_state())
+            duration_ms = (time.perf_counter() - start) * 1000.0
+            self.metrics.counter("checkpoints_total").inc()
+            self.metrics.histogram("checkpoint_duration_ms").observe(duration_ms)
+            self.metrics.gauge("checkpoint_bytes").set(info.bytes_written)
+            self.scheduler.note_checkpoint()
+            self._update_durability_gauges()
+            return info
+
+    def shutdown(self) -> None:
+        """Graceful stop: final checkpoint, then seal the WAL."""
+        with self._lock:
+            if self.durability is None:
+                return
+            self.checkpoint()
+            self.durability.close()
 
     # ------------------------------------------------------------------
     # catalog surface
@@ -98,28 +206,34 @@ class ViewServer:
         of excluding initial materialization from per-query costs.
         """
         with self._lock:
-            before = self.database.meter.snapshot()
+            meter = self.database.meter
+            before = meter.snapshot()
             self.database.define_view(
                 definition, strategy,
                 plan=plan, index_field=index_field, refresh_every=refresh_every,
             )
-            self.database.pool.flush_all()
-            setup = self.database.meter.diff(before)
+            setup = meter.diff(before)
             self._catalog[definition.name] = ServedView(definition, adaptive)
             self.scheduler.set_policy(
                 definition.name, policy or RefreshPolicy.on_demand()
             )
+            # define_view charges materialization to the meter's setup
+            # bucket, so the workload counters are already untouched.
             self.metrics.gauge("view_setup_ms", view=definition.name).set(
-                setup.milliseconds(self.params)
+                setup.setup_milliseconds(self.params)
             )
             self._set_strategy_gauge(definition.name, strategy)
-            if not charge_setup:
-                # Roll the meter back to the pre-setup checkpoint.
-                meter = self.database.meter
-                meter.page_reads = before.page_reads
-                meter.page_writes = before.page_writes
-                meter.screens = before.screens
-                meter.ad_ops = before.ad_ops
+            if charge_setup:
+                # Fold exactly this view's setup delta into the workload
+                # counters (earlier bucket contents stay in the bucket).
+                meter.page_reads += setup.setup_page_reads
+                meter.page_writes += setup.setup_page_writes
+                meter.screens += setup.setup_screens
+                meter.ad_ops += setup.setup_ad_ops
+                meter.setup_page_reads -= setup.setup_page_reads
+                meter.setup_page_writes -= setup.setup_page_writes
+                meter.setup_screens -= setup.setup_screens
+                meter.setup_ad_ops -= setup.setup_ad_ops
 
     def views(self) -> tuple[str, ...]:
         return tuple(self._catalog)
@@ -168,6 +282,7 @@ class ViewServer:
                     entry = self._catalog.get(name)
                     if entry is not None and entry.adaptive:
                         self._maybe_route(name)
+            self._note_durability_op()
 
     def query(self, name: str, lo: Any = None, hi: Any = None, client: str = "anon") -> Any:
         """Answer a view query under the view's strategy and policy.
@@ -203,6 +318,7 @@ class ViewServer:
             if self.router is not None and entry.adaptive:
                 self.router.observe_query(name, self._query_width(lo, hi))
                 self._maybe_route(name)
+            self._note_durability_op()
             return answer
 
     # ------------------------------------------------------------------
@@ -394,3 +510,48 @@ class ViewServer:
         switch = self.router.maybe_switch(self, name)
         if switch is not None:
             self.metrics.gauge("router_estimated_p", view=name).set(switch.estimated_p)
+
+    # ------------------------------------------------------------------
+    # durability internals
+    # ------------------------------------------------------------------
+    def _require_durability(self) -> "DurabilityManager":
+        if self.durability is None:
+            raise RuntimeError(
+                "no durability manager attached; use ViewServer.open() or "
+                "attach_durability()"
+            )
+        return self.durability
+
+    def _service_state(self) -> dict[str, Any]:
+        """Serving-layer catalog carried inside each checkpoint."""
+        views = {}
+        for name, entry in self._catalog.items():
+            policy = self.scheduler.policy_of(name)
+            views[name] = {
+                "adaptive": entry.adaptive,
+                "policy": {"kind": policy.kind, "every": policy.every},
+                "queries": entry.queries,
+                "updates_seen": entry.updates_seen,
+            }
+        return {
+            "views": views,
+            "checkpoint_every": self.scheduler.checkpoint_every,
+        }
+
+    def _update_durability_gauges(self) -> None:
+        if self.durability is None:
+            return
+        stats = self.durability.stats()
+        self.metrics.gauge("wal_bytes").set(stats["wal_bytes"])
+        self.metrics.gauge("wal_records").set(stats["wal_records"])
+        self.metrics.gauge("wal_fsyncs").set(stats["wal_fsyncs"])
+
+    def _note_durability_op(self) -> None:
+        """Per-request durability tick: cadence checkpointing + gauges."""
+        if self.durability is None:
+            return
+        self.scheduler.note_operation()
+        if self.scheduler.should_checkpoint():
+            self.checkpoint()
+        else:
+            self._update_durability_gauges()

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import itertools
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Iterator
 
@@ -97,28 +98,99 @@ class CostMeter:
 
     Checkpoints (:meth:`snapshot` / :meth:`delta_since`) let callers
     price individual phases (one query, one refresh) in isolation.
+
+    Setup work (initial bulk loads, view materialization) is charged
+    to a separate **setup bucket** while a :meth:`setup_phase` context
+    is active, so it never leaks into the first query's metered cost.
+    The paper excludes initial materialization from per-query costs;
+    the bucket makes that exclusion structural instead of relying on
+    every caller remembering to :meth:`reset`.
     """
 
     page_reads: int = 0
     page_writes: int = 0
     screens: int = 0
     ad_ops: int = 0
+    #: Setup-bucket counters: same event classes, charged during an
+    #: active :meth:`setup_phase` (bulk loads, initial materialization).
+    setup_page_reads: int = 0
+    setup_page_writes: int = 0
+    setup_screens: int = 0
+    setup_ad_ops: int = 0
+    #: Depth of nested :meth:`setup_phase` contexts (>0 = diverting).
+    _setup_depth: int = 0
 
     def record_read(self, count: int = 1) -> None:
         """Count disk page reads (c2 each)."""
-        self.page_reads += count
+        if self._setup_depth:
+            self.setup_page_reads += count
+        else:
+            self.page_reads += count
 
     def record_write(self, count: int = 1) -> None:
         """Count disk page writes (c2 each)."""
-        self.page_writes += count
+        if self._setup_depth:
+            self.setup_page_writes += count
+        else:
+            self.page_writes += count
 
     def record_screen(self, count: int = 1) -> None:
         """Count predicate/satisfiability CPU tests (c1 each)."""
-        self.screens += count
+        if self._setup_depth:
+            self.setup_screens += count
+        else:
+            self.screens += count
 
     def record_ad_op(self, count: int = 1) -> None:
         """Count in-memory A/D set manipulations (c3 each)."""
-        self.ad_ops += count
+        if self._setup_depth:
+            self.setup_ad_ops += count
+        else:
+            self.ad_ops += count
+
+    @contextmanager
+    def setup_phase(self) -> Iterator["CostMeter"]:
+        """Divert recorded events to the setup bucket while active.
+
+        Nests safely (the outermost context controls the bucket), so a
+        bulk load inside a view definition charges setup exactly once.
+        """
+        self._setup_depth += 1
+        try:
+            yield self
+        finally:
+            self._setup_depth -= 1
+
+    @property
+    def setup_page_ios(self) -> int:
+        return self.setup_page_reads + self.setup_page_writes
+
+    def setup_milliseconds(self, params: Parameters) -> float:
+        """Setup-bucket cost in ms under the parameter set's constants."""
+        return (
+            params.c2 * self.setup_page_ios
+            + params.c1 * self.setup_screens
+            + params.c3 * self.setup_ad_ops
+        )
+
+    def charge_setup_to_workload(self) -> None:
+        """Fold the setup bucket into the workload counters (and clear it).
+
+        Used when a caller explicitly wants setup I/O priced like
+        request work (``ViewServer.register_view(charge_setup=True)``).
+        """
+        self.page_reads += self.setup_page_reads
+        self.page_writes += self.setup_page_writes
+        self.screens += self.setup_screens
+        self.ad_ops += self.setup_ad_ops
+        self.clear_setup()
+
+    def clear_setup(self) -> None:
+        """Zero the setup bucket only."""
+        self.setup_page_reads = 0
+        self.setup_page_writes = 0
+        self.setup_screens = 0
+        self.setup_ad_ops = 0
 
     @property
     def page_ios(self) -> int:
@@ -139,6 +211,10 @@ class CostMeter:
             page_writes=self.page_writes,
             screens=self.screens,
             ad_ops=self.ad_ops,
+            setup_page_reads=self.setup_page_reads,
+            setup_page_writes=self.setup_page_writes,
+            setup_screens=self.setup_screens,
+            setup_ad_ops=self.setup_ad_ops,
         )
 
     def delta_since(self, earlier: "CostMeter") -> "CostMeter":
@@ -148,6 +224,10 @@ class CostMeter:
             page_writes=self.page_writes - earlier.page_writes,
             screens=self.screens - earlier.screens,
             ad_ops=self.ad_ops - earlier.ad_ops,
+            setup_page_reads=self.setup_page_reads - earlier.setup_page_reads,
+            setup_page_writes=self.setup_page_writes - earlier.setup_page_writes,
+            setup_screens=self.setup_screens - earlier.setup_screens,
+            setup_ad_ops=self.setup_ad_ops - earlier.setup_ad_ops,
         )
 
     def diff(self, earlier: "CostMeter") -> "CostMeter":
@@ -171,14 +251,19 @@ class CostMeter:
         self.page_writes += other.page_writes
         self.screens += other.screens
         self.ad_ops += other.ad_ops
+        self.setup_page_reads += other.setup_page_reads
+        self.setup_page_writes += other.setup_page_writes
+        self.setup_screens += other.setup_screens
+        self.setup_ad_ops += other.setup_ad_ops
         return self
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter (both the workload and setup buckets)."""
         self.page_reads = 0
         self.page_writes = 0
         self.screens = 0
         self.ad_ops = 0
+        self.clear_setup()
 
 
 class SimulatedDisk:

@@ -44,6 +44,11 @@ class MaterializedView:
     ) -> None:
         self.name = name
         self.view_key = view_key
+        #: Full-recompute operation counts.  Crash recovery asserts on
+        #: these: a deferred view must recover via net-change replay,
+        #: never by re-running the view query from scratch.
+        self.bulk_loads = 0
+        self.rebuilds = 0
         self._tree = BPlusTree(
             f"view.{name}",
             pool,
@@ -57,6 +62,7 @@ class MaterializedView:
     # ------------------------------------------------------------------
     def bulk_load(self, tuples: list[ViewTuple]) -> None:
         """Materialize from scratch, folding duplicates into counts."""
+        self.bulk_loads += 1
         counts: dict[ViewTuple, int] = {}
         for vt in tuples:
             counts[vt] = counts.get(vt, 0) + 1
@@ -69,6 +75,7 @@ class MaterializedView:
         Drops every page and bulk-loads the fresh result; the load's
         page writes are charged (they are the rebuild cost).
         """
+        self.rebuilds += 1
         self._tree.reset()
         self.bulk_load(tuples)
 

@@ -169,3 +169,67 @@ class TestColdOperations:
         db.create_relation(R, "a", records=records())
         db.reset_meter()
         assert db.meter.page_ios == 0
+
+
+class TestSetupBucket:
+    """Regression: setup I/O (bulk loads, initial materialization) must
+    land in the meter's setup bucket, never in the first query's cost."""
+
+    def test_bulk_load_charges_setup_bucket_only(self):
+        db = Database()
+        db.create_relation(R, "a", records=records())
+        assert db.meter.page_ios == 0
+        assert db.meter.setup_page_ios > 0
+
+    def test_empty_relation_creation_is_setup_too(self):
+        # The fresh tree's root-page flush used to leak one workload
+        # write even with no records loaded.
+        db = Database()
+        db.create_relation(R, "a")
+        assert db.meter.page_ios == 0
+
+    @pytest.mark.parametrize("kind", ["plain", "hypothetical", "separate", "hashed"])
+    def test_every_relation_kind_loads_clean(self, kind):
+        db = Database()
+        schema = R if kind != "hashed" else Schema("r2", ("id", "a"), "id")
+        recs = records() if kind != "hashed" else [
+            schema.new_record(id=i, a=i % 20) for i in range(50)
+        ]
+        db.create_relation(schema, "a" if kind != "hashed" else "id",
+                           kind=kind, records=recs)
+        assert db.meter.page_ios == 0
+
+    def test_materialized_view_definition_is_setup(self):
+        db = Database()
+        db.create_relation(R, "a", records=records())
+        db.define_view(SP_DEF, Strategy.IMMEDIATE)
+        assert db.meter.page_ios == 0
+        assert db.meter.setup_page_ios > 0
+
+    def test_first_query_cost_excludes_setup(self):
+        db = Database(cold_operations=True)
+        db.create_relation(R, "a", records=records())
+        db.define_view(SP_DEF, Strategy.QM_CLUSTERED)
+        before = db.meter.snapshot()
+        db.query_view("v", 0, 9)
+        delta = db.meter.delta_since(before)
+        assert delta.page_reads > 0
+        assert delta.setup_page_ios == 0 and delta.setup_screens == 0
+
+    def test_migration_rebuild_stays_on_workload_meter(self):
+        # Migrations pass setup_bucket=False: the rebuild is workload
+        # cost the adaptive router must weigh, not setup.
+        db = Database()
+        db.create_relation(R, "a", records=records())
+        db.define_view(SP_DEF, Strategy.QM_CLUSTERED)
+        db.reset_meter()
+        db.migrate_view("v", Strategy.IMMEDIATE)
+        assert db.meter.page_ios > 0
+        assert db.meter.setup_page_ios == 0
+
+    def test_reset_meter_zeroes_both_buckets(self):
+        db = Database()
+        db.create_relation(R, "a", records=records())
+        db.reset_meter()
+        assert db.meter.page_ios == 0
+        assert db.meter.setup_page_ios == 0

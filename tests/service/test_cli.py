@@ -50,3 +50,37 @@ class TestServeCLI:
     def test_invalid_phases_exit_2(self, capsys):
         assert main(["--phases", "nope"]) == 2
         assert "invalid phases" in capsys.readouterr().err
+
+
+class TestServeDurabilityFlags:
+    ARGS = ["--n-tuples", "300", "--phases", "0.2:12:3", "--seed", "5"]
+
+    def test_state_dir_journals_and_checkpoints(self, tmp_path, capsys):
+        state = tmp_path / "state"
+        assert main([*self.ARGS, "--state-dir", str(state),
+                     "--checkpoint-every", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "durability:" in out
+        assert (state / "CURRENT").exists()
+        assert list((state / "wal").glob("wal-*.log"))
+        assert list((state / "checkpoints").glob("ckpt-*"))
+
+    def test_state_dir_is_recoverable(self, tmp_path, capsys):
+        from repro.durability.cli import main as recover_main
+
+        state = tmp_path / "state"
+        assert main([*self.ARGS, "--state-dir", str(state)]) == 0
+        capsys.readouterr()
+        assert recover_main([str(state), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["checkpoint"] is not None
+        assert doc["views"]  # the demo catalog came back
+
+    def test_checkpoint_every_without_state_dir_is_an_error(self, capsys):
+        assert main([*self.ARGS, "--checkpoint-every", "10"]) == 2
+        assert "--checkpoint-every requires --state-dir" in capsys.readouterr().err
+
+    def test_checkpoint_every_rejects_non_positive(self, tmp_path, capsys):
+        assert main([*self.ARGS, "--state-dir", str(tmp_path / "s"),
+                     "--checkpoint-every", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err
