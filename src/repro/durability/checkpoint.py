@@ -306,17 +306,11 @@ class CheckpointManager:
                     "seq": entry[_SEQ_FIELD],
                 }
             )
-        bloom = relation.bloom
         return _line(
             "ad_state",
             relation=name,
             entries=entries,
-            bloom={
-                "bits": bloom.bits,
-                "hashes": bloom.hashes,
-                "items_added": bloom.items_added,
-                "array": bytes(bloom._array).hex(),
-            },
+            bloom=relation.bloom.to_dict(),
         )
 
     # ------------------------------------------------------------------

@@ -313,6 +313,8 @@ def encode_event(event: str, payload: Mapping[str, Any]) -> dict[str, Any]:
         }
     if event == "drop_view":
         return {"event": event, "view": payload["view"]}
+    if event == "rebuild_view":
+        return {"event": event, "view": payload["view"]}
     if event == "migrate":
         return {
             "event": event,
@@ -351,6 +353,8 @@ def decode_event(doc: Mapping[str, Any]) -> tuple[str, dict[str, Any]]:
             "refresh_every": doc["refresh_every"],
         }
     if event == "drop_view":
+        return event, {"view": doc["view"]}
+    if event == "rebuild_view":
         return event, {"view": doc["view"]}
     if event == "migrate":
         return event, {

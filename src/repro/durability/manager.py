@@ -58,21 +58,27 @@ class DurabilityManager:
     # lifecycle
     # ------------------------------------------------------------------
     def open(
-        self, default_config: Mapping[str, Any] | None = None
+        self,
+        default_config: Mapping[str, Any] | None = None,
+        database_factory: Any = None,
     ) -> tuple[Database, RecoveryReport, dict[str, Any] | None]:
         """Recover the directory's state and arm write-ahead journaling.
 
         ``default_config`` supplies :class:`Database` constructor args
         for a bootstrap open (no checkpoint yet); a previously saved
         ``CONFIG.json`` is used otherwise.  Once a checkpoint exists its
-        manifest config wins.
+        manifest config wins.  ``database_factory`` (config -> empty
+        :class:`Database`) lets callers install a custom disk stack on
+        the recovered engine (see :func:`repro.durability.recovery.recover`).
         """
         if default_config is not None:
             config: dict[str, Any] | None = dict(default_config)
             self.save_config(config)
         else:
             config = self.load_config()
-        db, report, service_state = recover(self.checkpoints, self.wal, config)
+        db, report, service_state = recover(
+            self.checkpoints, self.wal, config, database_factory=database_factory
+        )
         db.attach_journal(self.wal)
         self.last_recovery = report
         return db, report, service_state

@@ -28,6 +28,7 @@ from typing import Any
 from repro.core.parameters import Parameters
 from repro.core.strategies import Strategy
 from repro.engine.database import Database
+from repro.storage.bloom import BloomFilter
 from repro.storage.pager import CostMeter
 from repro.storage.tuples import Record
 
@@ -101,6 +102,8 @@ def apply_event(db: Database, event: str, payload: dict[str, Any]) -> None:
         )
     elif event == "drop_view":
         db.drop_view(payload["view"])
+    elif event == "rebuild_view":
+        db.rebuild_view(payload["view"])
     elif event == "migrate":
         db.migrate_view(
             payload["view"],
@@ -117,6 +120,7 @@ def recover(
     checkpoints: CheckpointManager,
     wal: WriteAheadLog,
     default_config: dict[str, Any] | None = None,
+    database_factory: Any = None,
 ) -> tuple[Database, RecoveryReport, dict[str, Any] | None]:
     """Restore the latest checkpoint and replay the WAL behind it.
 
@@ -124,17 +128,27 @@ def recover(
     journal is left *detached* (the caller re-attaches the WAL once it
     decides the instance is live).  ``service_state`` is whatever the
     serving layer stored at checkpoint time, or ``None``.
+
+    ``database_factory``, when given, is called with the sizing config
+    (the manifest's, or ``default_config``) and must return the empty
+    :class:`Database` to restore into — the resilience layer uses it to
+    rebuild the recovered engine with the same fault-injection and
+    retry/breaker disk stack as the instance it replaces.
     """
+    if database_factory is None:
+        database_factory = lambda config: Database(**config)  # noqa: E731
     name = checkpoints.latest()
     service_state: dict[str, Any] | None = None
     if name is not None:
         manifest = checkpoints.load_manifest(name)
         config = manifest["config"]
-        db = Database(
-            block_bytes=config["block_bytes"],
-            buffer_pages=config["buffer_pages"],
-            fanout=config["fanout"],
-            cold_operations=config["cold_operations"],
+        db = database_factory(
+            {
+                "block_bytes": config["block_bytes"],
+                "buffer_pages": config["buffer_pages"],
+                "fanout": config["fanout"],
+                "cold_operations": config["cold_operations"],
+            }
         )
         restore_start = db.meter.snapshot()
         _restore_checkpoint(db, checkpoints, name)
@@ -143,7 +157,7 @@ def recover(
         wal_epoch = manifest["wal_epoch"]
         service_state = _read_service_state(checkpoints, name)
     else:
-        db = Database(**(default_config or {}))
+        db = database_factory(dict(default_config or {}))
         restore_start = db.meter.snapshot()
         wal_epoch = 1
     restore_meter = db.meter.diff(restore_start)
@@ -243,9 +257,7 @@ def _restore_differential(db: Database, doc: dict[str, Any]) -> None:
     bloom_doc = doc["bloom"]
     bloom = relation.bloom
     if bloom.bits == bloom_doc["bits"] and bloom.hashes == bloom_doc["hashes"]:
-        array = bytes.fromhex(bloom_doc["array"])
-        bloom._array[:] = array
-        bloom.items_added = bloom_doc["items_added"]
+        relation.bloom = BloomFilter.from_dict(bloom_doc)
     else:  # sizing drifted across versions: re-derive from the entries
         for entry in doc["entries"]:
             bloom.add(codec.decode_value(entry["record"]["key"]))

@@ -1,6 +1,6 @@
 """Database engine: catalog, transactions, executor, relations."""
 
-from .database import CatalogError, Database
+from .database import CatalogError, Database, ViewMaintenanceError
 from .executor import (
     SecondaryIndex,
     clustered_scan,
@@ -21,6 +21,7 @@ __all__ = [
     "SecondaryIndex",
     "Transaction",
     "Update",
+    "ViewMaintenanceError",
     "clustered_scan",
     "nested_loop_join",
     "sequential_scan",

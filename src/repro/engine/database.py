@@ -21,6 +21,8 @@ from typing import TYPE_CHECKING, Any, Iterable, Mapping
 from repro.core.parameters import Parameters
 from repro.core.strategies import Strategy
 from repro.hr.differential import ClusteredRelation, HypotheticalRelation, SeparateFilesHR
+from repro.resilience.faults import FaultProfile, FaultyDisk
+from repro.resilience.policy import RESILIENCE_ERRORS, ResilienceConfig, ResilientDisk
 from repro.storage.pager import BufferPool, CostMeter, SimulatedDisk
 from repro.storage.tuples import Record, Schema
 from repro.views.definition import AggregateView, JoinView, SelectProjectView
@@ -33,13 +35,35 @@ from .transaction import Delete, Insert, Transaction, Update
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.maintenance.base import MaintenanceStrategy
 
-__all__ = ["Database", "CatalogError"]
+__all__ = ["Database", "CatalogError", "ViewMaintenanceError"]
 
 BaseRelation = ClusteredRelation | HashedRelation
 
 
 class CatalogError(ValueError):
     """Invalid catalog operation (unknown names, bad combinations)."""
+
+
+class ViewMaintenanceError(RuntimeError):
+    """One or more views failed to absorb a committed transaction.
+
+    Raised *after* the base relation mutation, index maintenance and
+    write-back completed, so the transaction itself is durable; only
+    the named views' stored copies are suspect.  The serving layer
+    catches this to degrade the affected views and queue repairs.
+    Only raised when :attr:`Database.isolate_view_faults` is on —
+    without the resilience layer a view fault propagates immediately.
+    """
+
+    def __init__(self, failures: list[tuple[str, Exception]]) -> None:
+        names = ", ".join(name for name, _ in failures)
+        super().__init__(f"view maintenance failed for: {names}")
+        self.failures = failures
+
+    @property
+    def view_names(self) -> list[str]:
+        """The views whose maintenance raised."""
+        return [name for name, _ in self.failures]
 
 
 @contextmanager
@@ -57,12 +81,39 @@ class Database:
         buffer_pages: int = 256,
         fanout: int = 200,
         cold_operations: bool = False,
+        fault_profile: FaultProfile | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.block_bytes = block_bytes
         self.fanout = fanout
         self.meter = CostMeter()
-        self.disk = SimulatedDisk(self.meter)
+        #: The raw page store (faulty when a profile is installed).
+        #: Faults start disarmed — callers arm after clean bootstrap.
+        if fault_profile is not None and fault_profile.name != "none":
+            self.storage_disk: SimulatedDisk = FaultyDisk(self.meter, fault_profile)
+        else:
+            self.storage_disk = SimulatedDisk(self.meter)
+        self.fault_profile = fault_profile
+        self.resilience_config = resilience
+        if resilience is not None:
+            # Detection is a prerequisite for the retry/breaker layer:
+            # checksums must be verified on every read.
+            self.storage_disk.verify_reads = True
+            self.disk: Any = ResilientDisk(
+                self.storage_disk,
+                retry=resilience.retry,
+                failure_threshold=resilience.failure_threshold,
+                cooldown_ops=resilience.cooldown_ops,
+                half_open_probes=resilience.half_open_probes,
+            )
+        else:
+            self.disk = self.storage_disk
         self.pool = BufferPool(self.disk, capacity=buffer_pages)
+        #: When True (set whenever a resilience config is installed),
+        #: view-maintenance faults during apply_transaction are
+        #: collected into :class:`ViewMaintenanceError` *after* the base
+        #: mutation and write-back, instead of aborting mid-loop.
+        self.isolate_view_faults = resilience is not None
         #: When True, the buffer pool is emptied before each
         #: transaction and each view query — matching the cost model's
         #: cold-cache assumption (every formula charges full I/O).
@@ -92,6 +143,33 @@ class Database:
         kwargs.setdefault("block_bytes", params.B)
         kwargs.setdefault("fanout", max(3, int(params.fanout)))
         return cls(**kwargs)
+
+    @property
+    def faults(self) -> FaultyDisk | None:
+        """The fault injector, when one is installed."""
+        disk = self.storage_disk
+        return disk if isinstance(disk, FaultyDisk) else None
+
+    @property
+    def resilient_disk(self) -> ResilientDisk | None:
+        """The retry/breaker wrapper, when one is installed."""
+        disk = self.disk
+        return disk if isinstance(disk, ResilientDisk) else None
+
+    def engine_config(self) -> dict[str, Any]:
+        """The sizing arguments this engine was built with.
+
+        What a recovery twin (or the durability manifest) needs to
+        rebuild an identically-shaped engine; the fault/resilience
+        stack is passed separately since it is runtime policy, not
+        persistent state.
+        """
+        return {
+            "block_bytes": self.block_bytes,
+            "buffer_pages": self.pool.capacity,
+            "fanout": self.fanout,
+            "cold_operations": self.cold_operations,
+        }
 
     # ------------------------------------------------------------------
     # catalog
@@ -309,13 +387,24 @@ class Database:
                 self._index_event(txn.relation, deleted=old, inserted=new)
             else:  # pragma: no cover - exhaustive over Operation
                 raise CatalogError(f"unknown operation {op!r}")
+        view_failures: list[tuple[str, Exception]] = []
         for view_name in self._views_by_relation.get(txn.relation, ()):
-            self.views[view_name].on_transaction(txn, delta)
+            if self.isolate_view_faults:
+                try:
+                    self.views[view_name].on_transaction(txn, delta)
+                except RESILIENCE_ERRORS as exc:
+                    view_failures.append((view_name, exc))
+            else:
+                self.views[view_name].on_transaction(txn, delta)
         # Write-back: dirty pages accumulated by this transaction are
         # flushed once each, so a page touched several times in one
         # operation costs one write (the cost model's accounting).
         self.pool.flush_all()
         self.transactions_applied += 1
+        if view_failures:
+            # The base mutation is committed (journaled, applied,
+            # flushed); only the named views' copies are suspect.
+            raise ViewMaintenanceError(view_failures)
         return delta
 
     def query_view(self, name: str, lo: Any = None, hi: Any = None) -> Any:
@@ -447,6 +536,79 @@ class Database:
             )
         self.pool.flush_all()
         return new_impl
+
+    def rebuild_view(self, name: str) -> "MaintenanceStrategy":
+        """Rebuild one view's stored state from its base relation(s).
+
+        The repair primitive for a damaged materialized copy: drop the
+        view (page deallocation never *reads* the damaged pages), settle
+        the source relation so the base reflects every pending change,
+        and re-define the view under its original strategy and options.
+        All I/O stays on the meter — repair cost is workload cost.
+
+        Journaled as one composite ``rebuild_view`` event (like
+        ``migrate``), so replaying the log reproduces the repair
+        deterministically.
+        """
+        impl = self.views.get(name)
+        if impl is None:
+            raise CatalogError(f"unknown view {name!r}")
+        spec = self._view_specs[name]
+        definition = spec["definition"]
+        strategy = spec["strategy"]
+        plan = spec["plan"]
+        index_field = spec["index_field"]
+        refresh_every = spec["refresh_every"]
+        self._journal("rebuild_view", view=name)
+        with self._journal_paused():
+            self.drop_view(name)
+            sources = [definition.outer if isinstance(definition, JoinView) else definition.relation]
+            for source in sources:
+                self.settle_relation(source)
+            new_impl = self.define_view(
+                definition, strategy,
+                plan=plan, index_field=index_field, refresh_every=refresh_every,
+                setup_bucket=False,
+            )
+        self.pool.flush_all()
+        return new_impl
+
+    def restore_view(
+        self,
+        definition: SelectProjectView | JoinView | AggregateView,
+        strategy: Strategy,
+        plan: str | None = None,
+        index_field: str | None = None,
+        refresh_every: int = 10,
+    ) -> "MaintenanceStrategy":
+        """Re-create a view lost mid-composite-operation (repair path).
+
+        A fault between a composite operation's drop and its re-define
+        (e.g. mid-``migrate``) can leave the view absent from the
+        catalog.  The composite journal record is already in the WAL and
+        replays the whole operation, so this restore is deliberately
+        *not* journaled — journaling it again would double-apply on
+        replay.
+
+        The source relation is settled first, exactly like
+        :meth:`rebuild_view`: a freshly defined deferred view has no
+        screening markers, so any AD entries still pending at restore
+        time would otherwise never reach it — the bulk load must read a
+        base that already contains them.
+        """
+        if definition.name in self.views:
+            raise CatalogError(f"view {definition.name!r} already exists")
+        with self._journal_paused():
+            sources = [definition.outer if isinstance(definition, JoinView) else definition.relation]
+            for source in sources:
+                self.settle_relation(source)
+            impl = self.define_view(
+                definition, strategy,
+                plan=plan, index_field=index_field, refresh_every=refresh_every,
+                setup_bucket=False,
+            )
+        self.pool.flush_all()
+        return impl
 
     # ------------------------------------------------------------------
     # durability hooks (repro.durability)

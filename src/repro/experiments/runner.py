@@ -6,7 +6,8 @@ one: the paper's artifacts (``fig1`` .. ``fig9``, ``params``,
 ``emp-dept``, ``yao``, ``sensitivity``, ``breakdown``), the
 simulation-side checks (``validate``, ``sim-fig1``/``5``/``8``,
 ``ablation``) and the extensions (``ext-async``, ``ext-snapshot``,
-``ext-hybrid``, ``ext-five``, ``ext-service``, ``ext-durability``).
+``ext-hybrid``, ``ext-five``, ``ext-service``, ``ext-durability``,
+``ext-resilience``).
 ``--csv DIR`` additionally writes raw data files.
 """
 
@@ -24,6 +25,7 @@ from . import (
     durability,
     extensions,
     figures,
+    resilience,
     service,
     sim_figures,
     tables,
@@ -70,6 +72,7 @@ EXPERIMENTS: dict[str, Callable[[], list[Artifact]]] = {
     "ext-skew": lambda: [extensions.update_skew_table()],
     "ext-service": lambda: [service.adaptive_serving_table()],
     "ext-durability": lambda: [durability.durability_table()],
+    "ext-resilience": lambda: [resilience.resilience_table()],
     "ablation": lambda: [
         ablation.ad_file_ablation(),
         ablation.bloom_filter_ablation(),

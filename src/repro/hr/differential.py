@@ -278,11 +278,20 @@ class HypotheticalRelation:
         scheme eventually pays; only the AD traffic before this point
         is deferred-specific overhead.  ``net`` may be passed when the
         caller just computed it (avoids a second AD scan).
+
+        The fold is idempotent by construction (delete-if-present,
+        replace-on-insert): a fold interrupted mid-way — e.g. by an
+        injected storage fault — leaves the AD file intact, and the
+        retry re-applies the already-folded prefix harmlessly instead
+        of failing on a missing delete or a duplicate insert.
         """
         delta = net if net is not None else self.net_changes()
         for record in delta.deleted:
-            self.base.delete_by_key(record.key)
+            if self.base.contains_key(record.key):
+                self.base.delete_by_key(record.key)
         for record in delta.inserted:
+            if self.base.contains_key(record.key):
+                self.base.delete_by_key(record.key)
             self.base.insert(record)
         self.ad.truncate()
         self.bloom.clear()

@@ -153,11 +153,18 @@ class HashedHypotheticalRelation:
         return len(self.ad)
 
     def reset(self, net: DeltaSet | None = None) -> None:
-        """Fold AD into the base hash file and clear it."""
+        """Fold AD into the base hash file and clear it.
+
+        Idempotent like :meth:`HypotheticalRelation.reset`: re-applying
+        an interrupted fold's already-folded prefix is harmless.
+        """
         delta = net if net is not None else self.net_changes()
         for record in delta.deleted:
-            self.base.delete_by_key(record.key)
+            if self.base.peek_by_key(record.key) is not None:
+                self.base.delete_by_key(record.key)
         for record in delta.inserted:
+            if self.base.peek_by_key(record.key) is not None:
+                self.base.delete_by_key(record.key)
             self.base.insert(record)
         self.ad.truncate()
         self.bloom.clear()

@@ -1,0 +1,335 @@
+"""Retry, backoff and per-file circuit breaking at the pager boundary.
+
+:class:`ResilientDisk` wraps any disk (clean or faulty) and gives the
+engine above it three guarantees:
+
+* **retry with exponential backoff** — transient I/O errors and
+  checksum mismatches are retried up to ``max_attempts`` times; the
+  backoff is *modelled* milliseconds (added to the degradation
+  overhead ledger), never a real sleep, so tests stay fast and
+  deterministic.
+* **per-file circuit breaker** — repeated exhausted retries on one
+  file open its breaker (``closed → open``); while open, operations
+  fail fast with :class:`CircuitOpenError` instead of hammering a
+  damaged file.  After a cool-down measured in disk operations the
+  breaker admits probes (``open → half_open``) and closes again after
+  enough consecutive successes.
+* **observability** — every state transition, retry and exhausted
+  attempt is recorded (and forwarded to an optional listener so the
+  serving layer can export them as metrics).
+
+The breaker clock is the wrapper's operation counter rather than wall
+time, keeping the whole state machine deterministic under seeded fault
+profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.resilience.faults import TransientIOError
+from repro.storage.pager import Page, PageChecksumError, PageId
+
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RESILIENCE_ERRORS",
+    "ResilienceConfig",
+    "ResilientDisk",
+    "RetryPolicy",
+]
+
+
+class CircuitOpenError(RuntimeError):
+    """An operation was refused because the file's breaker is open."""
+
+    def __init__(self, file: str, page_id: PageId | None = None) -> None:
+        super().__init__(f"circuit breaker open for file {file!r}")
+        self.file = file
+        self.page_id = page_id
+
+
+#: Every failure class the resilience layer detects and degrades on.
+RESILIENCE_ERRORS = (TransientIOError, PageChecksumError, CircuitOpenError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff retry schedule for one guarded operation."""
+
+    max_attempts: int = 4
+    backoff_base_ms: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_max_ms: float = 50.0
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Modelled delay before retry number ``attempt`` (0-based)."""
+        delay = self.backoff_base_ms * (self.backoff_factor**attempt)
+        return min(delay, self.backoff_max_ms)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """One knob bundle for the whole resilience stack.
+
+    The engine reads the retry/breaker fields when building its disk
+    stack; the serving layer reads the degradation fields when deciding
+    how far down the ladder it may go.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Exhausted-retry failures on one file before its breaker opens.
+    failure_threshold: int = 3
+    #: Disk operations an open breaker waits before admitting probes.
+    cooldown_ops: int = 24
+    #: Consecutive half-open successes required to close again.
+    half_open_probes: int = 2
+    #: Allow bounded-staleness stale reads as the last degradation rung.
+    degraded_reads: bool = True
+    #: Refuse a stale read whose bound exceeds this many pending
+    #: updates (``None`` = any bound is acceptable, but still reported).
+    staleness_limit: int | None = None
+    #: Queue and run background repairs (view rebuild / WAL recovery).
+    repair: bool = True
+
+
+class CircuitBreaker:
+    """Per-file ``closed → open → half_open`` breaker on an op clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        file: str,
+        *,
+        failure_threshold: int = 3,
+        cooldown_ops: int = 24,
+        half_open_probes: int = 2,
+        on_transition: Callable[[str, str, str], None] | None = None,
+    ) -> None:
+        self.file = file
+        self.failure_threshold = max(1, failure_threshold)
+        self.cooldown_ops = max(1, cooldown_ops)
+        self.half_open_probes = max(1, half_open_probes)
+        self.state = self.CLOSED
+        self.failures = 0
+        self.successes = 0
+        self._opened_at_op = 0
+        self._on_transition = on_transition
+
+    def _transition(self, new_state: str) -> None:
+        if new_state == self.state:
+            return
+        old = self.state
+        self.state = new_state
+        if self._on_transition is not None:
+            self._on_transition(self.file, old, new_state)
+
+    def allow(self, now_op: int) -> bool:
+        """May an operation on this file proceed at op-clock ``now_op``?"""
+        if self.state == self.OPEN:
+            if now_op - self._opened_at_op >= self.cooldown_ops:
+                self.successes = 0
+                self._transition(self.HALF_OPEN)
+                return True
+            return False
+        return True
+
+    def force_half_open(self) -> bool:
+        """Admit probes immediately (deliberate repair); True if it acted."""
+        if self.state == self.OPEN:
+            self.successes = 0
+            self._transition(self.HALF_OPEN)
+            return True
+        return False
+
+    def record_failure(self, now_op: int) -> None:
+        """Note an exhausted-retry failure; may open the breaker."""
+        if self.state == self.HALF_OPEN:
+            self._opened_at_op = now_op
+            self._transition(self.OPEN)
+            return
+        self.failures += 1
+        if self.failures >= self.failure_threshold:
+            self._opened_at_op = now_op
+            self._transition(self.OPEN)
+
+    def record_success(self) -> None:
+        """Note a successful operation; may close a half-open breaker."""
+        if self.state == self.HALF_OPEN:
+            self.successes += 1
+            if self.successes >= self.half_open_probes:
+                self.failures = 0
+                self._transition(self.CLOSED)
+        elif self.state == self.CLOSED:
+            self.failures = 0
+
+    def reset(self) -> None:
+        """Snap back to closed (after a verified repair)."""
+        self.failures = 0
+        self.successes = 0
+        self._transition(self.CLOSED)
+
+
+class ResilientDisk:
+    """Disk wrapper adding retries, backoff and per-file breakers.
+
+    Duck-types the :class:`~repro.storage.pager.SimulatedDisk` surface
+    the buffer pool and file structures use (``read``/``write``/
+    ``allocate``/``free``/``file_pages``/``page_count``/``files``/
+    ``verify``/``corrupt``/``meter``/``in``), so it slots between the
+    pool and any underlying disk unchanged.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        *,
+        retry: RetryPolicy | None = None,
+        failure_threshold: int = 3,
+        cooldown_ops: int = 24,
+        half_open_probes: int = 2,
+        listener: Callable[..., None] | None = None,
+    ) -> None:
+        self.inner = inner
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.failure_threshold = failure_threshold
+        self.cooldown_ops = cooldown_ops
+        self.half_open_probes = half_open_probes
+        #: Optional ``listener(event, **info)`` hook; events are
+        #: ``"retry"``, ``"give_up"`` and ``"transition"``.
+        self.listener = listener
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self.op_clock = 0
+        self.retries = 0
+        self.gave_up = 0
+        self.backoff_ms = 0.0
+        self.transitions: list[tuple[str, str, str]] = []
+
+    # -- pass-throughs -------------------------------------------------
+
+    @property
+    def meter(self):
+        """The underlying disk's cost meter."""
+        return self.inner.meter
+
+    def __contains__(self, page_id: PageId) -> bool:
+        return page_id in self.inner
+
+    def allocate(self, file: str, capacity: int) -> Page:
+        """Allocate on the inner disk (allocation cannot fault)."""
+        return self.inner.allocate(file, capacity)
+
+    def free(self, page_id: PageId) -> None:
+        """Free on the inner disk (deallocation cannot fault)."""
+        self.inner.free(page_id)
+
+    def page_count(self, file: str) -> int:
+        """Inner disk's page count for one file."""
+        return self.inner.page_count(file)
+
+    def file_pages(self, file: str) -> list[PageId]:
+        """Inner disk's page ids for one file."""
+        return self.inner.file_pages(file)
+
+    def files(self) -> list[str]:
+        """Inner disk's file listing."""
+        return self.inner.files()
+
+    def verify(self, page_id: PageId) -> str | None:
+        """At-rest integrity check, unguarded (scrubbers want raw truth)."""
+        return self.inner.verify(page_id)
+
+    def corrupt(self, page_id: PageId, **kwargs: Any) -> str | None:
+        """Pass-through to the inner disk's corruption helper (tests)."""
+        return self.inner.corrupt(page_id, **kwargs)
+
+    # -- guarded operations --------------------------------------------
+
+    def read(self, page_id: PageId) -> Page:
+        """Guarded read: breaker check, then retry loop."""
+        return self._guarded(page_id.file, lambda: self.inner.read(page_id), page_id)
+
+    def write(self, page: Page) -> None:
+        """Guarded write: breaker check, then retry loop."""
+        file = page.page_id.file
+        return self._guarded(file, lambda: self.inner.write(page), page.page_id)
+
+    def _breaker(self, file: str) -> CircuitBreaker:
+        breaker = self.breakers.get(file)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                file,
+                failure_threshold=self.failure_threshold,
+                cooldown_ops=self.cooldown_ops,
+                half_open_probes=self.half_open_probes,
+                on_transition=self._on_transition,
+            )
+            self.breakers[file] = breaker
+        return breaker
+
+    def _on_transition(self, file: str, old: str, new: str) -> None:
+        self.transitions.append((file, old, new))
+        if self.listener is not None:
+            self.listener("transition", file=file, old=old, new=new)
+
+    def _guarded(self, file: str, attempt: Callable[[], Any], page_id: PageId) -> Any:
+        breaker = self._breaker(file)
+        self.op_clock += 1
+        if not breaker.allow(self.op_clock):
+            raise CircuitOpenError(file, page_id)
+        last_error: Exception | None = None
+        for attempt_no in range(self.retry.max_attempts):
+            try:
+                result = attempt()
+            except (TransientIOError, PageChecksumError) as exc:
+                last_error = exc
+                if attempt_no + 1 < self.retry.max_attempts:
+                    self.retries += 1
+                    self.backoff_ms += self.retry.backoff_ms(attempt_no)
+                    if self.listener is not None:
+                        self.listener("retry", file=file)
+                    continue
+            else:
+                breaker.record_success()
+                return result
+        self.gave_up += 1
+        breaker.record_failure(self.op_clock)
+        if self.listener is not None:
+            self.listener("give_up", file=file)
+        assert last_error is not None
+        raise last_error
+
+    # -- repair hooks --------------------------------------------------
+
+    def breaker_state(self, file: str) -> str:
+        """Current breaker state for one file (closed if never tripped)."""
+        breaker = self.breakers.get(file)
+        return breaker.state if breaker is not None else CircuitBreaker.CLOSED
+
+    def probe_open_breakers(self, files: list[str] | None = None) -> list[str]:
+        """Force open breakers to half-open ahead of a deliberate repair.
+
+        Returns the files whose breakers were transitioned.  A repair is
+        an explicit recovery action, so it does not wait out the
+        cool-down the way organic traffic must.
+        """
+        probed = []
+        targets = (
+            self.breakers.values()
+            if files is None
+            else [self.breakers[f] for f in files if f in self.breakers]
+        )
+        for breaker in targets:
+            if breaker.force_half_open():
+                probed.append(breaker.file)
+        return probed
+
+    def reset_file(self, file: str) -> None:
+        """Snap one file's breaker closed after a verified repair."""
+        breaker = self.breakers.get(file)
+        if breaker is not None:
+            breaker.reset()

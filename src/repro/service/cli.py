@@ -10,6 +10,7 @@ to one static strategy::
     repro-serve --json                           # metrics export (schema v1)
     repro-serve --dashboard                      # ASCII metrics dashboard
     repro-serve --state-dir st --checkpoint-every 50   # journaled + recoverable
+    repro-serve --fault-profile mixed --degraded-reads # chaos + resilience
 """
 
 from __future__ import annotations
@@ -18,7 +19,10 @@ import argparse
 import sys
 
 from repro.core.strategies import Strategy
+from repro.resilience.faults import fault_profile, profile_names
+from repro.resilience.policy import ResilienceConfig
 from .router import RouterConfig
+from .server import DEGRADABLE_ERRORS
 from .traffic import PhaseSpec, demo_server, drifting_traffic, run_traffic
 
 __all__ = ["main", "parse_phases"]
@@ -77,6 +81,18 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
                         help="checkpoint every N served requests "
                         "(requires --state-dir)")
+    parser.add_argument("--fault-profile", choices=profile_names(), default=None,
+                        help="inject seeded storage faults after bootstrap; "
+                        "also installs checksums, retries, breakers and "
+                        "degraded serving")
+    parser.add_argument("--fault-seed", type=int, default=None, metavar="SEED",
+                        help="re-seed the fault profile's RNG "
+                        "(requires --fault-profile)")
+    parser.add_argument("--degraded-reads", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="allow bounded-staleness stale reads as the last "
+                        "degradation rung (default on; only meaningful with "
+                        "--fault-profile)")
     return parser
 
 
@@ -96,6 +112,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"invalid --checkpoint-every {args.checkpoint_every}: "
                   "must be >= 1", file=sys.stderr)
             return 2
+    if args.fault_seed is not None and args.fault_profile is None:
+        print("--fault-seed requires --fault-profile", file=sys.stderr)
+        return 2
+
+    profile = None
+    resilience = None
+    if args.fault_profile is not None:
+        profile = fault_profile(args.fault_profile, seed=args.fault_seed)
+        resilience = ResilienceConfig(degraded_reads=args.degraded_reads)
 
     adaptive = args.static is None
     demo = demo_server(
@@ -106,6 +131,8 @@ def main(argv: list[str] | None = None) -> int:
         strategy=Strategy(args.static) if args.static else Strategy.DEFERRED,
         adaptive=adaptive,
         router_config=RouterConfig(decision_every=args.decision_every),
+        fault_profile=profile,
+        resilience=resilience,
     )
     if args.state_dir is not None:
         from repro.durability.manager import DurabilityManager
@@ -117,7 +144,17 @@ def main(argv: list[str] | None = None) -> int:
         demo.server.checkpoint()
 
     requests = drifting_traffic(demo, phases, seed=args.seed + 1)
-    summary = run_traffic(demo.server, requests)
+    try:
+        summary = run_traffic(demo.server, requests)
+    except DEGRADABLE_ERRORS as exc:
+        # Base-relation or AD damage is beyond local repair; only a
+        # WAL-backed run can recover from it.
+        print(f"unrecoverable storage damage: {exc}", file=sys.stderr)
+        if args.state_dir is None:
+            print("hint: rerun with --state-dir DIR to arm checkpoint+WAL "
+                  "recovery", file=sys.stderr)
+        return 1
+    manager = demo.server.durability
     if args.state_dir is not None:
         demo.server.shutdown()
 
@@ -145,8 +182,14 @@ def main(argv: list[str] | None = None) -> int:
         report = demo.server.staleness(view)
         print(f"  {view}: strategy={demo.server.strategy_of(view).label}, "
               f"pending AD entries={report.pending_ad_entries}")
+    if profile is not None:
+        faults = demo.database.faults
+        injected = dict(faults.injected) if faults is not None else {}
+        mix = ", ".join(f"{k}={v}" for k, v in injected.items() if v) or "none"
+        print(f"  faults[{profile.name}]: injected {mix}; "
+              f"{summary.degraded} degraded answers, "
+              f"{len(demo.server.degraded_views())} views still degraded")
     if args.state_dir is not None:
-        manager = demo.server.durability
         assert manager is not None
         print(f"  durability: {manager.checkpoints_taken} checkpoints, "
               f"{manager.wal.records_appended} WAL records, "

@@ -33,9 +33,22 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.parameters import PAPER_DEFAULTS, Parameters
 from repro.core.strategies import Strategy
-from repro.engine.database import CatalogError, Database
+from repro.engine.database import CatalogError, Database, ViewMaintenanceError
 from repro.engine.transaction import Transaction
 from repro.hr.differential import HypotheticalRelation
+from repro.resilience.degradation import (
+    DegradedResult,
+    describe_failure,
+    qm_fallback_answer,
+)
+from repro.resilience.faults import FaultProfile
+from repro.resilience.policy import RESILIENCE_ERRORS, ResilienceConfig
+from repro.resilience.scrub import (
+    ScrubReport,
+    classify_file,
+    scrub_database,
+    view_files,
+)
 from repro.views.definition import AggregateView, JoinView, SelectProjectView
 from .metrics import MetricsRegistry
 from .router import AdaptiveRouter
@@ -46,6 +59,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.durability.manager import DurabilityManager
 
 __all__ = ["ViewServer", "ServedView"]
+
+#: Failure classes the server degrades on (everything the resilience
+#: layer detects, plus the engine's post-commit view-maintenance wrap).
+DEGRADABLE_ERRORS = RESILIENCE_ERRORS + (ViewMaintenanceError,)
+
+_BREAKER_STATE_LEVELS = {"closed": 0.0, "half_open": 1.0, "open": 2.0}
 
 ViewDefinition = SelectProjectView | JoinView | AggregateView
 
@@ -71,6 +90,7 @@ class ViewServer:
         router: AdaptiveRouter | None = None,
         scheduler: RefreshScheduler | None = None,
         registry: MetricsRegistry | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> None:
         self.database = database
         #: Cost constants used to convert meter deltas to milliseconds.
@@ -83,6 +103,46 @@ class ViewServer:
         #: Durability manager (WAL + checkpoints), armed by
         #: :meth:`attach_durability` or :meth:`open`.
         self.durability: "DurabilityManager | None" = None
+        #: Degradation policy; defaults to whatever the engine was
+        #: built with, so one config object drives the whole stack.
+        self.resilience = (
+            resilience if resilience is not None else database.resilience_config
+        )
+        #: Views currently serving degraded (view -> reason).
+        self._degraded: dict[str, str] = {}
+        #: Committed updates each degraded view has missed since
+        #: degrading (feeds the stale-read staleness bound).
+        self._missed_updates: dict[str, int] = {}
+        #: Queued background repairs (view -> repair info dict).
+        self._pending_repairs: dict[str, dict[str, Any]] = {}
+        #: Base-relation or AD damage: escalate to checkpoint+WAL recovery.
+        self._needs_recovery = False
+        self._repairing = False
+        #: Database factory for recovery repairs (set by :meth:`open`).
+        self._database_factory: Any = None
+        self._hook_disk_events(database)
+
+    def _hook_disk_events(self, database: Database) -> None:
+        resilient = database.resilient_disk
+        if resilient is not None:
+            resilient.listener = self._on_disk_event
+
+    def _on_disk_event(self, event: str, **info: Any) -> None:
+        """Metrics bridge for the resilient disk's retry/breaker events."""
+        if event == "retry":
+            self.metrics.counter("disk_retries_total", file=info["file"]).inc()
+        elif event == "give_up":
+            self.metrics.counter("disk_giveups_total", file=info["file"]).inc()
+        elif event == "transition":
+            self.metrics.counter(
+                "breaker_transitions_total",
+                file=info["file"],
+                from_state=info["old"],
+                to_state=info["new"],
+            ).inc()
+            self.metrics.gauge("breaker_state", file=info["file"]).set(
+                _BREAKER_STATE_LEVELS[info["new"]]
+            )
 
     @classmethod
     def open(
@@ -95,6 +155,8 @@ class ViewServer:
         default_config: dict[str, Any] | None = None,
         fsync_every: int = 1,
         checkpoint_every: int | None = None,
+        fault_profile: FaultProfile | None = None,
+        resilience: ResilienceConfig | None = None,
     ) -> "ViewServer":
         """Open a server over a durability state directory.
 
@@ -104,17 +166,32 @@ class ViewServer:
         metrics (``recovery_replay_records``, ``recovery_ms``).  A fresh
         directory yields an empty server — register views as usual and
         they are journaled from the first operation.
+
+        ``fault_profile``/``resilience`` rebuild the recovered engine
+        with the same injection and retry/breaker disk stack the live
+        instance uses (faults come back *disarmed*; arm them once the
+        serving loop is ready).
         """
         from repro.durability.manager import DurabilityManager
 
         manager = DurabilityManager(state_dir, fsync_every=fsync_every)
+
+        def factory(config: dict[str, Any]) -> Database:
+            return Database(
+                fault_profile=fault_profile, resilience=resilience, **config
+            )
+
         start = time.perf_counter()
-        db, report, service_state = manager.open(default_config)
+        db, report, service_state = manager.open(
+            default_config, database_factory=factory
+        )
         wall_ms = (time.perf_counter() - start) * 1000.0
         server = cls(
-            db, params=params, router=router, scheduler=scheduler, registry=registry
+            db, params=params, router=router, scheduler=scheduler,
+            registry=registry, resilience=resilience,
         )
         server.durability = manager
+        server._database_factory = factory
         saved = service_state or {}
         if checkpoint_every is None:
             checkpoint_every = saved.get("checkpoint_every")
@@ -177,12 +254,24 @@ class ViewServer:
             return info
 
     def shutdown(self) -> None:
-        """Graceful stop: final checkpoint, then seal the WAL."""
+        """Graceful stop: final checkpoint, then seal the WAL.
+
+        Idempotent — a second call is a no-op — and the durability
+        resources are released (WAL sealed, journaling detached) even
+        when the final checkpoint raises; the error still propagates so
+        the caller knows the last snapshot is missing, but recovery can
+        replay the sealed WAL regardless.
+        """
         with self._lock:
-            if self.durability is None:
+            manager = self.durability
+            if manager is None:
                 return
-            self.checkpoint()
-            self.durability.close()
+            try:
+                self.checkpoint()
+            finally:
+                self.durability = None
+                self.database.attach_journal(None)
+                manager.close()
 
     # ------------------------------------------------------------------
     # catalog surface
@@ -262,9 +351,35 @@ class ViewServer:
         with self._lock:
             meter = self.database.meter
             before = meter.snapshot()
-            self.database.apply_transaction(txn)
+            try:
+                self.database.apply_transaction(txn)
+                self._settle_if_no_deferred(txn.relation)
+            except ViewMaintenanceError as exc:
+                # The base mutation committed; only the named views'
+                # stored copies are suspect.  Degrade them and move on.
+                if self.resilience is None:
+                    raise
+                for view_name, view_exc in exc.failures:
+                    reason, file = describe_failure(view_exc)
+                    self._mark_degraded(view_name, f"update:{reason}", file)
+                self.metrics.counter(
+                    "update_maintenance_failures_total", relation=txn.relation
+                ).inc()
+            except DEGRADABLE_ERRORS as exc:
+                # Base-path failure.  The transaction was journaled
+                # *before* any page was touched, so checkpoint+WAL
+                # recovery replays it in full — the update is not lost.
+                if self.resilience is None:
+                    raise
+                self.metrics.counter(
+                    "update_base_failures_total", relation=txn.relation
+                ).inc()
+                if not self._recover_from_durability("update"):
+                    raise
             affected = self.database.views_on(txn.relation)
-            self._settle_if_no_deferred(txn.relation)
+            for name in self._degraded:
+                if name in affected:
+                    self._missed_updates[name] = self._missed_updates.get(name, 0) + 1
             ms = meter.diff(before).milliseconds(self.params)
             self.metrics.counter("updates_total", client=client).inc()
             self.metrics.histogram("update_ms", relation=txn.relation).observe(ms)
@@ -283,6 +398,8 @@ class ViewServer:
                     if entry is not None and entry.adaptive:
                         self._maybe_route(name)
             self._note_durability_op()
+            self._note_resilience_gauges()
+            self._run_repairs()
 
     def query(self, name: str, lo: Any = None, hi: Any = None, client: str = "anon") -> Any:
         """Answer a view query under the view's strategy and policy.
@@ -290,36 +407,158 @@ class ViewServer:
         A deferred view whose periodic policy says "not yet" serves the
         stale stored copy directly (staleness is tracked and exported);
         every other path goes through the strategy's own ``query``.
+
+        With a resilience config installed, a failure of the normal
+        path (checksum mismatch, exhausted retries, open breaker)
+        degrades instead of raising: the answer is served via
+        query-modification fallback or a bounded-staleness stale read,
+        wrapped in a :class:`~repro.resilience.degradation.DegradedResult`
+        naming the reason and the bound, and a background repair is
+        queued.  Only when every rung fails does the query raise.
         """
         with self._lock:
             entry = self._entry(name)
             impl = self.database.views.get(name)
-            if impl is None:
+            if impl is None and (self.resilience is None or name not in self._degraded):
+                # Only a degraded, repair-pending view may be missing
+                # its engine-side impl (vanished mid-composite-op).
                 raise CatalogError(f"unknown view {name!r}")
             meter = self.database.meter
             before = meter.snapshot()
-            strategy = impl.strategy
-            refresh_now = self.scheduler.should_refresh_on_query(name)
-            if strategy is Strategy.DEFERRED and not refresh_now:
-                answer = self._stale_read(impl, lo, hi)
-                self.scheduler.note_stale_answer(name)
-            else:
-                if strategy.is_query_modification():
-                    self._settle_for_query_modification(entry.definition)
-                answer = self.database.query_view(name, lo, hi)
-                if strategy is Strategy.DEFERRED:
-                    self.scheduler.note_refreshed(name)
-            ms = meter.diff(before).milliseconds(self.params)
-            entry.queries += 1
-            self.metrics.counter("queries_total", client=client).inc()
-            self.metrics.histogram(
-                "query_ms", view=name, strategy=strategy.value
-            ).observe(ms)
-            if self.router is not None and entry.adaptive:
+            strategy = impl.strategy if impl is not None else None
+            strategy_label = strategy.value if strategy is not None else "unavailable"
+            degraded: DegradedResult | None = None
+            try:
+                if self.resilience is not None and name in self._degraded:
+                    # Known-bad view: don't poke the broken machinery
+                    # (and its breakers) again until repair clears it.
+                    degraded = self._serve_degraded(
+                        name, entry, impl, lo, hi, self._degraded[name]
+                    )
+                    answer = degraded
+                else:
+                    assert impl is not None and strategy is not None
+                    try:
+                        answer = self._query_normal(name, entry, impl, strategy, lo, hi)
+                    except DEGRADABLE_ERRORS as exc:
+                        if self.resilience is None:
+                            raise
+                        reason, file = describe_failure(exc)
+                        self._degrade_with_siblings(name, reason, file)
+                        degraded = self._serve_degraded(
+                            name, entry, impl, lo, hi, reason
+                        )
+                        answer = degraded
+            finally:
+                ms = meter.diff(before).milliseconds(self.params)
+                entry.queries += 1
+                self.metrics.counter("queries_total", client=client).inc()
+                self.metrics.histogram(
+                    "query_ms", view=name, strategy=strategy_label
+                ).observe(ms)
+            if degraded is None and self.router is not None and entry.adaptive:
                 self.router.observe_query(name, self._query_width(lo, hi))
                 self._maybe_route(name)
             self._note_durability_op()
+            self._note_resilience_gauges()
+            self._run_repairs()
             return answer
+
+    def _query_normal(
+        self,
+        name: str,
+        entry: ServedView,
+        impl: Any,
+        strategy: Strategy,
+        lo: Any,
+        hi: Any,
+    ) -> Any:
+        """The healthy serving path (strategy + refresh policy)."""
+        refresh_now = self.scheduler.should_refresh_on_query(name)
+        if strategy is Strategy.DEFERRED and not refresh_now:
+            answer = self._stale_read(impl, lo, hi)
+            self.scheduler.note_stale_answer(name)
+        else:
+            if strategy.is_query_modification():
+                self._settle_for_query_modification(entry.definition)
+            answer = self.database.query_view(name, lo, hi)
+            if strategy is Strategy.DEFERRED:
+                self.scheduler.note_refreshed(name)
+        return answer
+
+    def _serve_degraded(
+        self,
+        name: str,
+        entry: ServedView,
+        impl: Any,
+        lo: Any,
+        hi: Any,
+        reason: str,
+    ) -> DegradedResult:
+        """Walk the degradation ladder for one query.
+
+        Rung 1 — query-modification fallback: recompute from the
+        logical base content (needs no materialized state; fresh, bound
+        0).  Rung 2 — bounded-staleness stale read of the last good
+        materialized copy.  Both rungs failing makes the query
+        unavailable: the original failure is re-raised.
+        """
+        config = self.resilience
+        assert config is not None
+        try:
+            answer = qm_fallback_answer(self.database, entry.definition, lo, hi)
+            mode, bound = "qm_fallback", 0
+        except DEGRADABLE_ERRORS as qm_exc:
+            bound = self._staleness_bound(name, entry.definition)
+            stale_ok = impl is not None and config.degraded_reads and (
+                config.staleness_limit is None or bound <= config.staleness_limit
+            )
+            if not stale_ok:
+                self.metrics.counter("unavailable_queries_total", view=name).inc()
+                raise qm_exc
+            try:
+                answer = self._stale_read(impl, lo, hi)
+            except DEGRADABLE_ERRORS:
+                self.metrics.counter("unavailable_queries_total", view=name).inc()
+                raise qm_exc from None
+            mode = "stale_read"
+        self.metrics.counter("degraded_queries_total", view=name, mode=mode).inc()
+        if impl is not None:
+            strategy_label = impl.strategy.value
+        else:  # vanished mid-composite-op; report the repair target
+            target = self._pending_repairs.get(name, {}).get("strategy")
+            strategy_label = target.value if target is not None else "unavailable"
+        return DegradedResult(
+            answer=answer,
+            view=name,
+            mode=mode,
+            reason=reason,
+            staleness_bound=bound,
+            strategy=strategy_label,
+        )
+
+    def _staleness_bound(self, name: str, definition: ViewDefinition) -> int:
+        """Updates a degraded view's stored copy may be missing.
+
+        Pending AD entries (the copy's refresh backlog) plus every
+        committed update the view has missed since degrading.
+        """
+        relation_name = (
+            definition.outer if isinstance(definition, JoinView)
+            else definition.relation
+        )
+        relation = self.database.relations.get(relation_name)
+        pending = 0
+        if isinstance(relation, HypotheticalRelation):
+            try:
+                pending = relation.ad_entry_count()
+            except DEGRADABLE_ERRORS:
+                # The AD file itself is unreadable; fall back to the
+                # last exported health gauge.
+                pending = int(
+                    self.metrics.gauge("ad_entries", relation=relation_name).value
+                )
+        return pending + self._missed_updates.get(name, 0)
 
     # ------------------------------------------------------------------
     # migration
@@ -332,7 +571,28 @@ class ViewServer:
                 return
             meter = self.database.meter
             before = meter.snapshot()
-            self.database.migrate_view(name, strategy)
+            try:
+                self.database.migrate_view(name, strategy)
+            except DEGRADABLE_ERRORS as exc:
+                if self.resilience is None:
+                    raise
+                reason, file = describe_failure(exc)
+                self.metrics.counter("migration_failures_total", view=name).inc()
+                if name not in self.database.views:
+                    # The fault hit between the migration's drop and its
+                    # re-define: the view vanished from the catalog.
+                    # The composite "migrate" WAL record (journaled
+                    # before the drop) replays the whole migration, so
+                    # the live repair restores under the *target*
+                    # strategy, unjournaled.
+                    self._pending_repairs[name] = {
+                        "kind": "redefine",
+                        "definition": self._entry(name).definition,
+                        "strategy": strategy,
+                    }
+                self._degrade_with_siblings(name, f"migrate:{reason}", file)
+                self._run_repairs()
+                return
             ms = meter.diff(before).milliseconds(self.params)
             self.metrics.counter(
                 "strategy_switches_total",
@@ -480,8 +740,15 @@ class ViewServer:
                 continue  # the coordinator already refreshed the siblings
             meter = self.database.meter
             before = meter.snapshot()
-            impl.refresh()
-            self.database.pool.flush_all()
+            try:
+                impl.refresh()
+                self.database.pool.flush_all()
+            except DEGRADABLE_ERRORS as exc:
+                if self.resilience is None:
+                    raise
+                reason, file = describe_failure(exc)
+                self._degrade_with_siblings(name, f"refresh:{reason}", file)
+                continue
             ms = meter.diff(before).milliseconds(self.params)
             self.metrics.histogram("background_refresh_ms", view=name).observe(ms)
             self.scheduler.note_refreshed(name)
@@ -491,12 +758,15 @@ class ViewServer:
         relation = self.database.relations.get(relation_name)
         if not isinstance(relation, HypotheticalRelation):
             return
-        self.metrics.gauge("ad_entries", relation=relation_name).set(
-            relation.ad_entry_count()
-        )
-        self.metrics.gauge("ad_pages", relation=relation_name).set(
-            relation.ad_page_count()
-        )
+        try:
+            entries = relation.ad_entry_count()
+            pages = relation.ad_page_count()
+        except DEGRADABLE_ERRORS:
+            if self.resilience is None:
+                raise
+            return  # keep the last good gauges
+        self.metrics.gauge("ad_entries", relation=relation_name).set(entries)
+        self.metrics.gauge("ad_pages", relation=relation_name).set(pages)
         bloom = relation.bloom
         self.metrics.gauge("bloom_fill_fraction", relation=relation_name).set(
             bloom.fill_fraction
@@ -552,6 +822,264 @@ class ViewServer:
             return
         self.scheduler.note_operation()
         if self.scheduler.should_checkpoint():
-            self.checkpoint()
+            try:
+                self.checkpoint()
+            except DEGRADABLE_ERRORS:
+                if self.resilience is None:
+                    raise
+                # A checkpoint reads base and AD pages only (never the
+                # matviews), so a failure here means damage local view
+                # rebuilds cannot reach — escalate to WAL recovery.
+                self.metrics.counter("checkpoint_failures_total").inc()
+                self._needs_recovery = True
         else:
             self._update_durability_gauges()
+
+    # ------------------------------------------------------------------
+    # resilience internals
+    # ------------------------------------------------------------------
+    def degraded_views(self) -> dict[str, str]:
+        """Views currently serving degraded, with the triggering reason."""
+        with self._lock:
+            return dict(self._degraded)
+
+    def scrub(self) -> ScrubReport:
+        """Walk every disk file, verifying page checksums (metered).
+
+        Any damaged view found is marked degraded (its repair is queued
+        for the background loop); base-relation or differential damage
+        flags the server for checkpoint+WAL recovery.
+        """
+        with self._lock:
+            report = scrub_database(self.database)
+            self.metrics.counter("scrubs_total").inc()
+            self.metrics.gauge("scrub_damaged_pages").set(len(report.damage))
+            for view_name in report.damaged_views():
+                if view_name in self._catalog:
+                    self._mark_degraded(view_name, "scrub:checksum", None)
+            if report.damaged_relations() and self.durability is not None:
+                self._needs_recovery = True
+            return report
+
+    def repair(self) -> dict[str, Any]:
+        """Run every queued repair now instead of waiting for traffic."""
+        with self._lock:
+            restored = self._run_repairs()
+            return {
+                "restored": restored,
+                "still_degraded": dict(self._degraded),
+                "needs_recovery": self._needs_recovery,
+            }
+
+    def _mark_degraded(self, name: str, reason: str, file: str | None) -> None:
+        """Flip a view to degraded service and queue its repair."""
+        if name not in self._catalog:
+            return
+        if name not in self._degraded:
+            self.metrics.counter("degradations_total", view=name).inc()
+        self._degraded[name] = reason
+        self._missed_updates.setdefault(name, 0)
+        self.metrics.gauge("view_degraded", view=name).set(1.0)
+        if name not in self._pending_repairs:
+            # Snapshot definition + strategy now: if the repair itself
+            # faults between its drop and re-define, the catalog entry
+            # is gone and this is all that's left to restore from.
+            info: dict[str, Any] = {
+                "kind": "rebuild",
+                "definition": self._entry(name).definition,
+            }
+            impl = self.database.views.get(name)
+            if impl is not None:
+                info["strategy"] = impl.strategy
+            self._pending_repairs[name] = info
+        if file is not None and self.durability is not None:
+            kind, _owner = classify_file(self.database, file)
+            if kind in ("relation", "differential"):
+                # The damaged file is not the view's own storage; a
+                # local rebuild cannot reach it.
+                self._needs_recovery = True
+
+    def _degrade_with_siblings(self, name: str, reason: str, file: str | None) -> None:
+        """Degrade a view and, if it is deferred, its deferred siblings.
+
+        Deferred views over one relation share a coordinator refresh:
+        one AD read, one ``apply_net`` per sibling, one fold.  A fault
+        mid-refresh can leave *any* sibling's stored copy partially
+        updated — not just the queried view's — so every deferred view
+        on the relation is suspect and must be rebuilt before its copy
+        is trusted again.  (Marking only the queried view lets a
+        half-applied sibling serve silently wrong answers forever.)
+        """
+        self._mark_degraded(name, reason, file)
+        entry = self._catalog.get(name)
+        if entry is None:
+            return
+        definition = entry.definition
+        relation = (
+            definition.outer if isinstance(definition, JoinView)
+            else definition.relation
+        )
+        impl = self.database.views.get(name)
+        if impl is not None and impl.strategy is not Strategy.DEFERRED:
+            return
+        for sibling in self.database.views_on(relation):
+            if sibling == name:
+                continue
+            sibling_impl = self.database.views.get(sibling)
+            if sibling_impl is not None and sibling_impl.strategy is Strategy.DEFERRED:
+                self._mark_degraded(sibling, f"sibling:{reason}", file)
+
+    def _clear_degraded(self, name: str) -> None:
+        self._degraded.pop(name, None)
+        self._missed_updates.pop(name, None)
+        self._pending_repairs.pop(name, None)
+        self.metrics.gauge("view_degraded", view=name).set(0.0)
+
+    def _run_repairs(self) -> list[str]:
+        """Drain the background repair queue; returns restored views.
+
+        Called at the tail of every request (repair work models the
+        idle-time maintenance of the paper's deferred machinery, and is
+        metered like any other work).  Recursion-guarded because repairs
+        themselves tick the durability cadence.
+        """
+        if self.resilience is None or not self.resilience.repair or self._repairing:
+            return []
+        if not self._pending_repairs and not self._needs_recovery:
+            return []
+        self._repairing = True
+        try:
+            if self._needs_recovery:
+                degraded = list(self._degraded) or list(self._pending_repairs)
+                if self._recover_from_durability("repair"):
+                    self._needs_recovery = False
+                    return degraded
+                return []
+            return [
+                name for name in list(self._pending_repairs)
+                if self._attempt_repair(name)
+            ]
+        finally:
+            self._repairing = False
+
+    def _attempt_repair(self, name: str) -> bool:
+        """One background repair: rebuild (or restore), verify, reopen.
+
+        Open breakers on the view's files are probed to half-open first
+        (a repair is deliberate, it does not wait out the cool-down);
+        a verified rebuild snaps them closed — the breaker-close shows
+        up in ``breaker_transitions_total`` like any other transition.
+        """
+        info = self._pending_repairs.get(name, {"kind": "rebuild"})
+        db = self.database
+        meter = db.meter
+        before = meter.snapshot()
+        resilient = db.resilient_disk
+        if resilient is not None:
+            resilient.probe_open_breakers(list(view_files(name)))
+        try:
+            if name in db.views:
+                db.rebuild_view(name)
+            else:
+                # Vanished mid-composite-operation (a fault between a
+                # migrate's or an earlier repair's drop and re-define).
+                # The composite WAL record already covers the re-define
+                # on replay, so the restore is unjournaled.
+                strategy = info.get("strategy")
+                if strategy is None:
+                    # Nothing left to restore from locally; the WAL
+                    # replay recreates the view if durability is armed.
+                    self.metrics.counter("repair_failures_total", view=name).inc()
+                    if self.durability is not None:
+                        self._needs_recovery = True
+                    return False
+                db.restore_view(info["definition"], strategy)
+            present = [f for f in view_files(name) if f in db.disk.files()]
+            recheck = scrub_database(db, files=present)
+        except DEGRADABLE_ERRORS:
+            self.metrics.counter("repair_failures_total", view=name).inc()
+            return False
+        if not recheck.ok:
+            self.metrics.counter("repair_failures_total", view=name).inc()
+            return False
+        if resilient is not None:
+            for file in view_files(name):
+                resilient.reset_file(file)
+        ms = meter.diff(before).milliseconds(self.params)
+        self._clear_degraded(name)
+        impl = db.views.get(name)
+        if impl is not None:
+            self._set_strategy_gauge(name, impl.strategy)
+        self.metrics.counter("repairs_total", view=name).inc()
+        self.metrics.histogram("repair_ms", view=name).observe(ms)
+        return True
+
+    def _recover_from_durability(self, trigger: str) -> bool:
+        """Rebuild the whole engine from checkpoint + WAL, then swap it in.
+
+        The repair of last resort, for damage local view rebuilds cannot
+        reach (base relations, differential files).  The WAL journals
+        every transaction *before* it touches a page, so the recovered
+        twin holds every committed update — including one whose base
+        apply failed halfway.  Returns False (leaving state untouched)
+        when no durability manager is attached or recovery itself fails.
+        """
+        manager = self.durability
+        if manager is None:
+            return False
+        old_faults = self.database.faults
+        was_armed = old_faults is not None and old_faults.armed
+        factory = self._database_factory
+        if factory is None:
+            profile = self.database.fault_profile
+            config_obj = self.database.resilience_config
+
+            def factory(config: dict[str, Any]) -> Database:
+                return Database(
+                    fault_profile=profile, resilience=config_obj, **config
+                )
+
+        start = time.perf_counter()
+        try:
+            db, report, _state = manager.open(
+                self.database.engine_config(), database_factory=factory
+            )
+        except Exception:
+            self.metrics.counter("recovery_failures_total", trigger=trigger).inc()
+            return False
+        self.database.attach_journal(None)
+        self.database = db
+        self._database_factory = factory
+        self._hook_disk_events(db)
+        new_faults = db.faults
+        if was_armed and new_faults is not None:
+            new_faults.arm()
+        for name in list(self._degraded):
+            self._clear_degraded(name)
+        self._pending_repairs.clear()
+        self._needs_recovery = False
+        for name, impl in db.views.items():
+            self._set_strategy_gauge(name, impl.strategy)
+        self.metrics.counter("recoveries_total").inc()
+        self.metrics.counter("fault_recoveries_total", trigger=trigger).inc()
+        self.metrics.gauge("recovery_replay_records").set(report.replay_records)
+        self.metrics.gauge("recovery_ms").set(report.milliseconds(self.params))
+        self.metrics.gauge("recovery_wall_ms").set(
+            (time.perf_counter() - start) * 1000.0
+        )
+        self._update_durability_gauges()
+        return True
+
+    def _note_resilience_gauges(self) -> None:
+        """Export the fault-injection and retry/breaker counters."""
+        faults = self.database.faults
+        if faults is not None:
+            for kind, count in faults.injected.items():
+                self.metrics.gauge("faults_injected", kind=kind).set(count)
+        resilient = self.database.resilient_disk
+        if resilient is not None:
+            self.metrics.gauge("disk_retries").set(resilient.retries)
+            self.metrics.gauge("disk_giveups").set(resilient.gave_up)
+            self.metrics.gauge("disk_backoff_ms").set(resilient.backoff_ms)
+        if self.resilience is not None:
+            self.metrics.gauge("degraded_views").set(len(self._degraded))

@@ -22,6 +22,9 @@ from repro.core.parameters import Parameters
 from repro.core.strategies import Strategy
 from repro.engine.database import Database
 from repro.engine.transaction import Transaction, Update
+from repro.resilience.degradation import DegradedResult
+from repro.resilience.faults import FaultProfile
+from repro.resilience.policy import ResilienceConfig
 from repro.storage.tuples import Schema
 from repro.views.definition import AggregateView, SelectProjectView
 from repro.views.predicate import IntervalPredicate
@@ -106,6 +109,8 @@ def demo_server(
     block_bytes: int = 4000,
     tuple_bytes: int = 100,
     with_aggregate: bool = True,
+    fault_profile: FaultProfile | None = None,
+    resilience: ResilienceConfig | None = None,
 ) -> ServiceDemo:
     """Build the standard serving-layer demo.
 
@@ -115,10 +120,17 @@ def demo_server(
     ``v_tuples`` (Model 1 select-project) and ``v_total`` (Model 3
     sum).  ``strategy`` picks their initial strategy; ``adaptive``
     arms the router (pass ``adaptive=False`` for the static baselines).
+
+    ``fault_profile`` injects storage faults (armed only *after* the
+    clean bootstrap below) and ``resilience`` installs the
+    checksum/retry/breaker/degradation stack over them.
     """
     rng = random.Random(seed)
     selectivity = view_bound / domain
-    db = Database(block_bytes=block_bytes, cold_operations=True)
+    db = Database(
+        block_bytes=block_bytes, cold_operations=True,
+        fault_profile=fault_profile, resilience=resilience,
+    )
     schema = Schema("r", ("id", "a", "v"), "id", tuple_bytes=tuple_bytes)
     records = [
         schema.new_record(id=i, a=rng.randrange(domain), v=rng.randrange(10_000))
@@ -131,7 +143,10 @@ def demo_server(
     cost_params = params or Parameters(
         N=n_tuples, S=tuple_bytes, B=block_bytes, f=selectivity
     )
-    server = ViewServer(db, params=cost_params, router=router if adaptive else None)
+    server = ViewServer(
+        db, params=cost_params, router=router if adaptive else None,
+        resilience=resilience,
+    )
 
     predicate = IntervalPredicate("a", 0, view_bound - 1, selectivity=selectivity)
     definitions: list[SelectProjectView | AggregateView] = [
@@ -150,6 +165,8 @@ def demo_server(
     for definition in definitions:
         server.register_view(definition, strategy, adaptive=adaptive, policy=policy)
     db.reset_meter()
+    if db.faults is not None:
+        db.faults.arm()  # bootstrap ran clean; the workload takes the risk
     return ServiceDemo(
         database=db,
         server=server,
@@ -237,6 +254,8 @@ class TrafficSummary:
 
     queries: int = 0
     updates: int = 0
+    #: Queries answered off the normal path (DegradedResult unwrapped).
+    degraded: int = 0
     answers: list = field(default_factory=list)
 
     @property
@@ -257,6 +276,9 @@ def run_traffic(server: ViewServer, requests: list[Request]) -> TrafficSummary:
             answer = server.query(
                 request.view, request.lo, request.hi, client=request.client
             )
+            if isinstance(answer, DegradedResult):
+                summary.degraded += 1
+                answer = answer.unwrap()
             summary.answers.append(
                 len(answer) if isinstance(answer, list) else answer
             )

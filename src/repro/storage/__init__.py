@@ -13,7 +13,16 @@ from .bloom import BloomFilter, optimal_bits, optimal_hashes
 from .bplustree import BPlusTree, TreeStats
 from .hashindex import HashFile
 from .heap import HeapFile
-from .pager import BufferPool, CostMeter, Page, PageId, PageOverflowError, SimulatedDisk
+from .pager import (
+    BufferPool,
+    CostMeter,
+    Page,
+    PageChecksumError,
+    PageId,
+    PageOverflowError,
+    SimulatedDisk,
+    page_checksum,
+)
 from .tuples import Record, Schema, SchemaError
 
 __all__ = [
@@ -24,6 +33,7 @@ __all__ = [
     "HashFile",
     "HeapFile",
     "Page",
+    "PageChecksumError",
     "PageId",
     "PageOverflowError",
     "Record",
@@ -33,4 +43,5 @@ __all__ = [
     "TreeStats",
     "optimal_bits",
     "optimal_hashes",
+    "page_checksum",
 ]

@@ -72,6 +72,35 @@ class BloomFilter:
         bits = optimal_bits(expected_items, target_fp_rate)
         return cls(bits, expected_items=expected_items)
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot of the filter (sizing + bit array).
+
+        Lifetime probe statistics are deliberately excluded: they
+        describe the run, not the filter's state, so a restored filter
+        starts counting afresh.  Used by durability checkpoints to
+        persist AD-file screens.
+        """
+        return {
+            "bits": self.bits,
+            "hashes": self.hashes,
+            "items_added": self.items_added,
+            "array": bytes(self._array).hex(),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "BloomFilter":
+        """Inverse of :meth:`to_dict`: rebuild an identical filter."""
+        bloom = cls(doc["bits"], hashes=doc["hashes"])
+        array = bytes.fromhex(doc["array"])
+        if len(array) != len(bloom._array):
+            raise ValueError(
+                f"bloom array length {len(array)} does not match "
+                f"{doc['bits']} bits"
+            )
+        bloom._array[:] = array
+        bloom.items_added = doc["items_added"]
+        return bloom
+
     def _positions(self, item: Any) -> Iterable[int]:
         digest = hashlib.blake2b(repr(item).encode(), digest_size=16).digest()
         h1 = int.from_bytes(digest[:8], "big")

@@ -15,6 +15,7 @@ nested-loop join pins inner-relation pages, Section 3.4.3).
 from __future__ import annotations
 
 import itertools
+import zlib
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -29,11 +30,39 @@ __all__ = [
     "BufferPool",
     "CostMeter",
     "PageOverflowError",
+    "PageChecksumError",
+    "page_checksum",
 ]
 
 
 class PageOverflowError(RuntimeError):
     """A record was added to a page that is already at capacity."""
+
+
+class PageChecksumError(RuntimeError):
+    """A page image read from disk does not match its stored checksum.
+
+    Raised by :meth:`SimulatedDisk.read` when ``verify_reads`` is on and
+    the at-rest image has diverged from the checksum recorded at write
+    time — the simulated equivalent of detecting bit-rot or a torn
+    write via a page-header CRC.
+    """
+
+    def __init__(self, page_id: "PageId", detail: str = "checksum mismatch") -> None:
+        super().__init__(f"{detail} on page {page_id}")
+        self.page_id = page_id
+        self.detail = detail
+
+
+def page_checksum(page: "Page") -> int:
+    """CRC32 over a page's logical content (records + successor link).
+
+    Records are hashed via ``repr`` so the checksum covers exactly what
+    :meth:`Page.clone` persists; any in-place mutation of the stored
+    image (simulated bit-rot) or truncation (torn write) changes it.
+    """
+    payload = repr((page.records, page.next_page)).encode("utf-8", "replace")
+    return zlib.crc32(payload)
 
 
 @dataclass(frozen=True)
@@ -278,7 +307,13 @@ class SimulatedDisk:
     def __init__(self, meter: CostMeter | None = None) -> None:
         self.meter = meter if meter is not None else CostMeter()
         self._pages: dict[PageId, Page] = {}
+        self._checksums: dict[PageId, int] = {}
         self._next_number: dict[str, Iterator[int]] = {}
+        #: When true, every :meth:`read` recomputes the page checksum
+        #: and raises :class:`PageChecksumError` on a mismatch.  Off by
+        #: default: the clean substrate cannot rot, so the paper's cost
+        #: experiments skip the (pure-CPU) verification.
+        self.verify_reads = False
 
     def __contains__(self, page_id: PageId) -> bool:
         return page_id in self._pages
@@ -287,21 +322,33 @@ class SimulatedDisk:
         """Number of allocated pages in one file."""
         return sum(1 for pid in self._pages if pid.file == file)
 
+    def files(self) -> list[str]:
+        """Every file name with at least one allocated page, sorted."""
+        return sorted({pid.file for pid in self._pages})
+
     def allocate(self, file: str, capacity: int) -> Page:
         """Allocate a fresh page in ``file`` (no I/O is charged)."""
         counter = self._next_number.setdefault(file, itertools.count())
         page_id = PageId(file, next(counter))
         page = Page(page_id, capacity)
         self._pages[page_id] = page
+        self._checksums[page_id] = page_checksum(page)
         return page.clone()
 
     def read(self, page_id: PageId) -> Page:
-        """Fetch a page image from disk, charging one read."""
+        """Fetch a page image from disk, charging one read.
+
+        With ``verify_reads`` enabled the stored image is checked
+        against its write-time checksum first; damaged pages raise
+        :class:`PageChecksumError` instead of silently serving rot.
+        """
         try:
             stored = self._pages[page_id]
         except KeyError:
             raise KeyError(f"no such page: {page_id}") from None
         self.meter.record_read()
+        if self.verify_reads and page_checksum(stored) != self._checksums[page_id]:
+            raise PageChecksumError(page_id)
         return stored.clone()
 
     def write(self, page: Page) -> None:
@@ -309,17 +356,58 @@ class SimulatedDisk:
         if page.page_id not in self._pages:
             raise KeyError(f"cannot write unallocated page: {page.page_id}")
         self.meter.record_write()
-        self._pages[page.page_id] = page.clone()
+        stored = page.clone()
+        self._pages[page.page_id] = stored
+        self._checksums[page.page_id] = page_checksum(stored)
 
     def free(self, page_id: PageId) -> None:
         """Deallocate a page (no I/O charged, mirroring the paper)."""
         self._pages.pop(page_id, None)
+        self._checksums.pop(page_id, None)
 
     def file_pages(self, file: str) -> list[PageId]:
         """All page ids of a file, in allocation order."""
         pids = [pid for pid in self._pages if pid.file == file]
         pids.sort(key=lambda pid: pid.number)
         return pids
+
+    def verify(self, page_id: PageId) -> str | None:
+        """Check one page's at-rest integrity without raising.
+
+        Charges one read (the scrubber pays for its walk) and returns
+        ``None`` when the stored image matches its checksum, otherwise
+        a short description of the damage.  Unlike :meth:`read` this
+        never raises, so an integrity scrub can keep walking past
+        damaged pages and report them all.
+        """
+        stored = self._pages.get(page_id)
+        if stored is None:
+            return "missing"
+        self.meter.record_read()
+        if page_checksum(stored) != self._checksums[page_id]:
+            return "checksum mismatch"
+        return None
+
+    def corrupt(self, page_id: PageId, *, drop_records: int = 1) -> str | None:
+        """Damage the stored image *in place* without updating its checksum.
+
+        Models at-rest bit-rot: the next verified read (or scrub) of the
+        page detects the divergence.  Returns a description of the
+        damage applied, or ``None`` when the page is already damaged or
+        unallocated (re-rotting an already-rotten page is a no-op so
+        injection counters stay honest).
+        """
+        stored = self._pages.get(page_id)
+        if stored is None:
+            return None
+        if page_checksum(stored) != self._checksums[page_id]:
+            return None
+        if stored.records:
+            dropped = min(max(drop_records, 1), len(stored.records))
+            del stored.records[:dropped]
+            return f"dropped {dropped} record(s)"
+        stored.next_page = PageId(page_id.file, page_id.number + 1_000_003)
+        return "scrambled successor link"
 
 
 class BufferPool:

@@ -1,0 +1,160 @@
+"""ResilientDisk: retry with modelled backoff + per-file circuit breakers."""
+
+import pytest
+
+from repro.resilience.faults import TransientReadError
+from repro.resilience.policy import (
+    CircuitBreaker,
+    CircuitOpenError,
+    ResilientDisk,
+    RetryPolicy,
+)
+from repro.storage.pager import CostMeter, SimulatedDisk
+
+
+class FlakyDisk(SimulatedDisk):
+    """Fails the next ``fail_next`` reads of ``fail_file``, then behaves."""
+
+    def __init__(self, fail_file="f.heap"):
+        super().__init__(CostMeter())
+        self.fail_next = 0
+        self.fail_file = fail_file
+
+    def read(self, page_id):
+        if self.fail_next > 0 and page_id.file == self.fail_file:
+            self.fail_next -= 1
+            raise TransientReadError(page_id)
+        return super().read(page_id)
+
+
+@pytest.fixture
+def stack():
+    inner = FlakyDisk()
+    page = inner.allocate("f.heap", 4)
+    page.add("x")
+    inner.write(page)
+    guarded = ResilientDisk(
+        inner,
+        retry=RetryPolicy(max_attempts=3, backoff_base_ms=1.0, backoff_factor=2.0),
+        failure_threshold=2,
+        cooldown_ops=5,
+        half_open_probes=2,
+    )
+    return inner, guarded, page.page_id
+
+
+class TestRetryPolicy:
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(backoff_base_ms=1.0, backoff_factor=2.0,
+                             backoff_max_ms=50.0)
+        assert [policy.backoff_ms(i) for i in range(4)] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(backoff_base_ms=10.0, backoff_factor=10.0,
+                             backoff_max_ms=25.0)
+        assert policy.backoff_ms(5) == 25.0
+
+
+class TestRetries:
+    def test_transient_faults_absorbed_within_budget(self, stack):
+        inner, guarded, pid = stack
+        inner.fail_next = 2  # two failures, third attempt succeeds
+        page = guarded.read(pid)
+        assert page.records == ["x"]
+        assert guarded.retries == 2
+        assert guarded.gave_up == 0
+        assert guarded.backoff_ms == pytest.approx(1.0 + 2.0)
+
+    def test_exhausted_retries_reraise_last_error(self, stack):
+        inner, guarded, pid = stack
+        inner.fail_next = 10
+        with pytest.raises(TransientReadError):
+            guarded.read(pid)
+        assert guarded.gave_up == 1
+        assert guarded.retries == 2  # max_attempts - 1 retries per op
+
+    def test_listener_sees_retry_and_give_up(self, stack):
+        inner, guarded, pid = stack
+        events = []
+        guarded.listener = lambda event, **info: events.append(event)
+        inner.fail_next = 10
+        with pytest.raises(TransientReadError):
+            guarded.read(pid)
+        assert events == ["retry", "retry", "give_up"]
+
+
+class TestBreaker:
+    def trip(self, inner, guarded, pid):
+        """Exhaust retries ``failure_threshold`` times to open the breaker."""
+        for _ in range(guarded.failure_threshold):
+            inner.fail_next = 10
+            with pytest.raises(TransientReadError):
+                guarded.read(pid)
+        inner.fail_next = 0  # the file is healthy again after the trip
+
+    def test_opens_after_threshold_and_fails_fast(self, stack):
+        inner, guarded, pid = stack
+        self.trip(inner, guarded, pid)
+        assert guarded.breaker_state("f.heap") == CircuitBreaker.OPEN
+        inner.fail_next = 0  # the file is healthy again, but the breaker
+        with pytest.raises(CircuitOpenError):  # hasn't noticed yet
+            guarded.read(pid)
+
+    def test_half_open_after_cooldown_then_closes(self, stack):
+        inner, guarded, pid = stack
+        self.trip(inner, guarded, pid)
+        # Spin the op clock past the cool-down on another file.
+        other = guarded.allocate("other.heap", 4)
+        guarded.write(other)
+        for _ in range(guarded.cooldown_ops):
+            guarded.read(other.page_id)
+        assert guarded.read(pid).records == ["x"]  # admitted as a probe
+        assert guarded.breaker_state("f.heap") == CircuitBreaker.HALF_OPEN
+        guarded.read(pid)  # second probe success closes (half_open_probes=2)
+        assert guarded.breaker_state("f.heap") == CircuitBreaker.CLOSED
+
+    def test_half_open_failure_reopens(self, stack):
+        inner, guarded, pid = stack
+        self.trip(inner, guarded, pid)
+        assert guarded.probe_open_breakers() == ["f.heap"]
+        inner.fail_next = 10
+        with pytest.raises(TransientReadError):
+            guarded.read(pid)
+        assert guarded.breaker_state("f.heap") == CircuitBreaker.OPEN
+
+    def test_probe_open_breakers_targets_files(self, stack):
+        inner, guarded, pid = stack
+        self.trip(inner, guarded, pid)
+        assert guarded.probe_open_breakers(["unrelated.heap"]) == []
+        assert guarded.breaker_state("f.heap") == CircuitBreaker.OPEN
+        assert guarded.probe_open_breakers(["f.heap"]) == ["f.heap"]
+        assert guarded.breaker_state("f.heap") == CircuitBreaker.HALF_OPEN
+
+    def test_reset_file_snaps_closed(self, stack):
+        inner, guarded, pid = stack
+        self.trip(inner, guarded, pid)
+        guarded.reset_file("f.heap")
+        assert guarded.breaker_state("f.heap") == CircuitBreaker.CLOSED
+        assert guarded.read(pid).records == ["x"]
+
+    def test_transitions_are_recorded(self, stack):
+        inner, guarded, pid = stack
+        self.trip(inner, guarded, pid)
+        guarded.reset_file("f.heap")
+        assert ("f.heap", "closed", "open") in guarded.transitions
+        assert ("f.heap", "open", "closed") in guarded.transitions
+
+    def test_untripped_file_reports_closed(self, stack):
+        _, guarded, _ = stack
+        assert guarded.breaker_state("never.touched") == CircuitBreaker.CLOSED
+
+
+class TestPassThroughs:
+    def test_surface_matches_inner_disk(self, stack):
+        inner, guarded, pid = stack
+        assert guarded.meter is inner.meter
+        assert pid in guarded
+        assert guarded.files() == inner.files()
+        assert guarded.page_count("f.heap") == 1
+        assert guarded.file_pages("f.heap") == [pid]
+        assert guarded.verify(pid) is None

@@ -210,3 +210,100 @@ class TestMetricsExport:
         server.query("v_total")
         text = server.dashboard()
         assert "query_ms" in text and "v_total" in text
+
+
+class TestShutdown:
+    """Graceful stop: idempotent, and resources released even on failure."""
+
+    def arm(self, server, tmp_path):
+        from repro.durability.manager import DurabilityManager
+
+        manager = DurabilityManager(tmp_path)
+        manager.save_config(server.database.engine_config())
+        server.attach_durability(manager)
+        server.checkpoint()
+        return manager
+
+    def test_shutdown_detaches_and_seals(self, tmp_path):
+        from repro.durability.wal import WalError
+
+        server = make_server()
+        manager = self.arm(server, tmp_path)
+        checkpoints_before = manager.checkpoints_taken
+        server.shutdown()
+        assert server.durability is None
+        assert server.database.journal is None
+        assert manager.checkpoints_taken == checkpoints_before + 1
+        with pytest.raises(WalError, match="closed"):
+            manager.wal.append({"op": "x"})
+
+    def test_shutdown_is_idempotent(self, tmp_path):
+        server = make_server()
+        self.arm(server, tmp_path)
+        server.shutdown()
+        server.shutdown()  # second call must be a clean no-op
+        assert server.durability is None
+
+    def test_shutdown_without_durability_is_a_noop(self):
+        server = make_server()
+        server.shutdown()  # never armed — nothing to release
+        assert server.durability is None
+
+    def test_failed_final_checkpoint_still_releases(self, tmp_path, monkeypatch):
+        from repro.durability.wal import WalError
+
+        server = make_server()
+        manager = self.arm(server, tmp_path)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("disk full")
+
+        monkeypatch.setattr(manager, "checkpoint", explode)
+        with pytest.raises(RuntimeError, match="disk full"):
+            server.shutdown()
+        # The error propagated, but every resource was still released.
+        assert server.durability is None
+        assert server.database.journal is None
+        with pytest.raises(WalError, match="closed"):
+            manager.wal.append({"op": "x"})
+        server.shutdown()  # and the server is safely re-shutdown-able
+
+
+class TestStaleness:
+    """staleness() must bound divergence by the pending differential."""
+
+    def test_deferred_bound_tracks_pending_ad_entries(self):
+        server = make_server(Strategy.DEFERRED)
+        relation = server.database.relations["r"]
+        assert server.staleness("v_total").pending_ad_entries == 0
+        server.apply_update(Transaction.of("r", [
+            Update(0, {"a": 5}), Update(1, {"a": 6}),
+        ]))
+        report = server.staleness("v_total")
+        assert report.pending_ad_entries == relation.ad_entry_count() > 0
+        server.query("v_total")  # on-demand refresh folds the backlog
+        assert server.staleness("v_total").pending_ad_entries == 0
+
+    def test_qm_strategies_report_zero_pending(self):
+        server = make_server(Strategy.QM_CLUSTERED)
+        server.apply_update(Transaction.of("r", [Update(0, {"a": 5})]))
+        relation = server.database.relations["r"]
+        assert relation.ad_entry_count() > 0  # backlog exists...
+        # ...but recomputation reads logical content, so answers are fresh.
+        assert server.staleness("v_total").pending_ad_entries == 0
+
+    def test_immediate_strategy_is_always_fresh(self):
+        server = make_server(Strategy.IMMEDIATE)
+        server.apply_update(Transaction.of("r", [Update(0, {"a": 5})]))
+        assert server.staleness("v_total").pending_ad_entries == 0
+
+    def test_periodic_policy_staleness_clears_on_cycle(self):
+        server = make_server(Strategy.DEFERRED, policy=RefreshPolicy.periodic(2),
+                             definitions=(AGG,))
+        server.query("v_total")  # query 1 refreshes (seen % every == 0)
+        server.apply_update(Transaction.of("r", [Update(0, {"v": 10_000})]))
+        assert server.staleness("v_total").pending_ad_entries > 0
+        server.query("v_total")  # query 2: serves stale
+        assert server.staleness("v_total").pending_ad_entries > 0
+        server.query("v_total")  # query 3: refresh cycle comes around
+        assert server.staleness("v_total").pending_ad_entries == 0

@@ -114,3 +114,66 @@ class TestBehaviour:
             BloomFilter(0)
         with pytest.raises(ValueError):
             BloomFilter(10, hashes=0)
+
+
+class TestSerialization:
+    """to_dict/from_dict: the checkpoint format for AD-file screens."""
+
+    def test_round_trip_preserves_membership_exactly(self):
+        bf = BloomFilter.for_load(300, 0.02)
+        for i in range(300):
+            bf.add(("member", i))
+        restored = BloomFilter.from_dict(bf.to_dict())
+        assert (restored.bits, restored.hashes) == (bf.bits, bf.hashes)
+        assert restored.items_added == bf.items_added
+        probes = [("member", i) for i in range(300)]
+        probes += [("other", i) for i in range(2_000)]
+        assert [restored.maybe_contains(p) for p in probes] == \
+               [bf.maybe_contains(p) for p in probes]
+
+    def test_round_trip_is_json_safe(self):
+        import json
+
+        bf = BloomFilter(512, hashes=4)
+        bf.add("x")
+        doc = json.loads(json.dumps(bf.to_dict()))
+        assert BloomFilter.from_dict(doc).maybe_contains("x")
+
+    def test_probe_stats_excluded_from_snapshot(self):
+        bf = BloomFilter(256)
+        bf.add("x")
+        bf.maybe_contains("y")  # one lifetime probe
+        restored = BloomFilter.from_dict(bf.to_dict())
+        assert restored.probes == 0  # restored filters count afresh
+
+    def test_array_length_mismatch_rejected(self):
+        bf = BloomFilter(512, hashes=4)
+        doc = bf.to_dict()
+        doc["bits"] = 1024  # sizing no longer matches the serialized array
+        with pytest.raises(ValueError, match="does not match"):
+            BloomFilter.from_dict(doc)
+
+
+class TestMeasuredFalsePositiveRate:
+    """Statistical check of the Severance–Lohman sizing the paper leans on:
+    a filter sized by for_load(n, p) must actually screen near p."""
+
+    @pytest.mark.parametrize("target", [0.01, 0.05])
+    def test_measured_rate_tracks_design_target(self, target):
+        n, probes = 3_000, 30_000
+        bf = BloomFilter.for_load(n, target)
+        for i in range(n):
+            bf.add(("member", i))
+        hits = sum(bf.maybe_contains(("outsider", i)) for i in range(probes))
+        measured = hits / probes
+        # Deterministic hashing makes this a fixed quantity; the bound
+        # allows for binomial spread around the design point.
+        assert measured < target * 2.5
+        assert measured == pytest.approx(bf.estimated_fp_rate(), abs=target)
+
+    def test_estimator_matches_theory_at_design_load(self):
+        bf = BloomFilter.for_load(1_000, 0.02)
+        for i in range(1_000):
+            bf.add(i)
+        # (1 - e^{-kn/m})^k evaluated at n items should sit near p.
+        assert bf.estimated_fp_rate() == pytest.approx(0.02, rel=0.5)

@@ -96,6 +96,71 @@ class TestDisk:
         assert page.page_id not in disk
 
 
+class TestChecksums:
+    def write_one(self, disk, records=("x", "y")):
+        page = disk.allocate("f", 4)
+        for record in records:
+            page.add(record)
+        disk.write(page)
+        return page
+
+    def test_checksum_sensitive_to_records_and_links(self):
+        from repro.storage.pager import page_checksum
+
+        page = Page(PageId("f", 0), capacity=4)
+        page.add("x")
+        base = page_checksum(page)
+        page.add("y")
+        grown = page_checksum(page)
+        assert grown != base
+        page.records = page.records[:1]  # truncation detected
+        assert page_checksum(page) == base
+        page.next_page = 7  # chain pointer is covered too
+        assert page_checksum(page) != base
+
+    def test_verify_reads_off_by_default_serves_rot_silently(self, disk):
+        page = self.write_one(disk)
+        assert disk.corrupt(page.page_id) is not None
+        assert not disk.verify_reads
+        damaged = disk.read(page.page_id)  # silently wrong
+        assert damaged.records != page.records
+
+    def test_verified_read_raises_on_rot(self, disk):
+        from repro.storage.pager import PageChecksumError
+
+        page = self.write_one(disk)
+        disk.corrupt(page.page_id)
+        disk.verify_reads = True
+        with pytest.raises(PageChecksumError):
+            disk.read(page.page_id)
+
+    def test_verify_reports_without_raising(self, disk):
+        page = self.write_one(disk)
+        assert disk.verify(page.page_id) is None  # intact
+        disk.corrupt(page.page_id)
+        assert disk.verify(page.page_id) == "checksum mismatch"
+        assert disk.verify(PageId("nope", 0)) == "missing"
+
+    def test_rewrite_heals_checksum(self, disk):
+        page = self.write_one(disk)
+        disk.corrupt(page.page_id)
+        disk.write(page)  # a fresh write records a fresh checksum
+        assert disk.verify(page.page_id) is None
+        assert disk.read(page.page_id).records == page.records
+
+    def test_corrupt_is_noop_on_damaged_or_unallocated(self, disk):
+        page = self.write_one(disk)
+        assert disk.corrupt(page.page_id) is not None
+        assert disk.corrupt(page.page_id) is None  # already damaged
+        assert disk.corrupt(PageId("nope", 0)) is None
+
+    def test_corrupt_scrambles_empty_pages_via_link(self, disk):
+        page = disk.allocate("f", 4)
+        disk.write(page)  # no records: damage must hit next_page instead
+        assert disk.corrupt(page.page_id) is not None
+        assert disk.verify(page.page_id) == "checksum mismatch"
+
+
 class TestBufferPool:
     def test_hit_costs_nothing(self, disk):
         pool = BufferPool(disk, capacity=4)

@@ -43,9 +43,9 @@ def _build(view_def, strategy):
     return db
 
 
-def _apply_ops(db, ops):
+def _apply_ops(db, ops, live=None):
     """Translate raw op tuples into valid transactions; returns live keys."""
-    live = set(range(N))
+    live = set(range(N)) if live is None else live
     batch = []
     for action, key, a in ops:
         if action == "insert" and key not in live:
@@ -95,6 +95,74 @@ class TestAggregateEquivalence:
             answer = db.query_view("v")
             expected = AGG_VIEW.evaluate(_snapshot(db))
             assert answer == expected, strategy
+
+
+class TestEquivalenceUnderTransientFaults:
+    """The invariant must also hold on flaky storage.
+
+    Seeded transient read/write faults fire throughout the run; the
+    retry layer absorbs them (transient faults leave pages intact, and
+    at rate 0.05 with six attempts a give-up is a ~1e-8 event), so
+    every strategy must still agree exactly with recomputation — the
+    faults may change costs, never answers.
+    """
+
+    def _build_faulty(self, view_def, strategy, seed):
+        from repro.resilience.faults import fault_profile
+        from repro.resilience.policy import ResilienceConfig, RetryPolicy
+
+        # A tiny pool forces real disk traffic: a roomy one would serve
+        # everything from cache and the fault layer would never roll.
+        db = Database(
+            buffer_pages=4,
+            fault_profile=fault_profile("transient", seed=seed),
+            resilience=ResilienceConfig(retry=RetryPolicy(max_attempts=6)),
+        )
+        kind = "hypothetical" if strategy is Strategy.DEFERRED else "plain"
+        records = [R.new_record(id=i, a=i % DOMAIN, v=i) for i in range(N)]
+        db.create_relation(R, "a", kind=kind, records=records, ad_buckets=2)
+        db.define_view(view_def, strategy)
+        db.faults.arm()  # bootstrap ran clean; traffic runs on faulty storage
+        return db
+
+    # Seeds chosen so every strategy's run provably injects and retries.
+    @pytest.mark.parametrize("seed", [1, 3, 9])
+    def test_strategies_agree_despite_faults(self, seed):
+        rng = random.Random(seed)
+        ops = [
+            (rng.choice(["insert", "delete", "update"]),
+             rng.randrange(N + 6), rng.randrange(DOMAIN))
+            for _ in range(40)
+        ]
+        answers = {}
+        for strategy in (Strategy.DEFERRED, Strategy.IMMEDIATE,
+                         Strategy.QM_CLUSTERED):
+            db = self._build_faulty(SP_VIEW, strategy, seed)
+            live = set(range(N))
+            for i in range(0, len(ops), 5):
+                live = _apply_ops(db, ops[i:i + 5], live)
+                db.pool.invalidate_all()  # cold cache: reads hit the faulty disk
+                answer = Counter(db.query_view("v", 0, 4))
+                assert answer == Counter(SP_VIEW.evaluate(_snapshot(db))), strategy
+            assert db.faults.injected_total > 0  # the run really was faulty
+            assert db.resilient_disk.retries > 0  # and retries absorbed it
+            answers[strategy] = answer
+        assert len({frozenset(a.items()) for a in answers.values()}) == 1
+
+    @pytest.mark.parametrize("seed", [3, 55])
+    def test_aggregates_agree_despite_faults(self, seed):
+        rng = random.Random(seed)
+        ops = [
+            (rng.choice(["insert", "delete", "update"]),
+             rng.randrange(N + 6), rng.randrange(DOMAIN))
+            for _ in range(30)
+        ]
+        for strategy in (Strategy.DEFERRED, Strategy.IMMEDIATE,
+                         Strategy.QM_CLUSTERED):
+            db = self._build_faulty(AGG_VIEW, strategy, seed)
+            _apply_ops(db, ops)
+            db.pool.invalidate_all()
+            assert db.query_view("v") == AGG_VIEW.evaluate(_snapshot(db)), strategy
 
 
 class TestRepeatedQueriesStable:
