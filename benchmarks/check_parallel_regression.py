@@ -1,0 +1,58 @@
+"""Gate: fail when single-thread serving throughput regresses >20%.
+
+Compares a fresh ``BENCH_parallel.json`` against the committed
+``BENCH_parallel.baseline.json``.  Only the single-thread number gates
+— it isolates the hot path's fixed cost from scheduler luck in the
+multi-thread points — and because the benchmark is pacing-dominated
+(sleeps realize modelled milliseconds), the comparison is meaningful
+across machines.  Multi-thread scaling and answer equivalence are
+asserted inside the benchmark itself.
+
+Usage::
+
+    python benchmarks/check_parallel_regression.py \
+        [result.json] [baseline.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+TOLERANCE = 0.20
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    here = Path(__file__).parent
+    result_path = Path(argv[0]) if argv else here / "BENCH_parallel.json"
+    baseline_path = (
+        Path(argv[1]) if len(argv) > 1 else here / "BENCH_parallel.baseline.json"
+    )
+    result = json.loads(result_path.read_text())
+    baseline = json.loads(baseline_path.read_text())
+
+    if result.get("equivalence_violations", 1) != 0:
+        print(f"FAIL: {result['equivalence_violations']} equivalence violations")
+        return 1
+
+    current = result["threads"]["1"]["qps"]
+    committed = baseline["threads"]["1"]["qps"]
+    floor = committed * (1.0 - TOLERANCE)
+    verdict = "ok" if current >= floor else "REGRESSION"
+    print(
+        f"single-thread qps: current={current:.2f} baseline={committed:.2f} "
+        f"floor={floor:.2f} ({verdict})"
+    )
+    if current < floor:
+        print(
+            f"FAIL: single-thread throughput regressed more than "
+            f"{TOLERANCE:.0%} vs the committed baseline"
+        )
+        return 1
+    print(f"4-thread speedup: {result.get('speedup_4t')}x (>=2x asserted in-bench)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

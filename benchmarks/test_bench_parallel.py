@@ -1,0 +1,173 @@
+"""Multi-threaded serving throughput: the striped-lock hot path.
+
+Drives fixed mixed query+update streams over eight single-view
+relations at 1/2/4/8 threads (threads partition the relations, so the
+total work is constant and the interleaving commutes), measures
+aggregate queries/sec, and cross-checks answer equivalence between a
+deferred and an immediate twin driven by the same streams.
+
+Pacing realizes each request's modelled milliseconds as wall sleeps
+taken outside the engine mutex (see ``docs/performance.md``), so the
+numbers measure how well the locking scheme overlaps modelled I/O —
+not the host's Python speed — and the committed baseline stays
+meaningful across machines.
+
+Results land in ``benchmarks/BENCH_parallel.json``; CI's perf-smoke
+job runs this at reduced scale (``REPRO_PARALLEL_SCALE``) and fails on
+a >20% single-thread regression via ``check_parallel_regression.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+from pathlib import Path
+
+from repro.core.strategies import Strategy
+from repro.engine.database import Database
+from repro.engine.transaction import Transaction, Update
+from repro.service.server import ViewServer
+from repro.storage.tuples import Schema
+from repro.views.definition import SelectProjectView
+from repro.views.predicate import IntervalPredicate
+
+#: Wall seconds per modelled millisecond (~10 ms sleep per typical op).
+PACING = 2e-4
+N_RELATIONS = 8
+N_RECORDS = 160
+THREAD_COUNTS = (1, 2, 4, 8)
+OUT_PATH = Path(__file__).parent / "BENCH_parallel.json"
+SCALE = float(os.environ.get("REPRO_PARALLEL_SCALE", "1.0"))
+OPS_PER_RELATION = max(6, int(24 * SCALE))
+
+SCHEMAS = [
+    Schema(f"r{i}", ("id", "a", "v"), "id", tuple_bytes=100)
+    for i in range(N_RELATIONS)
+]
+VIEWS = [
+    SelectProjectView(f"v{i}", f"r{i}", IntervalPredicate("a", 0, 9),
+                      ("id", "a"), "a")
+    for i in range(N_RELATIONS)
+]
+
+
+def build_server(strategy: Strategy, pacing: float = PACING) -> ViewServer:
+    database = Database(buffer_pages=512)
+    for schema in SCHEMAS:
+        rng = random.Random(7)
+        records = [
+            schema.new_record(id=i, a=rng.randrange(20), v=rng.randrange(100))
+            for i in range(N_RECORDS)
+        ]
+        database.create_relation(schema, "a", kind="hypothetical",
+                                 records=records, ad_buckets=2)
+    server = ViewServer(database, pacing=pacing, lock_timeout=120.0)
+    for view in VIEWS:
+        server.register_view(view, strategy, adaptive=False)
+    return server
+
+
+def make_streams() -> list[list[tuple[str, tuple[int, int]]]]:
+    """One deterministic mixed op stream per relation (2:1 query:update)."""
+    streams = []
+    for rel_idx in range(N_RELATIONS):
+        rng = random.Random(4000 + rel_idx)
+        ops = []
+        for step in range(OPS_PER_RELATION):
+            if step % 3 == 0:
+                ops.append(("update", (rng.randrange(N_RECORDS),
+                                       rng.randrange(1000))))
+            else:
+                ops.append(("query", (0, 9)))
+        streams.append(ops)
+    return streams
+
+
+def drive(server: ViewServer, streams, n_threads: int) -> dict:
+    """Run every stream to completion on ``n_threads`` workers
+    (thread t owns the relations with index ≡ t mod n_threads)."""
+    queries = 0
+    count_lock = threading.Lock()
+    errors: list[Exception] = []
+
+    def worker(thread_idx: int) -> None:
+        nonlocal queries
+        done = 0
+        try:
+            for rel_idx in range(thread_idx, N_RELATIONS, n_threads):
+                relation = SCHEMAS[rel_idx].name
+                view = VIEWS[rel_idx].name
+                for op, payload in streams[rel_idx]:
+                    if op == "update":
+                        key, value = payload
+                        server.apply_update(Transaction.of(
+                            relation, [Update(key, {"v": value})]))
+                    else:
+                        server.query(view, *payload)
+                        done += 1
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        with count_lock:
+            queries += done
+
+    threads = [threading.Thread(target=worker, args=(t,), daemon=True)
+               for t in range(n_threads)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(600)
+        assert not t.is_alive(), "benchmark worker wedged"
+    wall = time.perf_counter() - start
+    assert not errors, errors
+    return {"queries": queries, "wall_s": round(wall, 4),
+            "qps": round(queries / wall, 2)}
+
+
+def check_equivalence() -> int:
+    """Drive deferred and immediate twins with identical streams at four
+    threads; count views whose final answers disagree."""
+    streams = make_streams()
+    finals = {}
+    for strategy in (Strategy.DEFERRED, Strategy.IMMEDIATE):
+        server = build_server(strategy, pacing=0.0)
+        drive(server, streams, n_threads=4)
+        finals[strategy] = [
+            sorted((t.values["id"], t.values["a"])
+                   for t in server.query(view.name, 0, 9))
+            for view in VIEWS
+        ]
+    return sum(
+        1 for a, b in zip(finals[Strategy.DEFERRED], finals[Strategy.IMMEDIATE])
+        if a != b
+    )
+
+
+def test_parallel_throughput_scales_and_strategies_agree():
+    streams = make_streams()
+    per_thread = {}
+    for n_threads in THREAD_COUNTS:
+        server = build_server(Strategy.DEFERRED)
+        per_thread[str(n_threads)] = drive(server, streams, n_threads)
+
+    violations = check_equivalence()
+    speedup_4t = per_thread["4"]["qps"] / per_thread["1"]["qps"]
+    report = {
+        "pacing_s_per_ms": PACING,
+        "scale": SCALE,
+        "ops_per_relation": OPS_PER_RELATION,
+        "relations": N_RELATIONS,
+        "threads": per_thread,
+        "speedup_4t": round(speedup_4t, 2),
+        "equivalence_violations": violations,
+    }
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print("\n" + json.dumps(report, indent=2))
+
+    assert violations == 0
+    assert speedup_4t >= 2.0, (
+        f"4-thread aggregate throughput only {speedup_4t:.2f}x single-thread"
+    )

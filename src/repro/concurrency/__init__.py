@@ -1,0 +1,22 @@
+"""Concurrency primitives for the serving layer.
+
+The paper's cost model is single-user, but the ROADMAP's serving layer
+is not: many client threads issue interleaved queries and updates
+against many views.  This package provides the locking substrate the
+server builds its striped reader-writer scheme on:
+
+* :class:`RWLock` — a writer-preference reader-writer lock with
+  timeouts, re-entrant write acquisition, and read-acquire-as-no-op
+  while the calling thread already holds the write side (so admin
+  operations can call read-locked helpers without deadlocking).
+* :class:`LockManager` — named on-demand locks acquired in one
+  canonical global order (sorted by name), which is what makes the
+  server's per-relation/per-view striping deadlock-free.
+* :class:`Pacer` — realizes *modelled* milliseconds as wall-clock
+  sleeps, so concurrent requests genuinely overlap their modelled I/O
+  waits instead of being serialized by Python's GIL.
+"""
+
+from .locks import LockTimeout, LockManager, Pacer, RWLock
+
+__all__ = ["LockTimeout", "LockManager", "Pacer", "RWLock"]

@@ -1,0 +1,223 @@
+"""Reader-writer locks, named-lock striping, and modelled-time pacing.
+
+The server's locking discipline (see ``docs/performance.md``) layers
+three mechanisms:
+
+1. a *world* :class:`RWLock` — hot paths hold the read side, admin
+   operations (migrations, checkpoints, recovery, repairs) the write
+   side;
+2. striped per-relation and per-view :class:`RWLock` instances handed
+   out by a :class:`LockManager` and always acquired in one canonical
+   sorted order, so queries on distinct views proceed concurrently and
+   read-only queries on a fresh view never block each other;
+3. a single engine mutex (a plain lock owned by the server) that
+   serializes short sections touching the shared buffer pool and cost
+   meter.
+
+:class:`Pacer` converts each engine section's modelled cost into a
+wall-clock sleep taken while only the striped locks are held, which is
+what lets concurrent requests overlap their modelled I/O waits.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator
+
+__all__ = ["LockTimeout", "RWLock", "LockManager", "Pacer"]
+
+
+class LockTimeout(RuntimeError):
+    """A lock acquisition exceeded its timeout (possible ordering bug)."""
+
+
+class RWLock:
+    """A writer-preference reader-writer lock.
+
+    * Any number of readers may hold the lock together.
+    * A writer excludes readers and other writers; waiting writers
+      block *new* readers (no writer starvation).
+    * Write acquisition is re-entrant for the holding thread.
+    * A read acquisition by the thread holding the write side is a
+      no-op (the write side already grants every read right), so
+      write-locked admin code can call read-locked helpers.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._cond = threading.Condition(threading.Lock())
+        self._readers: dict[int, int] = {}
+        self._writer: int | None = None
+        self._write_depth = 0
+        self._writers_waiting = 0
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Take the read side; returns False when it was a no-op
+        (the caller already holds the write side)."""
+        me = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if self._writer == me:
+                return False
+            while self._writer is not None or (
+                self._writers_waiting and me not in self._readers
+            ):
+                self._wait(deadline, "read")
+            self._readers[me] = self._readers.get(me, 0) + 1
+            return True
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            count = self._readers.get(me, 0)
+            if count <= 1:
+                self._readers.pop(me, None)
+            else:
+                self._readers[me] = count - 1
+            self._cond.notify_all()
+
+    @contextmanager
+    def read(self, timeout: float | None = None) -> Iterator[None]:
+        acquired = self.acquire_read(timeout)
+        try:
+            yield
+        finally:
+            if acquired:
+                self.release_read()
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+    def acquire_write(self, timeout: float | None = None) -> None:
+        me = threading.get_ident()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            if me in self._readers:
+                raise RuntimeError(
+                    f"lock {self.name!r}: read-to-write upgrade would deadlock"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._wait(deadline, "write")
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            if self._writer != threading.get_ident():
+                raise RuntimeError(f"lock {self.name!r}: write released by non-owner")
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    @contextmanager
+    def write(self, timeout: float | None = None) -> Iterator[None]:
+        self.acquire_write(timeout)
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def _wait(self, deadline: float | None, mode: str) -> None:
+        if deadline is None:
+            self._cond.wait()
+            return
+        remaining = deadline - time.monotonic()
+        if remaining <= 0 or not self._cond.wait(remaining):
+            raise LockTimeout(f"lock {self.name!r}: {mode} acquisition timed out")
+
+    def write_held_by_me(self) -> bool:
+        with self._cond:
+            return self._writer == threading.get_ident()
+
+
+class LockManager:
+    """Named :class:`RWLock` instances with ordered multi-acquire.
+
+    Locks are created on demand and never dropped (the universe of
+    relation and view names is small).  :meth:`acquire` takes any mix
+    of read- and write-mode locks in one canonical global order —
+    sorted by name, write mode winning when a name appears in both
+    sets — which is the fixed lock-ordering discipline that makes the
+    striped scheme deadlock-free.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._locks: dict[str, RWLock] = {}
+
+    def lock(self, name: str) -> RWLock:
+        with self._mutex:
+            lock = self._locks.get(name)
+            if lock is None:
+                lock = RWLock(name)
+                self._locks[name] = lock
+            return lock
+
+    @contextmanager
+    def acquire(
+        self,
+        writes: Iterable[str] = (),
+        reads: Iterable[str] = (),
+        timeout: float | None = None,
+    ) -> Iterator[None]:
+        """Acquire a set of named locks in canonical (sorted) order."""
+        write_set = set(writes)
+        read_set = set(reads) - write_set
+        plan = sorted(
+            [(name, "w") for name in write_set] + [(name, "r") for name in read_set]
+        )
+        held: list[tuple[RWLock, str, bool]] = []
+        try:
+            for name, mode in plan:
+                lock = self.lock(name)
+                if mode == "w":
+                    lock.acquire_write(timeout)
+                    held.append((lock, "w", True))
+                else:
+                    acquired = lock.acquire_read(timeout)
+                    held.append((lock, "r", acquired))
+            yield
+        finally:
+            for lock, mode, acquired in reversed(held):
+                if mode == "w":
+                    lock.release_write()
+                elif acquired:
+                    lock.release_read()
+
+
+class Pacer:
+    """Realize modelled milliseconds as wall-clock time.
+
+    ``seconds_per_ms`` is the wall duration of one modelled
+    millisecond; zero (the default everywhere) disables pacing
+    entirely.  The server sleeps *outside* its engine mutex but inside
+    the striped locks, so two requests against distinct views overlap
+    their modelled I/O waits — the honest mechanism behind the parallel
+    benchmark's multi-thread speedup under the GIL.
+    """
+
+    def __init__(self, seconds_per_ms: float = 0.0) -> None:
+        if seconds_per_ms < 0:
+            raise ValueError(f"pacing must be >= 0, got {seconds_per_ms}")
+        self.seconds_per_ms = seconds_per_ms
+
+    @property
+    def enabled(self) -> bool:
+        return self.seconds_per_ms > 0
+
+    def pace(self, modelled_ms: float) -> None:
+        if self.seconds_per_ms > 0 and modelled_ms > 0:
+            time.sleep(modelled_ms * self.seconds_per_ms)

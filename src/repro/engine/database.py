@@ -438,6 +438,20 @@ class Database:
             raise CatalogError(f"unknown view {name!r}")
         return impl.definition
 
+    def deferred_coordinator(self, relation_name: str) -> Any:
+        """The shared refresh coordinator of one relation's deferred
+        views, or ``None`` when the relation has none.  The planner's
+        public handle (:mod:`repro.maintenance.planner`)."""
+        return self._deferred_coordinators.get(relation_name)
+
+    def deferred_relations(self) -> tuple[str, ...]:
+        """Relations that currently have at least one deferred view."""
+        return tuple(
+            name
+            for name, coordinator in self._deferred_coordinators.items()
+            if coordinator.views
+        )
+
     def settle_relation(self, relation_name: str) -> None:
         """Fold a hypothetical relation's pending AD changes into its base.
 

@@ -8,13 +8,17 @@ simulation-side checks (``validate``, ``sim-fig1``/``5``/``8``,
 ``ablation``) and the extensions (``ext-async``, ``ext-snapshot``,
 ``ext-hybrid``, ``ext-five``, ``ext-service``, ``ext-durability``,
 ``ext-resilience``).
-``--csv DIR`` additionally writes raw data files.
+``--csv DIR`` additionally writes raw data files, and ``--jobs N``
+fans independent experiments across a process pool (each experiment
+builds its own engines, so they share no state).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from concurrent.futures import ProcessPoolExecutor
 from pathlib import Path
 from typing import Callable
 
@@ -126,6 +130,13 @@ def _write_csv(directory: Path, exp_id: str, index: int, artifact: Artifact) -> 
         path.write_text(artifact.to_csv())
 
 
+def _run_timed(exp_id: str) -> tuple[str, list[Artifact], float]:
+    """Pool worker: one experiment plus its wall time (picklable)."""
+    start = time.perf_counter()
+    artifacts = run_experiment(exp_id)
+    return exp_id, artifacts, time.perf_counter() - start
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -144,22 +155,57 @@ def main(argv: list[str] | None = None) -> int:
                         help="also write a Markdown report to FILE")
     parser.add_argument("--log-y", action="store_true",
                         help="log-scale y axis for curve figures")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run independent experiments on N worker "
+                        "processes (default: 1, in-process)")
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
 
     wanted = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    unknown = [exp_id for exp_id in wanted if exp_id not in EXPERIMENTS]
+    if unknown:
+        # Validate the whole grid before spending any compute on it.
+        print(
+            "unknown experiment%s %s; choose from %s"
+            % (
+                "s" if len(unknown) > 1 else "",
+                ", ".join(repr(e) for e in unknown),
+                ", ".join(EXPERIMENTS),
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    if args.csv is not None:
+        args.csv.mkdir(parents=True, exist_ok=True)
+
+    start = time.perf_counter()
+    if args.jobs > 1 and len(wanted) > 1:
+        # Each experiment builds its own engines from scratch — no
+        # shared state — so the grid fans out across processes; results
+        # are printed back in request order.
+        with ProcessPoolExecutor(max_workers=min(args.jobs, len(wanted))) as pool:
+            results = list(pool.map(_run_timed, wanted))
+    else:
+        results = [_run_timed(exp_id) for exp_id in wanted]
+    wall = time.perf_counter() - start
+
     markdown_sections: list[str] = []
-    for exp_id in wanted:
-        try:
-            artifacts = run_experiment(exp_id)
-        except KeyError as exc:
-            print(exc, file=sys.stderr)
-            return 2
+    for exp_id, artifacts, _elapsed in results:
         for index, artifact in enumerate(artifacts):
             _print_artifact(exp_id, artifact, args.log_y)
             if args.csv is not None:
                 _write_csv(args.csv, exp_id, index, artifact)
             if args.markdown is not None:
                 markdown_sections.append(_markdown_section(exp_id, artifact))
+    timings = ", ".join(
+        f"{exp_id} {elapsed:.2f}s" for exp_id, _arts, elapsed in results
+    )
+    print(
+        f"ran {len(results)} experiment(s) in {wall:.2f}s "
+        f"(jobs={args.jobs}): {timings}"
+    )
     if args.markdown is not None:
         header = (
             "# Reproduction report\n\n"

@@ -169,6 +169,10 @@ class HypotheticalRelation:
         self.bloom = BloomFilter(bloom_bits)
         self._seq = itertools.count()
         self._pending = DeltaSet(self.schema.name)
+        #: Times the whole AD file has been read to compute A-net/D-net.
+        #: The shared-delta planner's proof obligation: one refresh
+        #: epoch must bump this once per relation, not once per view.
+        self.net_reads = 0
 
     @property
     def meter(self):
@@ -254,6 +258,7 @@ class HypotheticalRelation:
     # ------------------------------------------------------------------
     def net_changes(self) -> DeltaSet:
         """Compute ``A-net``/``D-net`` by reading the whole AD file."""
+        self.net_reads += 1
         delta = DeltaSet(self.schema.name)
         for entry in sorted(self.ad.scan_all(), key=lambda e: e[_SEQ_FIELD]):
             record = self._unwrap(entry)
@@ -406,6 +411,7 @@ class SeparateFilesHR(HypotheticalRelation):
 
     def net_changes(self) -> DeltaSet:
         """Compute the net delta by reading both differential files."""
+        self.net_reads += 1
         delta = DeltaSet(self.schema.name)
         entries = list(self.a_file.scan_all()) + list(self.d_file.scan_all())
         for entry in sorted(entries, key=lambda e: e[_SEQ_FIELD]):

@@ -56,6 +56,9 @@ class HashedHypotheticalRelation:
         self.bloom = BloomFilter(bloom_bits)
         self._seq = itertools.count()
         self._pending = DeltaSet(self.schema.name)
+        #: AD-file reads that computed a net delta (see
+        #: :attr:`~repro.hr.differential.HypotheticalRelation.net_reads`).
+        self.net_reads = 0
 
     @property
     def meter(self):
@@ -139,6 +142,7 @@ class HashedHypotheticalRelation:
     # ------------------------------------------------------------------
     def net_changes(self) -> DeltaSet:
         """Compute the net delta by reading the whole AD file."""
+        self.net_reads += 1
         delta = DeltaSet(self.schema.name)
         for entry in sorted(self.ad.scan_all(), key=lambda e: e[_SEQ_FIELD]):
             record = Record(entry["_k"], dict(entry["_values"]))

@@ -10,6 +10,7 @@ from .deferred import (
     DeferredSelectProject,
 )
 from .immediate import ImmediateAggregate, ImmediateJoin, ImmediateSelectProject
+from .planner import SharedDeltaPlanner
 from .query_modification import (
     QueryModificationAggregate,
     QueryModificationJoin,
@@ -34,6 +35,7 @@ __all__ = [
     "QueryModificationJoin",
     "QueryModificationSelectProject",
     "ScreenStats",
+    "SharedDeltaPlanner",
     "TLockIndex",
     "TwoStageScreen",
 ]

@@ -54,6 +54,11 @@ class DeferredCoordinator:
         #: actually installs pending changes, so the write-ahead log can
         #: journal the net-change install (:mod:`repro.durability`).
         self.on_refresh: Any = None
+        #: Net-delta computations this coordinator has performed.  One
+        #: refresh epoch bumps this exactly once however many sibling
+        #: views it feeds — the shared-delta invariant the planner
+        #: tests assert.
+        self.net_computes = 0
 
     def register(self, view: "_DeferredBase") -> None:
         """Add a view over this coordinator's relation."""
@@ -73,14 +78,32 @@ class DeferredCoordinator:
         if view in self._views:
             self._views.remove(view)
 
-    def refresh_all(self) -> None:
-        """Read AD once, refresh every registered view, reset the HR."""
+    def compute_net(self) -> DeltaSet:
+        """One AD read producing the relation's net change set.
+
+        This is the expensive half of a refresh (the paper's
+        ``C_ADread``); :meth:`install` fans the result out, so the read
+        happens once per refresh epoch regardless of sibling count.
+        """
+        self.net_computes += 1
+        return self.relation.net_changes()
+
+    def install(self, net: DeltaSet) -> None:
+        """Fan one computed net delta out to every view, then fold.
+
+        The durability hook fires before any page is written (the
+        write-ahead discipline): replaying the journaled
+        ``net_install`` reproduces the whole fold.
+        """
         if self.on_refresh is not None and self.relation.ad_entry_count() > 0:
             self.on_refresh()
-        net = self.relation.net_changes()
         for view in self._views:
             view.apply_net(net)
         self.relation.reset(net)
+
+    def refresh_all(self) -> None:
+        """Read AD once, refresh every registered view, reset the HR."""
+        self.install(self.compute_net())
 
 
 class _DeferredBase(MaintenanceStrategy):

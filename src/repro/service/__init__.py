@@ -19,11 +19,15 @@ experiment harness into a long-lived **view server**:
   recording per-view, per-strategy latency, refresh cost, AD-file
   depth, Bloom-filter screening and strategy migrations; exportable as
   JSON and as an ASCII dashboard.
+* :mod:`repro.service.cache` — :class:`QueryResultCache`, a versioned
+  (epoch-invalidated) result cache in front of the materialized read
+  path; opt-in so the default cost accounting stays paper-faithful.
 * :mod:`repro.service.traffic` — multi-client, multi-phase workload
   generation (drifting update probability) and a demo server builder.
 * :mod:`repro.service.cli` — the ``repro-serve`` entry point.
 """
 
+from .cache import QueryResultCache
 from .metrics import (
     Counter,
     Gauge,
@@ -53,6 +57,7 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSchemaError",
     "PhaseSpec",
+    "QueryResultCache",
     "RefreshPolicy",
     "RefreshScheduler",
     "Request",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from typing import Any, Iterable, Mapping
 
 __all__ = [
@@ -61,11 +62,13 @@ class Counter:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._mutex = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount})")
-        self.value += amount
+        with self._mutex:
+            self.value += amount
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -85,12 +88,15 @@ class Gauge:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._mutex = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._mutex:
+            self.value = float(value)
 
     def add(self, amount: float) -> None:
-        self.value += amount
+        with self._mutex:
+            self.value += amount
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -128,16 +134,18 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self._mutex = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.sum += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                break
+        with self._mutex:
+            self.count += 1
+            self.sum += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    break
 
     @property
     def mean(self) -> float:
@@ -165,6 +173,10 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[tuple[str, Labels], Counter | Gauge | Histogram] = {}
+        #: Guards instrument creation and iteration; the instruments
+        #: themselves carry their own mutation locks, so concurrent
+        #: request threads never lose an increment or observation.
+        self._mutex = threading.Lock()
 
     def counter(self, name: str, **labels: Any) -> Counter:
         return self._get(Counter, name, labels)
@@ -177,20 +189,22 @@ class MetricsRegistry:
 
     def _get(self, cls: type, name: str, labels: Mapping[str, Any]) -> Any:
         key = (name, _labels_of(labels))
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = cls(name, key[1])
-            self._instruments[key] = instrument
-        elif not isinstance(instrument, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as {instrument.kind}, "
-                f"requested {cls.kind}"
-            )
-        return instrument
+        with self._mutex:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(name, key[1])
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as {instrument.kind}, "
+                    f"requested {cls.kind}"
+                )
+            return instrument
 
     def series(self, name: str | None = None) -> list[Counter | Gauge | Histogram]:
         """All instruments (optionally filtered by name), sorted by key."""
-        items = sorted(self._instruments.items())
+        with self._mutex:
+            items = sorted(self._instruments.items())
         return [inst for (n, _), inst in items if name is None or n == name]
 
     # ------------------------------------------------------------------

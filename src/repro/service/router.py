@@ -19,6 +19,7 @@ nested-loop plan instead of the Model 1 variants.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -138,22 +139,43 @@ class AdaptiveRouter:
         self.switches: list[StrategySwitch] = []
         self._last_switch_op: dict[str, int] = {}
         self._last_decision_op: dict[str, int] = {}
+        #: Guards the decayed statistics: observation hooks run on hot
+        #: request threads while decisions run under the server's
+        #: admin (write) lock.
+        self._mutex = threading.RLock()
 
     def stats_for(self, view: str) -> WorkloadStats:
-        stats = self.stats.get(view)
-        if stats is None:
-            stats = WorkloadStats(decay=self.config.decay)
-            self.stats[view] = stats
-        return stats
+        with self._mutex:
+            stats = self.stats.get(view)
+            if stats is None:
+                stats = WorkloadStats(decay=self.config.decay)
+                self.stats[view] = stats
+            return stats
 
     # ------------------------------------------------------------------
     # observation hooks (called by the server)
     # ------------------------------------------------------------------
     def observe_update(self, view: str, batch_size: int) -> None:
-        self.stats_for(view).observe_update(batch_size)
+        with self._mutex:
+            self.stats_for(view).observe_update(batch_size)
 
     def observe_query(self, view: str, width: float | None) -> None:
-        self.stats_for(view).observe_query(width)
+        with self._mutex:
+            self.stats_for(view).observe_query(width)
+
+    def decision_due(self, view: str) -> bool:
+        """Cheap hot-path pre-check: is a decision worth the admin lock?
+
+        Mirrors :meth:`maybe_switch`'s cadence gate without taking it,
+        so request threads only escalate to the server's exclusive
+        (write) lock when the router would actually deliberate.
+        """
+        with self._mutex:
+            stats = self.stats.get(view)
+            if stats is None:
+                return False
+            last_decision = self._last_decision_op.get(view, 0)
+            return stats.operations - last_decision >= self.config.decision_every
 
     # ------------------------------------------------------------------
     # estimation
@@ -258,6 +280,10 @@ class AdaptiveRouter:
     # ------------------------------------------------------------------
     def maybe_switch(self, server: "ViewServer", view: str) -> StrategySwitch | None:
         """Re-run the advisor if due; migrate when a challenger wins big."""
+        with self._mutex:
+            return self._maybe_switch(server, view)
+
+    def _maybe_switch(self, server: "ViewServer", view: str) -> StrategySwitch | None:
         stats = self.stats_for(view)
         cfg = self.config
         last_decision = self._last_decision_op.get(view, 0)

@@ -18,6 +18,7 @@ Policies only change behaviour for views that *have* a refresh step
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.core.parameters import Parameters
@@ -83,11 +84,15 @@ class RefreshScheduler:
         self._queries_since_refresh: dict[str, int] = {}
         self._checkpoint_every: int | None = None
         self._ops_since_checkpoint = 0
+        #: Serializes the counting decisions so concurrent request
+        #: threads never double-count a periodic cycle position.
+        self._mutex = threading.RLock()
 
     def set_policy(self, view: str, policy: RefreshPolicy) -> None:
-        self._policies[view] = policy
-        self._queries_seen.setdefault(view, 0)
-        self._queries_since_refresh.setdefault(view, 0)
+        with self._mutex:
+            self._policies[view] = policy
+            self._queries_seen.setdefault(view, 0)
+            self._queries_since_refresh.setdefault(view, 0)
 
     def policy_of(self, view: str) -> RefreshPolicy:
         return self._policies.get(view, RefreshPolicy.on_demand())
@@ -102,8 +107,9 @@ class RefreshScheduler:
         deterministically (query 1 refreshes, then every ``every``-th).
         """
         policy = self.policy_of(view)
-        seen = self._queries_seen.get(view, 0)
-        self._queries_seen[view] = seen + 1
+        with self._mutex:
+            seen = self._queries_seen.get(view, 0)
+            self._queries_seen[view] = seen + 1
         if policy.kind == "periodic":
             return seen % policy.every == 0
         if policy.kind == "async":
@@ -117,10 +123,14 @@ class RefreshScheduler:
         return self.policy_of(view).kind == "async"
 
     def note_refreshed(self, view: str) -> None:
-        self._queries_since_refresh[view] = 0
+        with self._mutex:
+            self._queries_since_refresh[view] = 0
 
     def note_stale_answer(self, view: str) -> None:
-        self._queries_since_refresh[view] = self._queries_since_refresh.get(view, 0) + 1
+        with self._mutex:
+            self._queries_since_refresh[view] = (
+                self._queries_since_refresh.get(view, 0) + 1
+            )
 
     def queries_since_refresh(self, view: str) -> int:
         return self._queries_since_refresh.get(view, 0)
@@ -136,12 +146,14 @@ class RefreshScheduler:
         """Checkpoint after every ``every`` served requests (None = never)."""
         if every is not None and every < 1:
             raise ValueError(f"checkpoint period must be >= 1, got {every}")
-        self._checkpoint_every = every
-        self._ops_since_checkpoint = 0
+        with self._mutex:
+            self._checkpoint_every = every
+            self._ops_since_checkpoint = 0
 
     def note_operation(self) -> None:
         """Count one served request toward the checkpoint cadence."""
-        self._ops_since_checkpoint += 1
+        with self._mutex:
+            self._ops_since_checkpoint += 1
 
     def should_checkpoint(self) -> bool:
         return (
@@ -150,7 +162,8 @@ class RefreshScheduler:
         )
 
     def note_checkpoint(self) -> None:
-        self._ops_since_checkpoint = 0
+        with self._mutex:
+            self._ops_since_checkpoint = 0
 
     # ------------------------------------------------------------------
     # pricing (Section 4 analyses)

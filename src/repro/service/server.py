@@ -16,26 +16,51 @@ every request:
   migrate a view to a cheaper strategy as the observed workload
   drifts.
 
-Deferred views over one relation share refresh work through the
-engine's :class:`~repro.maintenance.deferred.DeferredCoordinator` (one
-AD read refreshes all siblings).  A re-entrant lock serializes the
-request surface, so concurrent client threads interleave at request
-granularity — single-writer semantics, like the paper's one-user cost
-model, but safe to drive from many threads.
+Concurrency follows a striped reader-writer discipline (the full
+write-up is ``docs/performance.md``):
+
+* a **world** :class:`~repro.concurrency.RWLock` — request paths hold
+  the read side, admin operations (migrations, checkpoints, recovery,
+  repairs, registration) the write side;
+* **striped** per-relation and per-view locks from a
+  :class:`~repro.concurrency.LockManager`, acquired in one canonical
+  sorted order (relations before views): updates and refresh epochs
+  take the write side of the relation they fold plus the views they
+  rewrite, while read-only queries on a fresh view share read locks —
+  so queries against distinct views proceed concurrently and readers
+  of one fresh view never block each other;
+* one **engine mutex** serializing the short sections that touch the
+  shared buffer pool and cost meter, with per-section meter deltas
+  summed into a per-request cost box (a global before/after diff would
+  misattribute cost across concurrent requests).
+
+Deferred refreshes run through a
+:class:`~repro.maintenance.planner.SharedDeltaPlanner`: one net-change
+read per relation per epoch, fanned out to every dependent view, with
+concurrent requests against the same stale relation coalescing onto a
+single in-flight refresh.  An optional
+:class:`~repro.service.cache.QueryResultCache` (off by default) serves
+repeat queries of unchanged views without touching the engine, and an
+optional pacing factor realizes modelled milliseconds as wall-clock
+sleeps taken outside the engine mutex — which is what lets the
+parallel benchmark's threads overlap their modelled I/O waits.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Iterator
 
+from repro.concurrency import LockManager, Pacer, RWLock
 from repro.core.parameters import PAPER_DEFAULTS, Parameters
 from repro.core.strategies import Strategy
 from repro.engine.database import CatalogError, Database, ViewMaintenanceError
 from repro.engine.transaction import Transaction
 from repro.hr.differential import HypotheticalRelation
+from repro.maintenance.planner import SharedDeltaPlanner
 from repro.resilience.degradation import (
     DegradedResult,
     describe_failure,
@@ -50,6 +75,7 @@ from repro.resilience.scrub import (
     view_files,
 )
 from repro.views.definition import AggregateView, JoinView, SelectProjectView
+from .cache import QueryResultCache
 from .metrics import MetricsRegistry
 from .router import AdaptiveRouter
 from .scheduler import RefreshPolicy, RefreshScheduler, StalenessReport
@@ -80,6 +106,18 @@ class ServedView:
     updates_seen: int = 0
 
 
+class _CostBox:
+    """Per-request accumulator of engine-section meter deltas."""
+
+    __slots__ = ("ms",)
+
+    def __init__(self) -> None:
+        self.ms = 0.0
+
+    def add(self, ms: float) -> None:
+        self.ms += ms
+
+
 class ViewServer:
     """Serve interleaved update/query traffic over many views."""
 
@@ -91,6 +129,9 @@ class ViewServer:
         scheduler: RefreshScheduler | None = None,
         registry: MetricsRegistry | None = None,
         resilience: ResilienceConfig | None = None,
+        cache: QueryResultCache | None = None,
+        pacing: float = 0.0,
+        lock_timeout: float | None = None,
     ) -> None:
         self.database = database
         #: Cost constants used to convert meter deltas to milliseconds.
@@ -99,7 +140,25 @@ class ViewServer:
         self.scheduler = scheduler or RefreshScheduler()
         self.metrics = registry or MetricsRegistry()
         self._catalog: dict[str, ServedView] = {}
-        self._lock = threading.RLock()
+        #: World lock: request paths read, admin operations write.
+        self._world = RWLock("world")
+        #: Striped per-relation ("rel:<name>") and per-view
+        #: ("view:<name>") locks; sorted acquisition puts relations
+        #: before views, the fixed lock-ordering discipline.
+        self._locks = LockManager()
+        #: Serializes engine sections (shared buffer pool + cost meter).
+        self._engine_lock = threading.RLock()
+        #: Guards serving-layer state dicts (catalog counters,
+        #: degraded/missed/repair bookkeeping).
+        self._state_lock = threading.RLock()
+        self._lock_timeout = lock_timeout
+        #: Shared-delta refresh planning (grouping + coalescing).
+        self.planner = SharedDeltaPlanner(database)
+        #: Optional versioned query-result cache (None = disabled, the
+        #: paper-faithful default: every query pays its metered I/O).
+        self.cache = cache
+        #: Wall seconds per modelled millisecond; zero disables pacing.
+        self.pacer = Pacer(pacing)
         #: Durability manager (WAL + checkpoints), armed by
         #: :meth:`attach_durability` or :meth:`open`.
         self.durability: "DurabilityManager | None" = None
@@ -157,6 +216,8 @@ class ViewServer:
         checkpoint_every: int | None = None,
         fault_profile: FaultProfile | None = None,
         resilience: ResilienceConfig | None = None,
+        cache: QueryResultCache | None = None,
+        pacing: float = 0.0,
     ) -> "ViewServer":
         """Open a server over a durability state directory.
 
@@ -188,7 +249,7 @@ class ViewServer:
         wall_ms = (time.perf_counter() - start) * 1000.0
         server = cls(
             db, params=params, router=router, scheduler=scheduler,
-            registry=registry, resilience=resilience,
+            registry=registry, resilience=resilience, cache=cache, pacing=pacing,
         )
         server.durability = manager
         server._database_factory = factory
@@ -222,6 +283,82 @@ class ViewServer:
         return server
 
     # ------------------------------------------------------------------
+    # locking plumbing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _engine(self, box: _CostBox | None = None) -> Iterator[None]:
+        """One engine section: exclusive pool/meter access, metered.
+
+        The meter delta is taken inside the mutex (so it belongs to
+        exactly this request) and, when pacing is enabled, realized as
+        a wall sleep *after* the mutex is released — the caller still
+        holds its striped locks, so concurrent requests on other views
+        sleep through their modelled I/O simultaneously.
+        """
+        ms = 0.0
+        with self._engine_lock:
+            meter = self.database.meter
+            before = meter.snapshot()
+            try:
+                yield
+            finally:
+                ms = meter.diff(before).milliseconds(self.params)
+                if box is not None:
+                    box.add(ms)
+        self.pacer.pace(ms)
+
+    @staticmethod
+    def _sources_of(definition: ViewDefinition) -> tuple[str, ...]:
+        if isinstance(definition, JoinView):
+            return (definition.outer, definition.inner)
+        return (definition.relation,)
+
+    @staticmethod
+    def _rel_locks(relations: Any) -> list[str]:
+        return [f"rel:{name}" for name in relations]
+
+    @staticmethod
+    def _view_locks(views: Any) -> list[str]:
+        return [f"view:{name}" for name in views]
+
+    def _deferred_siblings(self, relation: str) -> list[str]:
+        names = []
+        for name in self.database.views_on(relation):
+            impl = self.database.views.get(name)
+            if impl is not None and impl.strategy is Strategy.DEFERRED:
+                names.append(name)
+        return names
+
+    def _fold_lock_sets(self, relation: str) -> tuple[list[str], list[str]]:
+        """Relations and views a fold of one relation may touch.
+
+        The relation itself, every deferred sibling view it feeds, and
+        those views' other source relations (a two-sided deferred join
+        folds its inner relation's AD during the same refresh).
+        """
+        views = self._deferred_siblings(relation)
+        relations = {relation}
+        for name in views:
+            impl = self.database.views.get(name)
+            if impl is not None:
+                relations.update(self._sources_of(impl.definition))
+        return sorted(relations), views
+
+    def _refresh_runner(self, relation: str, box: _CostBox):
+        """Wrap a planner refresh in striped locks + an engine section."""
+
+        def run(work: Any) -> None:
+            relations, views = self._fold_lock_sets(relation)
+            with self._locks.acquire(
+                writes=self._rel_locks(relations) + self._view_locks(views),
+                timeout=self._lock_timeout,
+            ):
+                with self._engine(box):
+                    work()
+
+        return run
+
+    # ------------------------------------------------------------------
     # durability surface
     # ------------------------------------------------------------------
     def attach_durability(
@@ -233,7 +370,7 @@ class ViewServer:
         right after attaching so recovery never has to replay the
         pre-durability bootstrap (which is not in the log).
         """
-        with self._lock:
+        with self._world.write():
             self.durability = manager
             manager.attach(self.database)
             self.scheduler.set_checkpoint_every(checkpoint_every)
@@ -241,7 +378,7 @@ class ViewServer:
 
     def checkpoint(self) -> "CheckpointInfo":
         """Snapshot engine + serving state, truncating the WAL behind it."""
-        with self._lock:
+        with self._world.write():
             manager = self._require_durability()
             start = time.perf_counter()
             info = manager.checkpoint(self.database, self._service_state())
@@ -262,7 +399,7 @@ class ViewServer:
         the caller knows the last snapshot is missing, but recovery can
         replay the sealed WAL regardless.
         """
-        with self._lock:
+        with self._world.write():
             manager = self.durability
             if manager is None:
                 return
@@ -294,7 +431,7 @@ class ViewServer:
         cleared from the database meter, mirroring the paper's practice
         of excluding initial materialization from per-query costs.
         """
-        with self._lock:
+        with self._world.write():
             meter = self.database.meter
             before = meter.snapshot()
             self.database.define_view(
@@ -331,11 +468,10 @@ class ViewServer:
         return self._entry(name).definition
 
     def strategy_of(self, name: str) -> Strategy:
-        with self._lock:
-            impl = self.database.views.get(name)
-            if impl is None:
-                raise CatalogError(f"unknown view {name!r}")
-            return impl.strategy
+        impl = self.database.views.get(name)
+        if impl is None:
+            raise CatalogError(f"unknown view {name!r}")
+        return impl.strategy
 
     # ------------------------------------------------------------------
     # traffic surface
@@ -347,13 +483,36 @@ class ViewServer:
         view's strategy; background refreshes triggered by async
         policies are measured separately (``background_refresh_ms``) —
         they model idle-time work off the request's critical path.
+
+        The apply itself runs under the transaction relation's write
+        lock plus the affected views' write locks; a base-path failure
+        escalates to checkpoint+WAL recovery under the exclusive world
+        lock (the transaction was journaled before any page was
+        touched, so it is not lost).
         """
-        with self._lock:
-            meter = self.database.meter
-            before = meter.snapshot()
+        box = _CostBox()
+        with self._world.read(self._lock_timeout):
+            status, failure = self._apply_locked(txn, box)
+        if status == "recover":
+            with self._world.write(self._lock_timeout):
+                recovered = self._recover_from_durability("update")
+            if not recovered:
+                assert failure is not None
+                raise failure
+        with self._world.read(self._lock_timeout):
+            routed = self._apply_bookkeeping(txn, client, box)
+        self._post_request(routed_views=routed)
+
+    def _apply_locked(
+        self, txn: Transaction, box: _CostBox
+    ) -> tuple[str, Exception | None]:
+        affected = self.database.views_on(txn.relation)
+        lock_names = self._rel_locks([txn.relation]) + self._view_locks(affected)
+        with self._locks.acquire(writes=lock_names, timeout=self._lock_timeout):
             try:
-                self.database.apply_transaction(txn)
-                self._settle_if_no_deferred(txn.relation)
+                with self._engine(box):
+                    self.database.apply_transaction(txn)
+                    self._settle_if_no_deferred(txn.relation)
             except ViewMaintenanceError as exc:
                 # The base mutation committed; only the named views'
                 # stored copies are suspect.  Degrade them and move on.
@@ -374,32 +533,35 @@ class ViewServer:
                 self.metrics.counter(
                     "update_base_failures_total", relation=txn.relation
                 ).inc()
-                if not self._recover_from_durability("update"):
-                    raise
-            affected = self.database.views_on(txn.relation)
+                return "recover", exc
+            if self.cache is not None:
+                self.cache.bump(txn.relation)
+        return "ok", None
+
+    def _apply_bookkeeping(
+        self, txn: Transaction, client: str, box: _CostBox
+    ) -> tuple[str, ...]:
+        """Post-commit accounting; runs on the (possibly recovered) engine."""
+        affected = self.database.views_on(txn.relation)
+        with self._state_lock:
             for name in self._degraded:
                 if name in affected:
                     self._missed_updates[name] = self._missed_updates.get(name, 0) + 1
-            ms = meter.diff(before).milliseconds(self.params)
-            self.metrics.counter("updates_total", client=client).inc()
-            self.metrics.histogram("update_ms", relation=txn.relation).observe(ms)
-            for name in affected:
-                entry = self._catalog.get(name)
-                if entry is None:
-                    continue
+        self.metrics.counter("updates_total", client=client).inc()
+        self.metrics.histogram("update_ms", relation=txn.relation).observe(box.ms)
+        routed: list[str] = []
+        for name in affected:
+            entry = self._catalog.get(name)
+            if entry is None:
+                continue
+            with self._state_lock:
                 entry.updates_seen += 1
-                if self.router is not None and entry.adaptive:
-                    self.router.observe_update(name, len(txn))
-            self._run_background_refreshes(txn.relation, affected)
-            self._note_relation_health(txn.relation)
-            if self.router is not None:
-                for name in affected:
-                    entry = self._catalog.get(name)
-                    if entry is not None and entry.adaptive:
-                        self._maybe_route(name)
-            self._note_durability_op()
-            self._note_resilience_gauges()
-            self._run_repairs()
+            if self.router is not None and entry.adaptive:
+                self.router.observe_update(name, len(txn))
+                routed.append(name)
+        self._run_background_refreshes(txn.relation, affected)
+        self._note_relation_health(txn.relation)
+        return tuple(routed)
 
     def query(self, name: str, lo: Any = None, hi: Any = None, client: str = "anon") -> Any:
         """Answer a view query under the view's strategy and policy.
@@ -415,54 +577,115 @@ class ViewServer:
         wrapped in a :class:`~repro.resilience.degradation.DegradedResult`
         naming the reason and the bound, and a background repair is
         queued.  Only when every rung fails does the query raise.
+
+        When a :class:`~repro.service.cache.QueryResultCache` is
+        installed, a fresh answer whose source relations' epochs are
+        unchanged is served straight from the cache without touching
+        the engine.
         """
-        with self._lock:
-            entry = self._entry(name)
-            impl = self.database.views.get(name)
-            if impl is None and (self.resilience is None or name not in self._degraded):
-                # Only a degraded, repair-pending view may be missing
-                # its engine-side impl (vanished mid-composite-op).
-                raise CatalogError(f"unknown view {name!r}")
-            meter = self.database.meter
-            before = meter.snapshot()
-            strategy = impl.strategy if impl is not None else None
-            strategy_label = strategy.value if strategy is not None else "unavailable"
-            degraded: DegradedResult | None = None
-            try:
-                if self.resilience is not None and name in self._degraded:
-                    # Known-bad view: don't poke the broken machinery
-                    # (and its breakers) again until repair clears it.
+        entry = self._entry(name)
+        box = _CostBox()
+        cached = self._cache_probe(name, entry, lo, hi, client)
+        if cached is not None:
+            self._post_request(observe_query=(name, lo, hi))
+            return cached[0]
+        with self._world.read(self._lock_timeout):
+            answer, degraded, token = self._query_locked(
+                name, entry, lo, hi, client, box
+            )
+        if self.cache is not None and degraded is None and token is not None:
+            self.cache.put(name, lo, hi, token, answer)
+        if degraded is None:
+            self._post_request(observe_query=(name, lo, hi))
+        else:
+            self._post_request()
+        return answer
+
+    def _cache_probe(
+        self, name: str, entry: ServedView, lo: Any, hi: Any, client: str
+    ) -> tuple[Any] | None:
+        """Serve from the cache when possible; ``None`` means miss."""
+        cache = self.cache
+        if cache is None:
+            return None
+        with self._state_lock:
+            if name in self._degraded:
+                return None
+        impl = self.database.views.get(name)
+        if impl is None:
+            return None
+        sources = self._sources_of(entry.definition)
+        with self._world.read(self._lock_timeout):
+            with self._locks.acquire(
+                reads=self._rel_locks(sources), timeout=self._lock_timeout
+            ):
+                token = cache.epoch_token(sources)
+                hit, answer = cache.get(name, lo, hi, token)
+        if not hit:
+            return None
+        with self._state_lock:
+            entry.queries += 1
+        self.metrics.counter("queries_total", client=client).inc()
+        self.metrics.counter("cache_hits_total", view=name).inc()
+        self.metrics.histogram(
+            "query_ms", view=name, strategy=impl.strategy.value
+        ).observe(0.0)
+        return (answer,)
+
+    def _query_locked(
+        self, name: str, entry: ServedView, lo: Any, hi: Any, client: str, box: _CostBox
+    ) -> tuple[Any, DegradedResult | None, Any]:
+        impl = self.database.views.get(name)
+        with self._state_lock:
+            known_degraded = name in self._degraded
+            degraded_reason = self._degraded.get(name)
+        if impl is None and (self.resilience is None or not known_degraded):
+            # Only a degraded, repair-pending view may be missing
+            # its engine-side impl (vanished mid-composite-op).
+            raise CatalogError(f"unknown view {name!r}")
+        strategy = impl.strategy if impl is not None else None
+        strategy_label = strategy.value if strategy is not None else "unavailable"
+        sources = self._sources_of(entry.definition)
+        exclusive = self._rel_locks(sources) + self._view_locks([name])
+        degraded: DegradedResult | None = None
+        token = None
+        try:
+            if self.resilience is not None and known_degraded:
+                # Known-bad view: don't poke the broken machinery
+                # (and its breakers) again until repair clears it.
+                with self._locks.acquire(
+                    writes=exclusive, timeout=self._lock_timeout
+                ):
                     degraded = self._serve_degraded(
-                        name, entry, impl, lo, hi, self._degraded[name]
+                        name, entry, impl, lo, hi, degraded_reason, box
                     )
-                    answer = degraded
-                else:
-                    assert impl is not None and strategy is not None
-                    try:
-                        answer = self._query_normal(name, entry, impl, strategy, lo, hi)
-                    except DEGRADABLE_ERRORS as exc:
-                        if self.resilience is None:
-                            raise
-                        reason, file = describe_failure(exc)
-                        self._degrade_with_siblings(name, reason, file)
+                answer = degraded
+            else:
+                assert impl is not None and strategy is not None
+                try:
+                    answer, token = self._query_normal(
+                        name, entry, impl, strategy, lo, hi, sources, box
+                    )
+                except DEGRADABLE_ERRORS as exc:
+                    if self.resilience is None:
+                        raise
+                    reason, file = describe_failure(exc)
+                    self._degrade_with_siblings(name, reason, file)
+                    with self._locks.acquire(
+                        writes=exclusive, timeout=self._lock_timeout
+                    ):
                         degraded = self._serve_degraded(
-                            name, entry, impl, lo, hi, reason
+                            name, entry, impl, lo, hi, reason, box
                         )
-                        answer = degraded
-            finally:
-                ms = meter.diff(before).milliseconds(self.params)
+                    answer = degraded
+        finally:
+            with self._state_lock:
                 entry.queries += 1
-                self.metrics.counter("queries_total", client=client).inc()
-                self.metrics.histogram(
-                    "query_ms", view=name, strategy=strategy_label
-                ).observe(ms)
-            if degraded is None and self.router is not None and entry.adaptive:
-                self.router.observe_query(name, self._query_width(lo, hi))
-                self._maybe_route(name)
-            self._note_durability_op()
-            self._note_resilience_gauges()
-            self._run_repairs()
-            return answer
+            self.metrics.counter("queries_total", client=client).inc()
+            self.metrics.histogram(
+                "query_ms", view=name, strategy=strategy_label
+            ).observe(box.ms)
+        return answer, degraded, token
 
     def _query_normal(
         self,
@@ -472,19 +695,63 @@ class ViewServer:
         strategy: Strategy,
         lo: Any,
         hi: Any,
-    ) -> Any:
-        """The healthy serving path (strategy + refresh policy)."""
+        sources: tuple[str, ...],
+        box: _CostBox,
+    ) -> tuple[Any, Any]:
+        """The healthy serving path (strategy + refresh policy).
+
+        Returns ``(answer, cache_token)``; the token is non-None only
+        when the answer is *fresh* (reflects every update applied so
+        far), which is the precondition for caching it.
+        """
         refresh_now = self.scheduler.should_refresh_on_query(name)
-        if strategy is Strategy.DEFERRED and not refresh_now:
-            answer = self._stale_read(impl, lo, hi)
-            self.scheduler.note_stale_answer(name)
-        else:
-            if strategy.is_query_modification():
-                self._settle_for_query_modification(entry.definition)
-            answer = self.database.query_view(name, lo, hi)
-            if strategy is Strategy.DEFERRED:
+        shared = self._rel_locks(sources) + self._view_locks([name])
+        token = None
+        if strategy is Strategy.DEFERRED:
+            relation = sources[0]
+            if refresh_now:
+                # Fold first (one shared-delta epoch, coalesced with any
+                # concurrent request on the same relation), then serve
+                # the freshly-installed copy under read locks.
+                self.planner.refresh(relation, run=self._refresh_runner(relation, box))
+            with self._locks.acquire(reads=shared, timeout=self._lock_timeout):
+                with self._engine(box):
+                    answer = self._stale_read(impl, lo, hi)
+                    # A join's inner backlog isn't visible through the
+                    # outer HR, so only single-source views qualify.
+                    fresh = len(sources) == 1 and impl.relation.ad_entry_count() == 0
+                if fresh and self.cache is not None:
+                    token = self.cache.epoch_token(sources)
+            if refresh_now:
                 self.scheduler.note_refreshed(name)
-        return answer
+            else:
+                self.scheduler.note_stale_answer(name)
+        elif strategy.is_query_modification():
+            # QM folds pending AD into the base before reading it, which
+            # rewrites any deferred siblings too — exclusive locks over
+            # the whole fold set.
+            relations, views = self._fold_lock_sets(sources[0])
+            relations = sorted(set(relations) | set(sources))
+            views = sorted(set(views) | {name})
+            with self._locks.acquire(
+                writes=self._rel_locks(relations) + self._view_locks(views),
+                timeout=self._lock_timeout,
+            ):
+                with self._engine(box):
+                    self._settle_for_query_modification(entry.definition)
+                    answer = self.database.query_view(name, lo, hi)
+                if self.cache is not None:
+                    token = self.cache.epoch_token(sources)
+        else:
+            with self._locks.acquire(reads=shared, timeout=self._lock_timeout):
+                with self._engine(box):
+                    answer = self.database.query_view(name, lo, hi)
+                # Immediate maintenance keeps the copy always-fresh;
+                # other materialized variants (snapshot, hybrid) may
+                # serve stale and are never cached.
+                if strategy is Strategy.IMMEDIATE and self.cache is not None:
+                    token = self.cache.epoch_token(sources)
+        return answer, token
 
     def _serve_degraded(
         self,
@@ -494,6 +761,7 @@ class ViewServer:
         lo: Any,
         hi: Any,
         reason: str,
+        box: _CostBox,
     ) -> DegradedResult:
         """Walk the degradation ladder for one query.
 
@@ -506,7 +774,8 @@ class ViewServer:
         config = self.resilience
         assert config is not None
         try:
-            answer = qm_fallback_answer(self.database, entry.definition, lo, hi)
+            with self._engine(box):
+                answer = qm_fallback_answer(self.database, entry.definition, lo, hi)
             mode, bound = "qm_fallback", 0
         except DEGRADABLE_ERRORS as qm_exc:
             bound = self._staleness_bound(name, entry.definition)
@@ -517,7 +786,8 @@ class ViewServer:
                 self.metrics.counter("unavailable_queries_total", view=name).inc()
                 raise qm_exc
             try:
-                answer = self._stale_read(impl, lo, hi)
+                with self._engine(box):
+                    answer = self._stale_read(impl, lo, hi)
             except DEGRADABLE_ERRORS:
                 self.metrics.counter("unavailable_queries_total", view=name).inc()
                 raise qm_exc from None
@@ -526,7 +796,8 @@ class ViewServer:
         if impl is not None:
             strategy_label = impl.strategy.value
         else:  # vanished mid-composite-op; report the repair target
-            target = self._pending_repairs.get(name, {}).get("strategy")
+            with self._state_lock:
+                target = self._pending_repairs.get(name, {}).get("strategy")
             strategy_label = target.value if target is not None else "unavailable"
         return DegradedResult(
             answer=answer,
@@ -558,14 +829,16 @@ class ViewServer:
                 pending = int(
                     self.metrics.gauge("ad_entries", relation=relation_name).value
                 )
-        return pending + self._missed_updates.get(name, 0)
+        with self._state_lock:
+            missed = self._missed_updates.get(name, 0)
+        return pending + missed
 
     # ------------------------------------------------------------------
     # migration
     # ------------------------------------------------------------------
     def migrate(self, name: str, strategy: Strategy) -> None:
         """Move a view to another strategy, pricing the migration."""
-        with self._lock:
+        with self._world.write():
             old = self.strategy_of(name)
             if old is strategy:
                 return
@@ -606,7 +879,7 @@ class ViewServer:
     # ------------------------------------------------------------------
     def staleness(self, name: str) -> StalenessReport:
         """How far behind the live relation a view's answers may be."""
-        with self._lock:
+        with self._world.read(self._lock_timeout):
             entry = self._entry(name)
             definition = entry.definition
             relation_name = (
@@ -629,16 +902,13 @@ class ViewServer:
             )
 
     def metrics_dict(self) -> dict[str, Any]:
-        with self._lock:
-            return self.metrics.to_dict()
+        return self.metrics.to_dict()
 
     def metrics_json(self, indent: int | None = 2) -> str:
-        with self._lock:
-            return self.metrics.to_json(indent=indent)
+        return self.metrics.to_json(indent=indent)
 
     def dashboard(self) -> str:
-        with self._lock:
-            return self.metrics.render_dashboard()
+        return self.metrics.render_dashboard()
 
     # ------------------------------------------------------------------
     # internals
@@ -726,7 +996,8 @@ class ViewServer:
 
         The work is real and metered (``background_refresh_ms``), but
         kept out of ``update_ms``/``query_ms`` — it models the idle-CPU
-        refresh of the paper's Section 4.
+        refresh of the paper's Section 4.  Each relation folds once per
+        update (the planner's shared-delta epoch covers every sibling).
         """
         refreshed_relations: set[str] = set()
         for name in affected:
@@ -737,20 +1008,19 @@ class ViewServer:
                 continue
             rel = impl.relation.schema.name
             if rel in refreshed_relations:
-                continue  # the coordinator already refreshed the siblings
-            meter = self.database.meter
-            before = meter.snapshot()
+                continue  # the shared epoch already refreshed the siblings
+            bg_box = _CostBox()
             try:
-                impl.refresh()
-                self.database.pool.flush_all()
+                self.planner.refresh(rel, run=self._refresh_runner(rel, bg_box))
             except DEGRADABLE_ERRORS as exc:
                 if self.resilience is None:
                     raise
                 reason, file = describe_failure(exc)
                 self._degrade_with_siblings(name, f"refresh:{reason}", file)
                 continue
-            ms = meter.diff(before).milliseconds(self.params)
-            self.metrics.histogram("background_refresh_ms", view=name).observe(ms)
+            self.metrics.histogram("background_refresh_ms", view=name).observe(
+                bg_box.ms
+            )
             self.scheduler.note_refreshed(name)
             refreshed_relations.add(rel)
 
@@ -775,11 +1045,52 @@ class ViewServer:
             bloom.negative_rate
         )
 
+    def _post_request(
+        self,
+        routed_views: tuple[str, ...] = (),
+        observe_query: tuple[str, Any, Any] | None = None,
+    ) -> None:
+        """Tail-of-request hooks, run after the world read lock drops.
+
+        Router decisions, cadence checkpoints and queued repairs all
+        mutate shared state, so they escalate to the world *write* lock
+        — but only when actually due (``decision_due`` and the repair
+        queue are checked first), so the hot path almost never pays the
+        exclusive lock.
+        """
+        if self.router is not None:
+            if observe_query is not None:
+                name, lo, hi = observe_query
+                entry = self._catalog.get(name)
+                if entry is not None and entry.adaptive:
+                    self.router.observe_query(name, self._query_width(lo, hi))
+                    if self.router.decision_due(name):
+                        with self._world.write():
+                            self._maybe_route(name)
+            for name in routed_views:
+                if self.router.decision_due(name):
+                    with self._world.write():
+                        self._maybe_route(name)
+        self._note_durability_op()
+        self._note_resilience_gauges()
+        self._tail_repairs()
+
     def _maybe_route(self, name: str) -> None:
         assert self.router is not None
         switch = self.router.maybe_switch(self, name)
         if switch is not None:
             self.metrics.gauge("router_estimated_p", view=name).set(switch.estimated_p)
+
+    def _tail_repairs(self) -> None:
+        """Run queued repairs at the tail of a request, exclusively."""
+        if self.resilience is None or not self.resilience.repair:
+            return
+        with self._state_lock:
+            due = bool(self._pending_repairs) or self._needs_recovery
+        if not due:
+            return
+        with self._world.write():
+            self._run_repairs()
 
     # ------------------------------------------------------------------
     # durability internals
@@ -831,7 +1142,8 @@ class ViewServer:
                 # matviews), so a failure here means damage local view
                 # rebuilds cannot reach — escalate to WAL recovery.
                 self.metrics.counter("checkpoint_failures_total").inc()
-                self._needs_recovery = True
+                with self._state_lock:
+                    self._needs_recovery = True
         else:
             self._update_durability_gauges()
 
@@ -840,7 +1152,7 @@ class ViewServer:
     # ------------------------------------------------------------------
     def degraded_views(self) -> dict[str, str]:
         """Views currently serving degraded, with the triggering reason."""
-        with self._lock:
+        with self._state_lock:
             return dict(self._degraded)
 
     def scrub(self) -> ScrubReport:
@@ -850,7 +1162,7 @@ class ViewServer:
         for the background loop); base-relation or differential damage
         flags the server for checkpoint+WAL recovery.
         """
-        with self._lock:
+        with self._world.write():
             report = scrub_database(self.database)
             self.metrics.counter("scrubs_total").inc()
             self.metrics.gauge("scrub_damaged_pages").set(len(report.damage))
@@ -863,7 +1175,7 @@ class ViewServer:
 
     def repair(self) -> dict[str, Any]:
         """Run every queued repair now instead of waiting for traffic."""
-        with self._lock:
+        with self._world.write():
             restored = self._run_repairs()
             return {
                 "restored": restored,
@@ -873,31 +1185,32 @@ class ViewServer:
 
     def _mark_degraded(self, name: str, reason: str, file: str | None) -> None:
         """Flip a view to degraded service and queue its repair."""
-        if name not in self._catalog:
-            return
-        if name not in self._degraded:
-            self.metrics.counter("degradations_total", view=name).inc()
-        self._degraded[name] = reason
-        self._missed_updates.setdefault(name, 0)
-        self.metrics.gauge("view_degraded", view=name).set(1.0)
-        if name not in self._pending_repairs:
-            # Snapshot definition + strategy now: if the repair itself
-            # faults between its drop and re-define, the catalog entry
-            # is gone and this is all that's left to restore from.
-            info: dict[str, Any] = {
-                "kind": "rebuild",
-                "definition": self._entry(name).definition,
-            }
-            impl = self.database.views.get(name)
-            if impl is not None:
-                info["strategy"] = impl.strategy
-            self._pending_repairs[name] = info
-        if file is not None and self.durability is not None:
-            kind, _owner = classify_file(self.database, file)
-            if kind in ("relation", "differential"):
-                # The damaged file is not the view's own storage; a
-                # local rebuild cannot reach it.
-                self._needs_recovery = True
+        with self._state_lock:
+            if name not in self._catalog:
+                return
+            if name not in self._degraded:
+                self.metrics.counter("degradations_total", view=name).inc()
+            self._degraded[name] = reason
+            self._missed_updates.setdefault(name, 0)
+            self.metrics.gauge("view_degraded", view=name).set(1.0)
+            if name not in self._pending_repairs:
+                # Snapshot definition + strategy now: if the repair itself
+                # faults between its drop and re-define, the catalog entry
+                # is gone and this is all that's left to restore from.
+                info: dict[str, Any] = {
+                    "kind": "rebuild",
+                    "definition": self._entry(name).definition,
+                }
+                impl = self.database.views.get(name)
+                if impl is not None:
+                    info["strategy"] = impl.strategy
+                self._pending_repairs[name] = info
+            if file is not None and self.durability is not None:
+                kind, _owner = classify_file(self.database, file)
+                if kind in ("relation", "differential"):
+                    # The damaged file is not the view's own storage; a
+                    # local rebuild cannot reach it.
+                    self._needs_recovery = True
 
     def _degrade_with_siblings(self, name: str, reason: str, file: str | None) -> None:
         """Degrade a view and, if it is deferred, its deferred siblings.
@@ -910,37 +1223,43 @@ class ViewServer:
         is trusted again.  (Marking only the queried view lets a
         half-applied sibling serve silently wrong answers forever.)
         """
-        self._mark_degraded(name, reason, file)
-        entry = self._catalog.get(name)
-        if entry is None:
-            return
-        definition = entry.definition
-        relation = (
-            definition.outer if isinstance(definition, JoinView)
-            else definition.relation
-        )
-        impl = self.database.views.get(name)
-        if impl is not None and impl.strategy is not Strategy.DEFERRED:
-            return
-        for sibling in self.database.views_on(relation):
-            if sibling == name:
-                continue
-            sibling_impl = self.database.views.get(sibling)
-            if sibling_impl is not None and sibling_impl.strategy is Strategy.DEFERRED:
-                self._mark_degraded(sibling, f"sibling:{reason}", file)
+        with self._state_lock:
+            self._mark_degraded(name, reason, file)
+            entry = self._catalog.get(name)
+            if entry is None:
+                return
+            definition = entry.definition
+            relation = (
+                definition.outer if isinstance(definition, JoinView)
+                else definition.relation
+            )
+            impl = self.database.views.get(name)
+            if impl is not None and impl.strategy is not Strategy.DEFERRED:
+                return
+            for sibling in self.database.views_on(relation):
+                if sibling == name:
+                    continue
+                sibling_impl = self.database.views.get(sibling)
+                if (
+                    sibling_impl is not None
+                    and sibling_impl.strategy is Strategy.DEFERRED
+                ):
+                    self._mark_degraded(sibling, f"sibling:{reason}", file)
 
     def _clear_degraded(self, name: str) -> None:
-        self._degraded.pop(name, None)
-        self._missed_updates.pop(name, None)
-        self._pending_repairs.pop(name, None)
+        with self._state_lock:
+            self._degraded.pop(name, None)
+            self._missed_updates.pop(name, None)
+            self._pending_repairs.pop(name, None)
         self.metrics.gauge("view_degraded", view=name).set(0.0)
 
     def _run_repairs(self) -> list[str]:
         """Drain the background repair queue; returns restored views.
 
-        Called at the tail of every request (repair work models the
+        Runs under the exclusive world lock (called at the tail of a
+        request or from :meth:`repair`) — repair work models the
         idle-time maintenance of the paper's deferred machinery, and is
-        metered like any other work).  Recursion-guarded because repairs
+        metered like any other work.  Recursion-guarded because repairs
         themselves tick the durability cadence.
         """
         if self.resilience is None or not self.resilience.repair or self._repairing:
@@ -1007,6 +1326,8 @@ class ViewServer:
                 resilient.reset_file(file)
         ms = meter.diff(before).milliseconds(self.params)
         self._clear_degraded(name)
+        if self.cache is not None:
+            self.cache.drop_view(name)
         impl = db.views.get(name)
         if impl is not None:
             self._set_strategy_gauge(name, impl.strategy)
@@ -1049,6 +1370,9 @@ class ViewServer:
             return False
         self.database.attach_journal(None)
         self.database = db
+        self.planner = SharedDeltaPlanner(db)
+        if self.cache is not None:
+            self.cache.clear()
         self._database_factory = factory
         self._hook_disk_events(db)
         new_faults = db.faults
@@ -1056,8 +1380,9 @@ class ViewServer:
             new_faults.arm()
         for name in list(self._degraded):
             self._clear_degraded(name)
-        self._pending_repairs.clear()
-        self._needs_recovery = False
+        with self._state_lock:
+            self._pending_repairs.clear()
+            self._needs_recovery = False
         for name, impl in db.views.items():
             self._set_strategy_gauge(name, impl.strategy)
         self.metrics.counter("recoveries_total").inc()

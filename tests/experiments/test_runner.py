@@ -60,6 +60,33 @@ class TestCLI:
         assert main(["fig8", "--log-y"]) == 0
         assert "(log)" in capsys.readouterr().out
 
+    def test_csv_directory_created_if_missing(self, tmp_path, capsys):
+        target = tmp_path / "deep" / "nested"
+        assert main(["fig1", "--csv", str(target)]) == 0
+        assert (target / "fig1.csv").exists()
+
+    def test_summary_line_reports_per_experiment_wall_time(self, capsys):
+        assert main(["fig1", "fig8"]) == 0
+        summary = capsys.readouterr().out.strip().splitlines()[-1]
+        assert summary.startswith("ran 2 experiment(s) in ")
+        assert "fig1 " in summary and "fig8 " in summary
+
+    def test_jobs_fans_out_and_preserves_order(self, capsys):
+        assert main(["fig8", "fig1", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.index("Figure 8") < out.index("Figure 1")
+        assert "(jobs=2)" in out
+
+    def test_jobs_validates_ids_before_running(self, capsys):
+        assert main(["fig1", "fig99", "--jobs", "4"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment" in captured.err
+        assert "Figure 1" not in captured.out  # nothing ran
+
+    def test_jobs_must_be_positive(self, capsys):
+        assert main(["fig1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
 
 class TestRenderChart:
     def test_empty_series_handled(self):

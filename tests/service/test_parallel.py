@@ -1,0 +1,258 @@
+"""Concurrent serving: equivalence under threads, deadlock smoke, cache."""
+
+import random
+import threading
+
+from repro.core.strategies import Strategy
+from repro.engine.database import Database
+from repro.engine.transaction import Transaction, Update
+from repro.service.cache import QueryResultCache
+from repro.service.scheduler import RefreshPolicy
+from repro.service.server import ViewServer
+from repro.storage.tuples import Schema
+from repro.views.definition import AggregateView, SelectProjectView
+from repro.views.predicate import IntervalPredicate
+
+N_RECORDS = 240
+
+R = Schema("r", ("id", "a", "v"), "id", tuple_bytes=100)
+S = Schema("s", ("id", "a", "v"), "id", tuple_bytes=100)
+SP_R = SelectProjectView("r_tuples", "r", IntervalPredicate("a", 0, 9),
+                         ("id", "a"), "a")
+AGG_R = AggregateView("r_total", "r", IntervalPredicate("a", 0, 9), "sum", "v")
+SP_S = SelectProjectView("s_tuples", "s", IntervalPredicate("a", 0, 9),
+                         ("id", "a"), "a")
+
+
+def seeded_records(schema):
+    rng = random.Random(17)
+    return [schema.new_record(id=i, a=rng.randrange(20), v=rng.randrange(100))
+            for i in range(N_RECORDS)]
+
+
+def make_server(strategy, schemas=(R,), definitions=(SP_R, AGG_R), **kwargs):
+    database = Database(buffer_pages=256)
+    for schema in schemas:
+        database.create_relation(schema, "a", kind="hypothetical",
+                                 records=seeded_records(schema), ad_buckets=2)
+    server = ViewServer(database, lock_timeout=30.0, **kwargs)
+    for definition in definitions:
+        server.register_view(definition, strategy, adaptive=False)
+    return server
+
+
+def run_threads(targets, timeout=60.0):
+    threads = [threading.Thread(target=t, daemon=True) for t in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        assert not t.is_alive(), "worker wedged: likely deadlock"
+
+
+def partitioned_stream(thread_index, n_threads, length):
+    """A deterministic per-thread op stream touching only this thread's
+    keys, so interleavings across threads commute and every server
+    converges to the same final state regardless of scheduling."""
+    rng = random.Random(1000 + thread_index)
+    ops = []
+    for step in range(length):
+        if step % 3 == 2:
+            ops.append(("query", None))
+        else:
+            key = thread_index + n_threads * rng.randrange(N_RECORDS // n_threads)
+            ops.append(("update", (key, rng.randrange(1000))))
+    return ops
+
+
+class TestConcurrentEquivalence:
+    def test_strategy_twins_agree_under_threads(self):
+        """N threads drive identical partitioned streams against a
+        deferred, an immediate, and a query-modification twin; after
+        quiescing, all three must give byte-identical answers."""
+        n_threads = 4
+        servers = {
+            strategy: make_server(strategy)
+            for strategy in (Strategy.DEFERRED, Strategy.IMMEDIATE,
+                             Strategy.QM_CLUSTERED)
+        }
+        errors = []
+
+        def worker(server, index):
+            def go():
+                try:
+                    for op, payload in partitioned_stream(index, n_threads, 30):
+                        if op == "update":
+                            key, value = payload
+                            server.apply_update(Transaction.of(
+                                "r", [Update(key, {"v": value})]))
+                        else:
+                            server.query("r_tuples", 0, 9)
+                            server.query("r_total")
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+            return go
+
+        for server in servers.values():
+            run_threads([worker(server, i) for i in range(n_threads)])
+        assert errors == []
+
+        answers = {}
+        for strategy, server in servers.items():
+            tuples = server.query("r_tuples", 0, 9)
+            answers[strategy] = (sorted(t.values["id"] for t in tuples),
+                                 server.query("r_total"))
+        baseline = answers[Strategy.IMMEDIATE]
+        assert answers[Strategy.DEFERRED] == baseline
+        assert answers[Strategy.QM_CLUSTERED] == baseline
+
+    def test_shared_delta_net_read_once_per_epoch_through_server(self):
+        """The acceptance counter: across a threaded run, the AD file's
+        net change set is computed exactly once per refresh epoch, no
+        matter how many sibling views or threads wanted it."""
+        server = make_server(Strategy.DEFERRED)
+        n_threads = 4
+
+        def worker(index):
+            def go():
+                for op, payload in partitioned_stream(index, n_threads, 24):
+                    if op == "update":
+                        key, value = payload
+                        server.apply_update(Transaction.of(
+                            "r", [Update(key, {"v": value})]))
+                    else:
+                        server.query("r_tuples", 0, 9)
+                        server.query("r_total")
+            return go
+
+        run_threads([worker(i) for i in range(n_threads)])
+        relation = server.database.relations["r"]
+        coordinator = server.database.deferred_coordinator("r")
+        assert server.planner.epochs > 0
+        # Two sibling views share each epoch's single net computation.
+        assert relation.net_reads == server.planner.epochs
+        assert coordinator.net_computes == server.planner.epochs
+
+
+class TestDeadlockSmoke:
+    def test_mixed_traffic_across_relations_terminates(self):
+        """Queries and updates over two relations and three views from
+        eight threads; lock_timeout converts any ordering bug into a
+        LockTimeout instead of a hang, and the join timeout backstops."""
+        server = make_server(Strategy.DEFERRED, schemas=(R, S),
+                             definitions=(SP_R, AGG_R, SP_S))
+        errors = []
+
+        def worker(index):
+            rng = random.Random(2000 + index)
+
+            def go():
+                try:
+                    for step in range(25):
+                        roll = rng.random()
+                        relation = "r" if rng.random() < 0.5 else "s"
+                        if roll < 0.4:
+                            key = index + 8 * rng.randrange(N_RECORDS // 8)
+                            server.apply_update(Transaction.of(
+                                relation, [Update(key, {"v": step})]))
+                        elif roll < 0.7:
+                            server.query("r_tuples", 0, 9)
+                        elif roll < 0.9:
+                            server.query("s_tuples", 0, 9)
+                        else:
+                            server.query("r_total")
+                except Exception as exc:
+                    errors.append(exc)
+            return go
+
+        run_threads([worker(i) for i in range(8)])
+        assert errors == []
+        # And the server still answers coherently afterwards.
+        assert server.query("r_total") == sum(
+            t.values["v"] for t in
+            server.database.relations["r"].scan_logical()
+            if 0 <= t.values["a"] <= 9
+        )
+
+
+class TestQueryResultCache:
+    def test_repeat_query_hits_without_engine_work(self):
+        cache = QueryResultCache()
+        server = make_server(Strategy.IMMEDIATE, cache=cache)
+        first = server.query("r_tuples", 0, 9)
+        meter = server.database.meter
+        before = meter.snapshot()
+        second = server.query("r_tuples", 0, 9)
+        delta = meter.diff(before)
+        assert second == first
+        assert cache.hits == 1
+        assert (delta.page_reads, delta.screens) == (0, 0)
+        assert server.metrics.counter("cache_hits_total", view="r_tuples").value == 1
+
+    def test_update_invalidates_by_epoch(self):
+        cache = QueryResultCache()
+        server = make_server(Strategy.IMMEDIATE, cache=cache)
+        first = server.query("r_total")
+        server.apply_update(Transaction.of("r", [Update(0, {"v": first + 1})]))
+        # The next probe sees the bumped epoch, drops the stale entry,
+        # and the answer is recomputed against the updated relation.
+        assert server.query("r_total") == sum(
+            t.values["v"] for t in
+            server.database.relations["r"].scan_logical()
+            if 0 <= t.values["a"] <= 9
+        )
+        assert cache.invalidations >= 1
+
+    def test_deferred_fresh_answers_cached_stale_ones_not(self):
+        cache = QueryResultCache()
+        server = make_server(Strategy.DEFERRED, cache=cache)
+        # periodic(3): query 1 refreshes (fresh -> cached), 2-3 serve stale.
+        server.scheduler.set_policy("r_tuples", RefreshPolicy.periodic(3))
+        server.query("r_tuples", 0, 9)
+        assert len(cache) == 1
+        server.apply_update(Transaction.of("r", [Update(0, {"v": 7})]))
+        # The probe drops the epoch-stale entry, and the stale-path
+        # answer (backlog non-empty) must not be re-cached.
+        server.query("r_tuples", 0, 9)
+        assert len(cache) == 0
+        hit, _ = cache.get("r_tuples", 0, 9, cache.epoch_token(("r",)))
+        assert not hit
+
+    def test_cache_disabled_by_default(self):
+        server = make_server(Strategy.IMMEDIATE)
+        assert server.cache is None
+        server.query("r_tuples", 0, 9)
+        meter = server.database.meter
+        before = meter.snapshot()
+        server.query("r_tuples", 0, 9)
+        assert meter.diff(before).screens > 0  # every query pays its I/O
+
+    def test_concurrent_hits_and_updates_stay_correct(self):
+        cache = QueryResultCache()
+        server = make_server(Strategy.IMMEDIATE, cache=cache)
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(40):
+                    answer = server.query("r_total")
+                    assert isinstance(answer, (int, float))
+            except Exception as exc:
+                errors.append(exc)
+
+        def writer():
+            try:
+                rng = random.Random(99)
+                for step in range(20):
+                    server.apply_update(Transaction.of(
+                        "r", [Update(rng.randrange(N_RECORDS), {"v": step})]))
+            except Exception as exc:
+                errors.append(exc)
+
+        run_threads([reader, reader, writer])
+        assert errors == []
+        assert server.query("r_total") == sum(
+            t.values["v"] for t in
+            server.database.relations["r"].scan_logical()
+            if 0 <= t.values["a"] <= 9
+        )
