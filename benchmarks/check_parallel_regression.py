@@ -1,12 +1,23 @@
-"""Gate: fail when single-thread serving throughput regresses >20%.
+"""Gate: fail when serving throughput regresses >20% vs the baseline.
 
 Compares a fresh ``BENCH_parallel.json`` against the committed
-``BENCH_parallel.baseline.json``.  Only the single-thread number gates
-— it isolates the hot path's fixed cost from scheduler luck in the
-multi-thread points — and because the benchmark is pacing-dominated
-(sleeps realize modelled milliseconds), the comparison is meaningful
-across machines.  Multi-thread scaling and answer equivalence are
-asserted inside the benchmark itself.
+``BENCH_parallel.baseline.json``.  The report holds named qps
+*series* — ``threads`` (one process, N client threads) and ``shards``
+(N worker processes) — and this gate compares only the series present
+in **both** files:
+
+* a series in the baseline but missing from the current report fails
+  with a message naming it (a benchmark stopped producing a series it
+  promised — never a bare ``KeyError``);
+* a series only in the current report is reported and tolerated, so a
+  new benchmark can land before its baseline is regenerated;
+* for every shared series, the first (cheapest-concurrency) point
+  gates at 20% — it isolates the hot path's fixed cost from scheduler
+  luck in the wider points, and pacing makes it comparable across
+  machines.  Scaling ratios are asserted inside the benchmarks.
+
+Any nonzero ``*equivalence_violations`` counter in the current report
+fails outright: a fast wrong answer is not a result.
 
 Usage::
 
@@ -22,6 +33,30 @@ from pathlib import Path
 
 TOLERANCE = 0.20
 
+
+def qps_series(report: dict) -> dict[str, dict]:
+    """The named series of a report: top-level mappings whose entries
+    all carry a ``qps`` number (e.g. ``threads``, ``shards``)."""
+    series = {}
+    for name, value in report.items():
+        if (
+            isinstance(value, dict)
+            and value
+            and all(
+                isinstance(point, dict) and "qps" in point
+                for point in value.values()
+            )
+        ):
+            series[name] = value
+    return series
+
+
+def first_point(series: dict) -> tuple[str, dict]:
+    """The lowest-concurrency point of a series (numeric key order)."""
+    label = min(series, key=lambda k: (float(k), k))
+    return label, series[label]
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     here = Path(__file__).parent
@@ -32,25 +67,59 @@ def main(argv: list[str] | None = None) -> int:
     result = json.loads(result_path.read_text())
     baseline = json.loads(baseline_path.read_text())
 
-    if result.get("equivalence_violations", 1) != 0:
-        print(f"FAIL: {result['equivalence_violations']} equivalence violations")
-        return 1
+    failed = False
+    for key in sorted(result):
+        if key.endswith("equivalence_violations") and result[key] != 0:
+            print(f"FAIL: {key} = {result[key]} (answers disagreed)")
+            failed = True
 
-    current = result["threads"]["1"]["qps"]
-    committed = baseline["threads"]["1"]["qps"]
-    floor = committed * (1.0 - TOLERANCE)
-    verdict = "ok" if current >= floor else "REGRESSION"
-    print(
-        f"single-thread qps: current={current:.2f} baseline={committed:.2f} "
-        f"floor={floor:.2f} ({verdict})"
-    )
-    if current < floor:
+    current_series = qps_series(result)
+    baseline_series = qps_series(baseline)
+    missing = sorted(set(baseline_series) - set(current_series))
+    if missing:
         print(
-            f"FAIL: single-thread throughput regressed more than "
-            f"{TOLERANCE:.0%} vs the committed baseline"
+            "FAIL: baseline series missing from the current report: "
+            + ", ".join(missing)
+            + f" (present: {', '.join(sorted(current_series)) or 'none'})"
         )
+        failed = True
+    for name in sorted(set(current_series) - set(baseline_series)):
+        print(f"note: new series {name!r} has no baseline yet (not gated)")
+
+    shared = sorted(set(baseline_series) & set(current_series))
+    if not shared and not missing:
+        print("FAIL: no qps series shared with the baseline — nothing to gate")
+        failed = True
+    for name in shared:
+        label, point = first_point(current_series[name])
+        base_label, base_point = first_point(baseline_series[name])
+        if label != base_label:
+            print(
+                f"FAIL: series {name!r} first point changed: "
+                f"baseline measures {base_label}, current measures {label}"
+            )
+            failed = True
+            continue
+        current_qps = point["qps"]
+        committed = base_point["qps"]
+        floor = committed * (1.0 - TOLERANCE)
+        verdict = "ok" if current_qps >= floor else "REGRESSION"
+        print(
+            f"{name}[{label}] qps: current={current_qps:.2f} "
+            f"baseline={committed:.2f} floor={floor:.2f} ({verdict})"
+        )
+        if current_qps < floor:
+            print(
+                f"FAIL: {name!r} series regressed more than {TOLERANCE:.0%} "
+                f"at its {label}-way point vs the committed baseline"
+            )
+            failed = True
+
+    if failed:
         return 1
-    print(f"4-thread speedup: {result.get('speedup_4t')}x (>=2x asserted in-bench)")
+    for key in ("speedup_4t", "shard_speedup_4"):
+        if key in result:
+            print(f"{key}: {result[key]}x (scaling floors asserted in-bench)")
     return 0
 
 

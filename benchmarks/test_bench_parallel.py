@@ -155,7 +155,11 @@ def test_parallel_throughput_scales_and_strategies_agree():
 
     violations = check_equivalence()
     speedup_4t = per_thread["4"]["qps"] / per_thread["1"]["qps"]
-    report = {
+    # Read-modify-write: test_bench_cluster.py merges its sharded
+    # series into the same report file, so only this benchmark's own
+    # keys are replaced here.
+    report = json.loads(OUT_PATH.read_text()) if OUT_PATH.exists() else {}
+    report.update({
         "pacing_s_per_ms": PACING,
         "scale": SCALE,
         "ops_per_relation": OPS_PER_RELATION,
@@ -163,7 +167,7 @@ def test_parallel_throughput_scales_and_strategies_agree():
         "threads": per_thread,
         "speedup_4t": round(speedup_4t, 2),
         "equivalence_violations": violations,
-    }
+    })
     OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     print("\n" + json.dumps(report, indent=2))
 

@@ -1,0 +1,50 @@
+"""Sharded multi-process serving: partitioning, workers, router.
+
+The cluster subsystem scales the single-process serving stack of
+:mod:`repro.service` past the GIL by partitioning base relations (and
+the views over them) across N shard worker processes behind one
+scatter–gather front-end router:
+
+* :mod:`repro.cluster.shardmap` — versioned, serializable assignment
+  of tuples to shards (key range or consistent hash);
+* :mod:`repro.cluster.rpc` — framed JSON RPC with per-request ids,
+  per-call deadlines and poisoned-connection semantics;
+* :mod:`repro.cluster.worker` — one process per shard, each hosting a
+  full :class:`~repro.service.server.ViewServer` over its partition;
+* :mod:`repro.cluster.router` — single-shard routing, scatter–gather
+  with partial-failure composition, cross-shard tuple moves,
+  cluster-wide coalesced refresh epochs, merged-result caching;
+* :mod:`repro.cluster.metrics` — per-shard registries merged into one
+  schema-valid cluster export;
+* :mod:`repro.cluster.harness` — demo cluster specs and paced traffic
+  for the CLI, tests and benchmarks.
+
+See ``docs/cluster.md`` for topology and failure-mode semantics.
+"""
+
+from .metrics import MetricsMergeError, aggregate_metrics, cluster_registry
+from .router import ClusterClosedError, ClusterError, ClusterRouter
+from .rpc import (
+    RemoteOpError,
+    RpcError,
+    ShardClient,
+    ShardTimeout,
+    ShardUnavailable,
+)
+from .shardmap import ShardMap, ShardMapError
+
+__all__ = [
+    "ShardMap",
+    "ShardMapError",
+    "ClusterRouter",
+    "ClusterError",
+    "ClusterClosedError",
+    "ShardClient",
+    "RpcError",
+    "ShardTimeout",
+    "ShardUnavailable",
+    "RemoteOpError",
+    "aggregate_metrics",
+    "cluster_registry",
+    "MetricsMergeError",
+]

@@ -1,0 +1,738 @@
+"""The front-end router: one address for an N-shard cluster.
+
+:class:`ClusterRouter` owns the shard worker processes and presents
+the same traffic surface as a single :class:`ViewServer` — ``query``,
+``apply_update``, ``refresh_epoch``, metrics — while underneath:
+
+* **routing** — a query whose range lies inside one shard's partition
+  (range scheme, view keyed on the partition field) goes straight to
+  that worker; everything else scatters to the owning shards and the
+  answers are gathered and merged (tuples concatenated in view-key
+  order, ``sum``/``count`` aggregates summed, ``min``/``max`` folded);
+* **keys** — updates address tuples by primary key, but placement is
+  by partition field, so the router keeps a key directory
+  ``(relation, key) -> shard``.  An update that moves a tuple across
+  the partition boundary becomes an explicit cross-shard *move*
+  (delete on the old owner, insert on the new), each half a normal
+  maintained transaction on its shard;
+* **partial failure** — scatter legs run under per-shard deadlines; a
+  missing or degraded leg turns the merged answer into a
+  :class:`~repro.resilience.degradation.DegradedResult` whose mode,
+  reason and staleness bound *compose* the per-shard labels (the
+  worst rung wins, bounds add across failed legs) instead of hiding
+  them;
+* **cluster refresh epochs** — concurrent ``refresh_epoch`` callers
+  coalesce onto one in-flight cluster-wide scatter, mirroring the
+  per-shard SharedDeltaPlanner: each shard still computes its
+  partition's net change exactly once per epoch, now cluster-wide;
+* **merged-result caching** — an optional
+  :class:`~repro.service.cache.QueryResultCache` holds merged
+  cross-shard answers under relation epoch tokens bumped *after*
+  updates commit; a merge is only cached if the token is unchanged
+  across the whole scatter, so a concurrent update can waste a cache
+  fill but never poison it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+from typing import Any, Iterable, Mapping
+
+from repro.resilience.degradation import DegradedResult
+from repro.service.cache import QueryResultCache
+from repro.service.metrics import MetricsRegistry
+from .metrics import aggregate_metrics
+from .rpc import RpcError, ShardClient, ShardTimeout
+from .shardmap import ShardMap
+from .worker import decode_answer, encode_operation, worker_main
+
+__all__ = ["ClusterRouter", "ClusterError", "ClusterClosedError"]
+
+#: Aggregate merge functions the scatter layer knows how to fold.
+_SCALAR_MERGES = {
+    "sum": sum,
+    "count": sum,
+    "min": min,
+    "max": max,
+}
+
+
+class ClusterError(RuntimeError):
+    """A cluster-level routing or configuration failure."""
+
+
+class ClusterClosedError(ClusterError):
+    """The router was shut down; no further requests are accepted."""
+
+
+class _ViewMeta:
+    """What the router must know about a view to route and merge it."""
+
+    __slots__ = ("name", "kind", "relations", "view_key", "merge", "prunable")
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        relations: tuple[str, ...],
+        view_key: str | None,
+        merge: Any,
+        prunable: bool,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.relations = relations
+        self.view_key = view_key
+        self.merge = merge
+        self.prunable = prunable
+
+
+def _view_meta(doc: Mapping[str, Any], shard_map: ShardMap) -> _ViewMeta:
+    kind = doc["type"]
+    if kind == "aggregate":
+        merge = _SCALAR_MERGES.get(doc["aggregate"])
+        if merge is None:
+            raise ClusterError(
+                f"view {doc['name']!r}: aggregate {doc['aggregate']!r} does "
+                f"not merge across shards (supported: "
+                f"{', '.join(sorted(_SCALAR_MERGES))})"
+            )
+        return _ViewMeta(
+            doc["name"], "scalar", (doc["relation"],), None, merge, False
+        )
+    if kind == "join":
+        return _ViewMeta(
+            doc["name"], "tuples", (doc["outer"], doc["inner"]),
+            doc["view_key"], None, False,
+        )
+    prunable = (
+        shard_map.scheme == "range"
+        and doc["view_key"] == shard_map.partition_field
+    )
+    return _ViewMeta(
+        doc["name"], "tuples", (doc["relation"],), doc["view_key"], None, prunable
+    )
+
+
+class ClusterRouter:
+    """Scatter–gather front end over N forked shard workers."""
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        clients: list[ShardClient],
+        processes: list[Any],
+        views: dict[str, _ViewMeta],
+        directory: dict[tuple[str, Any], int],
+        cache: QueryResultCache | None = None,
+        rpc_timeout: float = 30.0,
+    ) -> None:
+        self.shard_map = shard_map
+        self.clients = clients
+        self.processes = processes
+        self.metrics = MetricsRegistry()
+        self.cache = cache
+        self.rpc_timeout = rpc_timeout
+        self._views = views
+        #: (relation, primary key) -> owning shard.  Guarded by
+        #: ``_directory_lock``; cross-shard moves mutate it.
+        self._directory = directory
+        self._directory_lock = threading.Lock()
+        #: Cluster refresh-epoch coalescing (the planner's leader /
+        #: follower pattern lifted one level up).
+        self._epoch_lock = threading.Lock()
+        self._epoch_inflight: threading.Event | None = None
+        self.epochs = 0
+        self.coalesced_waits = 0
+        #: In-flight request accounting for drain-before-close.
+        self._flight_lock = threading.Lock()
+        self._flight_cond = threading.Condition(self._flight_lock)
+        self._inflight = 0
+        self._closing = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def launch(
+        cls,
+        spec: Mapping[str, Any],
+        shard_map: ShardMap,
+        cache: QueryResultCache | None = None,
+        rpc_timeout: float = 30.0,
+    ) -> "ClusterRouter":
+        """Partition a cluster spec and fork one worker per shard.
+
+        ``spec`` is a worker spec (see :mod:`repro.cluster.worker`)
+        whose relation ``records`` hold the *whole* data set; this
+        splits every relation by the shard map's partition field,
+        builds per-shard specs (with per-shard ``state_dir``
+        subdirectories when durability is requested) and forks the
+        workers over inherited socketpairs.
+        """
+        field = shard_map.partition_field
+        views = {}
+        for view_doc in spec.get("views", ()):
+            meta = _view_meta(view_doc, shard_map)
+            views[meta.name] = meta
+
+        directory: dict[tuple[str, Any], int] = {}
+        shard_records: dict[str, list[list[dict[str, Any]]]] = {}
+        for rel in spec.get("relations", ()):
+            if field not in rel["fields"]:
+                raise ClusterError(
+                    f"relation {rel['name']!r} has no partition field {field!r}"
+                )
+            buckets: list[list[dict[str, Any]]] = [
+                [] for _ in range(shard_map.n_shards)
+            ]
+            for values in rel.get("records", ()):
+                shard = shard_map.shard_of(values[field])
+                buckets[shard].append(values)
+                directory[(rel["name"], values[rel["key_field"]])] = shard
+            shard_records[rel["name"]] = buckets
+
+        context = multiprocessing.get_context("fork")
+        clients: list[ShardClient] = []
+        processes: list[Any] = []
+        try:
+            for shard in range(shard_map.n_shards):
+                shard_spec = dict(spec)
+                shard_spec["shard_id"] = shard
+                shard_spec["relations"] = [
+                    {**rel, "records": shard_records[rel["name"]][shard]}
+                    for rel in spec.get("relations", ())
+                ]
+                if spec.get("state_dir") is not None:
+                    shard_spec["state_dir"] = str(spec["state_dir"]) + (
+                        f"/shard-{shard:03d}"
+                    )
+                parent_sock, child_sock = socket.socketpair()
+                process = context.Process(
+                    target=worker_main,
+                    args=(child_sock, shard_spec, shard),
+                    name=f"repro-shard-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                child_sock.close()
+                clients.append(ShardClient(parent_sock, shard, timeout=rpc_timeout))
+                processes.append(process)
+        except BaseException:
+            for client in clients:
+                client.close()
+            for process in processes:
+                process.terminate()
+            raise
+        return cls(
+            shard_map, clients, processes, views, directory,
+            cache=cache, rpc_timeout=rpc_timeout,
+        )
+
+    # ------------------------------------------------------------------
+    # request accounting (drain-before-close)
+    # ------------------------------------------------------------------
+    def _enter(self) -> None:
+        with self._flight_lock:
+            if self._closing or self._closed:
+                raise ClusterClosedError("router is shut down")
+            self._inflight += 1
+
+    def _exit(self) -> None:
+        with self._flight_cond:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._flight_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # scatter plumbing
+    # ------------------------------------------------------------------
+    def _scatter(
+        self,
+        shards: Iterable[int],
+        op: str,
+        timeout: float | None = None,
+        **params: Any,
+    ) -> tuple[dict[int, Any], dict[int, Exception]]:
+        """Issue one op to many shards concurrently.
+
+        Each leg runs on its own thread against its own connection
+        under its own deadline; returns ``(results, failures)`` keyed
+        by shard id.
+        """
+        shard_list = list(shards)
+        results: dict[int, Any] = {}
+        failures: dict[int, Exception] = {}
+        if len(shard_list) == 1:
+            shard = shard_list[0]
+            try:
+                results[shard] = self.clients[shard].call(
+                    op, timeout=timeout, **params
+                )
+            except RpcError as exc:
+                failures[shard] = exc
+            return results, failures
+
+        def leg(shard: int) -> None:
+            try:
+                results[shard] = self.clients[shard].call(
+                    op, timeout=timeout, **params
+                )
+            except RpcError as exc:
+                failures[shard] = exc
+
+        threads = [
+            threading.Thread(target=leg, args=(shard,), daemon=True)
+            for shard in shard_list
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results, failures
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        name: str,
+        lo: Any = None,
+        hi: Any = None,
+        client: str = "anon",
+        timeout: float | None = None,
+        allow_partial: bool = True,
+    ) -> Any:
+        """Answer a view query across the cluster.
+
+        Single-shard ranges are routed directly; everything else
+        scatters to the owning shards under per-shard deadlines.  With
+        ``allow_partial`` (the default), missing or degraded legs
+        produce a labelled :class:`DegradedResult` instead of an
+        exception; only a query with *no* surviving leg raises.
+        """
+        meta = self._views.get(name)
+        if meta is None:
+            raise ClusterError(f"view {name!r} is not served by this cluster")
+        self._enter()
+        try:
+            if meta.prunable and (lo is not None or hi is not None):
+                shards = self.shard_map.shards_for_range(lo, hi)
+            else:
+                shards = self.shard_map.all_shards()
+            self.metrics.counter("router_queries_total", view=name).inc()
+            token = self._cache_token(meta)
+            if token is not None:
+                hit, answer = self.cache.get(name, lo, hi, token)
+                if hit:
+                    self.metrics.counter("router_cache_hits_total", view=name).inc()
+                    return answer
+            if len(shards) == 1:
+                self.metrics.counter("single_shard_queries_total", view=name).inc()
+            else:
+                self.metrics.counter("scatter_queries_total", view=name).inc()
+            results, failures = self._scatter(
+                shards, "query", timeout=timeout,
+                view=name, lo=lo, hi=hi, client=client,
+            )
+            answer = self._merge(meta, shards, results, failures, allow_partial)
+            if (
+                token is not None
+                and not failures
+                and not isinstance(answer, DegradedResult)
+                and self._cache_token(meta) == token
+            ):
+                # The epoch vector is unchanged across the whole
+                # scatter: no update committed meanwhile, so the merge
+                # is fresh and safe to serve from cache.
+                self.cache.put(name, lo, hi, token, answer)
+            return answer
+        finally:
+            self._exit()
+
+    def _cache_token(self, meta: _ViewMeta) -> Any:
+        if self.cache is None:
+            return None
+        return self.cache.epoch_token(meta.relations)
+
+    def _merge(
+        self,
+        meta: _ViewMeta,
+        shards: Iterable[int],
+        results: Mapping[int, Any],
+        failures: Mapping[int, Exception],
+        allow_partial: bool,
+    ) -> Any:
+        if failures:
+            for shard in failures:
+                self.metrics.counter(
+                    "scatter_leg_failures_total", view=meta.name,
+                    shard=str(shard),
+                ).inc()
+            if not allow_partial or not results:
+                shard, exc = next(iter(failures.items()))
+                raise exc
+        payloads: dict[int, Any] = {}
+        degraded_legs: dict[int, dict[str, Any]] = {}
+        for shard, doc in results.items():
+            payload, degraded = decode_answer(doc)
+            payloads[shard] = payload
+            if degraded is not None:
+                degraded_legs[shard] = degraded
+        if meta.kind == "scalar":
+            merged: Any = meta.merge(payloads[s] for s in sorted(payloads))
+        else:
+            tuples = [vt for s in sorted(payloads) for vt in payloads[s]]
+            tuples.sort(key=lambda vt: (vt[meta.view_key], vt.identity()))
+            merged = tuples
+        if not failures and not degraded_legs:
+            return merged
+        return self._compose_degraded(meta, merged, degraded_legs, failures)
+
+    def _compose_degraded(
+        self,
+        meta: _ViewMeta,
+        merged: Any,
+        degraded_legs: Mapping[int, Mapping[str, Any]],
+        failures: Mapping[int, Exception],
+    ) -> DegradedResult:
+        """Fold per-shard degraded labels into one honest cluster label.
+
+        Mode severity: a lost leg (``partial_scatter``) outranks a
+        stale leg, which outranks a fresh QM fallback.  The staleness
+        bound is the max over degraded legs plus, for each lost leg,
+        every update ever routed to it — the merge is missing that
+        partition outright, so nothing tighter is defensible.
+        """
+        reasons = []
+        bound = max(
+            (int(leg.get("staleness_bound", 0)) for leg in degraded_legs.values()),
+            default=0,
+        )
+        mode = "qm_fallback"
+        for shard in sorted(degraded_legs):
+            leg = degraded_legs[shard]
+            reasons.append(f"shard {shard}: {leg.get('reason', 'degraded')}")
+            if leg.get("mode") == "stale_read":
+                mode = "stale_read"
+        for shard in sorted(failures):
+            exc = failures[shard]
+            kind = "timeout" if isinstance(exc, ShardTimeout) else "unavailable"
+            reasons.append(f"shard {shard}: {kind}")
+            mode = "partial_scatter"
+            bound += int(
+                self.metrics.counter(
+                    "shard_updates_total", shard=str(shard)
+                ).value
+            )
+        self.metrics.counter("degraded_merges_total", view=meta.name).inc()
+        strategies = {
+            str(leg.get("strategy")) for leg in degraded_legs.values()
+        } or {"unavailable"}
+        return DegradedResult(
+            answer=merged,
+            view=meta.name,
+            mode=mode,
+            reason="; ".join(reasons),
+            staleness_bound=bound,
+            strategy=sorted(strategies)[0],
+        )
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def apply_update(self, txn: Any, client: str = "anon") -> None:
+        """Route one transaction's operations to their owning shards.
+
+        Operations that stay within a shard are batched per shard and
+        applied as one transaction there (concurrently across shards).
+        An update that changes the partition field across a boundary is
+        executed as a fetch + delete + insert move; pending batches for
+        the involved shards are flushed first so per-key operation
+        order is preserved.
+        """
+        field = self.shard_map.partition_field
+        relation = txn.relation
+        self._enter()
+        try:
+            pending: dict[int, list[dict[str, Any]]] = {}
+            for op in txn.operations:
+                doc = encode_operation(op)
+                if doc["kind"] == "insert":
+                    shard = self.shard_map.shard_of(doc["values"][field])
+                    key = op.record.key
+                    with self._directory_lock:
+                        self._directory[(relation, key)] = shard
+                    pending.setdefault(shard, []).append(doc)
+                elif doc["kind"] == "delete":
+                    shard = self._owner(relation, doc["key"])
+                    with self._directory_lock:
+                        self._directory.pop((relation, doc["key"]), None)
+                    pending.setdefault(shard, []).append(doc)
+                else:
+                    shard = self._owner(relation, doc["key"])
+                    changes = doc["changes"]
+                    if field in changes:
+                        target = self.shard_map.shard_of(changes[field])
+                        if target != shard:
+                            self._flush(relation, pending, client,
+                                        only={shard, target})
+                            self._move(relation, doc["key"], changes,
+                                       shard, target, client)
+                            continue
+                    pending.setdefault(shard, []).append(doc)
+            self._flush(relation, pending, client)
+            if self.cache is not None:
+                # Bump *after* every shard committed: a reader that
+                # sampled the old token mid-update re-validates before
+                # caching, so the old answer can be served (that read
+                # serializes before the update) but never re-cached
+                # under the new epoch.
+                self.cache.bump(relation)
+            self.metrics.counter("router_updates_total", client=client).inc()
+        finally:
+            self._exit()
+
+    def _owner(self, relation: str, key: Any) -> int:
+        with self._directory_lock:
+            shard = self._directory.get((relation, key))
+        if shard is None:
+            raise ClusterError(
+                f"no shard owns {relation!r} key {key!r} "
+                f"(unknown key, or insert never routed through this router)"
+            )
+        return shard
+
+    def _flush(
+        self,
+        relation: str,
+        pending: dict[int, list[dict[str, Any]]],
+        client: str,
+        only: set[int] | None = None,
+    ) -> None:
+        shards = [
+            shard for shard in pending
+            if pending[shard] and (only is None or shard in only)
+        ]
+        if not shards:
+            return
+        results, failures = self._scatter_updates(shards, relation, pending, client)
+        for shard in shards:
+            if shard in results:
+                self.metrics.counter(
+                    "shard_updates_total", shard=str(shard)
+                ).inc(len(pending[shard]))
+            pending[shard] = []
+        if failures:
+            shard, exc = next(iter(failures.items()))
+            raise exc
+
+    def _scatter_updates(
+        self,
+        shards: list[int],
+        relation: str,
+        pending: Mapping[int, list[dict[str, Any]]],
+        client: str,
+    ) -> tuple[dict[int, Any], dict[int, Exception]]:
+        results: dict[int, Any] = {}
+        failures: dict[int, Exception] = {}
+
+        def leg(shard: int) -> None:
+            try:
+                results[shard] = self.clients[shard].call(
+                    "update", relation=relation, ops=pending[shard],
+                    client=client,
+                )
+            except RpcError as exc:
+                failures[shard] = exc
+
+        if len(shards) == 1:
+            leg(shards[0])
+            return results, failures
+        threads = [
+            threading.Thread(target=leg, args=(shard,), daemon=True)
+            for shard in shards
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results, failures
+
+    def _move(
+        self,
+        relation: str,
+        key: Any,
+        changes: Mapping[str, Any],
+        source: int,
+        target: int,
+        client: str,
+    ) -> None:
+        """Move one tuple across a partition boundary.
+
+        Fetch the current values from the owner, apply the changes,
+        delete there and insert on the new owner — each half a normal
+        maintained transaction on its shard, so both shards' views see
+        the move as the delete/insert pair it logically is.
+        """
+        fetched = self.clients[source].call("fetch", relation=relation, key=key)
+        values = fetched.get("values")
+        if values is None:
+            raise ClusterError(
+                f"move of {relation!r} key {key!r}: tuple missing on shard "
+                f"{source} (directory out of sync)"
+            )
+        values = dict(values)
+        values.update(changes)
+        self.clients[source].call(
+            "update", relation=relation, client=client,
+            ops=[{"kind": "delete", "key": key}],
+        )
+        self.clients[target].call(
+            "update", relation=relation, client=client,
+            ops=[{"kind": "insert", "values": values}],
+        )
+        with self._directory_lock:
+            self._directory[(relation, key)] = target
+        self.metrics.counter("cross_shard_moves_total", relation=relation).inc()
+        self.metrics.counter("shard_updates_total", shard=str(source)).inc()
+        self.metrics.counter("shard_updates_total", shard=str(target)).inc()
+
+    # ------------------------------------------------------------------
+    # cluster refresh epochs
+    # ------------------------------------------------------------------
+    def refresh_epoch(self, timeout: float | None = None) -> bool:
+        """One cluster-wide deferred-refresh epoch, coalesced.
+
+        The leader scatters ``refresh`` to every shard (each shard's
+        SharedDeltaPlanner folds its partition's net change exactly
+        once); concurrent callers wait on the in-flight epoch instead
+        of stacking duplicate scatters, then return ``False`` — the
+        same leader/follower contract as the per-shard planner.
+        """
+        self._enter()
+        try:
+            while True:
+                with self._epoch_lock:
+                    event = self._epoch_inflight
+                    if event is None:
+                        event = threading.Event()
+                        self._epoch_inflight = event
+                        leading = True
+                    else:
+                        leading = False
+                if leading:
+                    try:
+                        _results, failures = self._scatter(
+                            self.shard_map.all_shards(), "refresh",
+                            timeout=timeout,
+                        )
+                        if failures:
+                            shard, exc = next(iter(failures.items()))
+                            raise exc
+                        with self._epoch_lock:
+                            self.epochs += 1
+                        self.metrics.counter("cluster_refresh_epochs_total").inc()
+                    finally:
+                        with self._epoch_lock:
+                            self._epoch_inflight = None
+                        event.set()
+                    return True
+                with self._epoch_lock:
+                    self.coalesced_waits += 1
+                self.metrics.counter("cluster_refresh_coalesced_total").inc()
+                event.wait()
+                return False
+        finally:
+            self._exit()
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        """Cluster + per-shard planner counters (epoch accounting)."""
+        self._enter()
+        try:
+            results, failures = self._scatter(self.shard_map.all_shards(), "stats")
+            return {
+                "epochs": self.epochs,
+                "coalesced_waits": self.coalesced_waits,
+                "shards": {
+                    shard: results.get(shard, {"error": str(failures.get(shard))})
+                    for shard in self.shard_map.all_shards()
+                },
+            }
+        finally:
+            self._exit()
+
+    def cluster_metrics(self) -> dict[str, Any]:
+        """One v1 export: every shard registry merged, plus the router's.
+
+        Counters sum, gauges report their worst shard, histograms merge
+        bucket-by-bucket — see :func:`repro.cluster.metrics
+        .aggregate_metrics`.
+        """
+        self._enter()
+        try:
+            results, failures = self._scatter(self.shard_map.all_shards(), "metrics")
+            if failures:
+                shard, exc = next(iter(failures.items()))
+                raise exc
+            exports = [results[shard] for shard in sorted(results)]
+            exports.append(self.metrics.to_dict())
+            return aggregate_metrics(exports)
+        finally:
+            self._exit()
+
+    def shard_metrics(self) -> dict[int, dict[str, Any]]:
+        """The raw per-shard exports, keyed by shard id."""
+        self._enter()
+        try:
+            results, failures = self._scatter(self.shard_map.all_shards(), "metrics")
+            if failures:
+                shard, exc = next(iter(failures.items()))
+                raise exc
+            return dict(sorted(results.items()))
+        finally:
+            self._exit()
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def close(self, drain_timeout: float = 30.0) -> None:
+        """Drain, stop every worker, reap the processes.  Idempotent.
+
+        New requests are refused immediately; in-flight requests get
+        ``drain_timeout`` seconds to finish before the shutdown frames
+        go out, so a worker is never killed mid-request.  Workers that
+        ignore the protocol (wedged, already broken pipe) are
+        terminated — nothing is left orphaned for the shell to reap.
+        """
+        with self._flight_cond:
+            if self._closed:
+                return
+            self._closing = True
+            self._flight_cond.wait_for(
+                lambda: self._inflight == 0, timeout=drain_timeout
+            )
+            self._closed = True
+        for client in self.clients:
+            try:
+                client.call("shutdown", timeout=min(self.rpc_timeout, 10.0))
+            except RpcError:
+                pass  # already gone; the join/terminate below reaps it
+            client.close()
+        for process in self.processes:
+            process.join(timeout=10.0)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,207 @@
+"""Framed JSON RPC between the front-end router and shard workers.
+
+The wire protocol is deliberately small: every message is one JSON
+document preceded by a 4-byte big-endian length.  Requests carry a
+monotonically increasing per-connection ``id`` which the worker echoes
+back, so a response can never be credited to the wrong call even after
+a timeout left a late reply in the pipe — the client discards frames
+whose id is not the one it is waiting for.
+
+Failure classes the router distinguishes:
+
+* :class:`ShardTimeout` — the worker did not answer within the
+  per-call deadline.  The connection is *poisoned* (a late reply would
+  desynchronize framing), so subsequent calls fail fast with
+  :class:`ShardUnavailable` until the cluster is rebuilt.
+* :class:`ShardUnavailable` — the worker is gone (EOF, broken pipe, or
+  a previously poisoned connection).
+* :class:`RemoteOpError` — the worker executed the call and raised;
+  the exception class name and message come back in the error frame.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from typing import Any, Mapping
+
+__all__ = [
+    "RpcError",
+    "ShardTimeout",
+    "ShardUnavailable",
+    "RemoteOpError",
+    "FrameError",
+    "ShardClient",
+    "send_frame",
+    "recv_frame",
+]
+
+_LENGTH = struct.Struct("!I")
+
+#: Upper bound on one frame; a corrupt length prefix fails loudly
+#: instead of attempting a multi-gigabyte read.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class RpcError(Exception):
+    """Base class for shard RPC failures."""
+
+
+class FrameError(RpcError):
+    """The byte stream does not parse as the framed protocol."""
+
+
+class ShardTimeout(RpcError):
+    """A shard missed its per-call deadline."""
+
+    def __init__(self, shard_id: int, op: str, timeout: float) -> None:
+        super().__init__(
+            f"shard {shard_id} did not answer {op!r} within {timeout:.3f}s"
+        )
+        self.shard_id = shard_id
+        self.op = op
+        self.timeout = timeout
+
+
+class ShardUnavailable(RpcError):
+    """A shard's connection is closed, broken, or poisoned."""
+
+    def __init__(self, shard_id: int, reason: str) -> None:
+        super().__init__(f"shard {shard_id} unavailable: {reason}")
+        self.shard_id = shard_id
+        self.reason = reason
+
+
+class RemoteOpError(RpcError):
+    """The worker ran the operation and it raised."""
+
+    def __init__(self, shard_id: int, kind: str, message: str) -> None:
+        super().__init__(f"shard {shard_id} {kind}: {message}")
+        self.shard_id = shard_id
+        self.kind = kind
+        self.message = message
+
+
+def send_frame(sock: socket.socket, doc: Mapping[str, Any]) -> None:
+    """Write one length-prefixed JSON frame."""
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame of {len(payload)} bytes exceeds the protocol cap")
+    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise FrameError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame; ``None`` means the peer closed cleanly."""
+    header = _recv_exact(sock, _LENGTH.size)
+    if header is None:
+        return None
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds the protocol cap")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise FrameError("connection closed between header and payload")
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise FrameError(f"frame must be a JSON object, got {type(doc).__name__}")
+    return doc
+
+
+class ShardClient:
+    """The router's handle on one shard worker connection.
+
+    Calls are serialized per shard (one outstanding request per
+    connection); cross-shard parallelism comes from the router issuing
+    calls on *different* clients concurrently.  A timeout or transport
+    error poisons the connection: in-order framing cannot be trusted
+    after an abandoned request, so every later call fails fast with
+    :class:`ShardUnavailable` instead of reading a stale frame.
+    """
+
+    def __init__(
+        self, sock: socket.socket, shard_id: int, timeout: float = 10.0
+    ) -> None:
+        self.sock = sock
+        self.shard_id = shard_id
+        self.timeout = timeout
+        self._mutex = threading.Lock()
+        self._next_id = 0
+        self._broken: str | None = None
+        self._closed = False
+
+    @property
+    def broken(self) -> str | None:
+        """Why the connection is poisoned, or ``None`` if healthy."""
+        return self._broken
+
+    def call(self, op: str, timeout: float | None = None, **params: Any) -> Any:
+        """One request/response round trip; returns the result payload."""
+        deadline = self.timeout if timeout is None else timeout
+        with self._mutex:
+            if self._closed:
+                raise ShardUnavailable(self.shard_id, "client closed")
+            if self._broken is not None:
+                raise ShardUnavailable(self.shard_id, self._broken)
+            self._next_id += 1
+            request_id = self._next_id
+            request = {"id": request_id, "op": op}
+            request.update(params)
+            try:
+                self.sock.settimeout(deadline)
+                send_frame(self.sock, request)
+                while True:
+                    response = recv_frame(self.sock)
+                    if response is None:
+                        self._broken = "worker closed the connection"
+                        raise ShardUnavailable(self.shard_id, self._broken)
+                    if response.get("id") == request_id:
+                        break
+                    # A frame from an earlier abandoned request would
+                    # have poisoned the connection already; an unknown
+                    # id here is a protocol violation.
+                    self._broken = f"out-of-order response id {response.get('id')!r}"
+                    raise ShardUnavailable(self.shard_id, self._broken)
+            except socket.timeout:
+                self._broken = f"timed out waiting for {op!r}"
+                raise ShardTimeout(self.shard_id, op, deadline) from None
+            except (OSError, FrameError) as exc:
+                if self._broken is None:
+                    self._broken = f"transport error: {exc}"
+                raise ShardUnavailable(self.shard_id, self._broken) from exc
+        if response.get("ok"):
+            return response.get("result")
+        raise RemoteOpError(
+            self.shard_id,
+            str(response.get("kind", "Exception")),
+            str(response.get("error", "unknown remote failure")),
+        )
+
+    def close(self) -> None:
+        with self._mutex:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self.sock.close()
+            except OSError:
+                pass

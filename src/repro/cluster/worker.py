@@ -1,0 +1,298 @@
+"""Shard workers: one process, one partition, one full serving stack.
+
+A worker hosts a complete :class:`~repro.service.server.ViewServer`
+(engine + maintenance + optional durability and resilience) over its
+slice of every base relation, and speaks the framed RPC protocol of
+:mod:`repro.cluster.rpc` over a socket inherited from the router.
+
+Everything a worker needs is described by a plain-dict *worker spec*
+(picklable, JSON-able), so the same spec document drives the in-process
+test harness, the forked benchmark workers and the ``repro-cluster``
+CLI.  Views are registered with ``adaptive=False`` inside workers: a
+strategy migration must be a cluster-wide decision (all shards answer
+under the same strategy or the equivalence guarantee means nothing),
+so per-shard routers stay off.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.core.strategies import Strategy
+from repro.engine.database import Database
+from repro.engine.transaction import Delete, Insert, Operation, Transaction, Update
+from repro.hr.differential import HypotheticalRelation
+from repro.resilience.degradation import DegradedResult
+from repro.service.cache import QueryResultCache
+from repro.service.scheduler import RefreshPolicy
+from repro.service.server import ViewServer
+from repro.storage.tuples import Schema
+from repro.views.definition import (
+    AggregateView,
+    JoinView,
+    SelectProjectView,
+    ViewTuple,
+)
+from repro.views.predicate import IntervalPredicate, TruePredicate
+from .rpc import recv_frame, send_frame
+
+__all__ = [
+    "WorkerSpecError",
+    "build_server",
+    "worker_main",
+    "encode_operation",
+    "decode_operation",
+    "encode_answer",
+    "decode_answer",
+]
+
+
+class WorkerSpecError(ValueError):
+    """A worker spec document is malformed or unsupported."""
+
+
+# ----------------------------------------------------------------------
+# wire encoding of transactions and answers
+# ----------------------------------------------------------------------
+def encode_operation(op: Operation) -> dict[str, Any]:
+    if isinstance(op, Insert):
+        return {"kind": "insert", "values": dict(op.record.values)}
+    if isinstance(op, Delete):
+        return {"kind": "delete", "key": op.key}
+    return {"kind": "update", "key": op.key, "changes": dict(op.changes)}
+
+
+def decode_operation(schema: Schema, doc: Mapping[str, Any]) -> Operation:
+    kind = doc.get("kind")
+    if kind == "insert":
+        return Insert(schema.new_record(**doc["values"]))
+    if kind == "delete":
+        return Delete(doc["key"])
+    if kind == "update":
+        return Update(doc["key"], dict(doc["changes"]))
+    raise WorkerSpecError(f"unknown operation kind {kind!r}")
+
+
+def encode_answer(answer: Any) -> dict[str, Any]:
+    """Flatten a ViewServer answer (tuples, scalar, or degraded) to JSON."""
+    degraded = None
+    payload = answer
+    if isinstance(answer, DegradedResult):
+        degraded = {
+            "view": answer.view,
+            "mode": answer.mode,
+            "reason": answer.reason,
+            "staleness_bound": answer.staleness_bound,
+            "strategy": answer.strategy,
+        }
+        payload = answer.unwrap()
+    if isinstance(payload, list):
+        body = {"kind": "tuples", "items": [dict(vt.values) for vt in payload]}
+    else:
+        body = {"kind": "scalar", "value": payload}
+    body["degraded"] = degraded
+    return body
+
+
+def decode_answer(doc: Mapping[str, Any]) -> tuple[Any, dict[str, Any] | None]:
+    """``(payload, degraded_info)`` — the router re-wraps degraded merges."""
+    if doc.get("kind") == "tuples":
+        payload: Any = [ViewTuple(values) for values in doc["items"]]
+    else:
+        payload = doc.get("value")
+    return payload, doc.get("degraded")
+
+
+# ----------------------------------------------------------------------
+# spec -> server
+# ----------------------------------------------------------------------
+def _predicate_of(doc: Mapping[str, Any] | None) -> Any:
+    if doc is None:
+        return TruePredicate()
+    return IntervalPredicate(
+        doc["field"], doc["lo"], doc["hi"], doc.get("selectivity")
+    )
+
+
+def _definition_of(doc: Mapping[str, Any]) -> Any:
+    kind = doc.get("type")
+    if kind == "select_project":
+        return SelectProjectView(
+            doc["name"], doc["relation"], _predicate_of(doc.get("predicate")),
+            tuple(doc["projection"]), doc["view_key"],
+        )
+    if kind == "aggregate":
+        return AggregateView(
+            doc["name"], doc["relation"], _predicate_of(doc.get("predicate")),
+            doc["aggregate"], doc["field"],
+        )
+    if kind == "join":
+        return JoinView(
+            doc["name"], doc["outer"], doc["inner"], doc["join_field"],
+            _predicate_of(doc.get("predicate")),
+            tuple(doc["outer_projection"]), tuple(doc["inner_projection"]),
+            doc["view_key"],
+        )
+    raise WorkerSpecError(f"unknown view type {kind!r}")
+
+
+def build_server(spec: Mapping[str, Any]) -> ViewServer:
+    """Materialize one shard's serving stack from a worker spec.
+
+    The spec's ``records`` lists hold only this shard's partition —
+    the router does the partitioning before forking workers.
+    """
+    database = Database(buffer_pages=int(spec.get("buffer_pages", 256)))
+    for rel in spec.get("relations", ()):
+        schema = Schema(
+            rel["name"], tuple(rel["fields"]), rel["key_field"],
+            tuple_bytes=int(rel.get("tuple_bytes", 100)),
+        )
+        records = [schema.new_record(**values) for values in rel.get("records", ())]
+        database.create_relation(
+            schema, rel["clustered_on"], kind=rel.get("kind", "hypothetical"),
+            records=records, ad_buckets=int(rel.get("ad_buckets", 2)),
+        )
+    server = ViewServer(
+        database,
+        cache=QueryResultCache() if spec.get("cache") else None,
+        pacing=float(spec.get("pacing", 0.0)),
+        lock_timeout=spec.get("lock_timeout", 30.0),
+    )
+    for view in spec.get("views", ()):
+        policy_doc = view.get("policy")
+        policy = (
+            RefreshPolicy(policy_doc["kind"], every=policy_doc.get("every", 1))
+            if policy_doc else None
+        )
+        server.register_view(
+            _definition_of(view), Strategy(view["strategy"]),
+            adaptive=False, policy=policy,
+        )
+    state_dir = spec.get("state_dir")
+    if state_dir is not None:
+        from repro.durability.manager import DurabilityManager
+
+        manager = DurabilityManager(Path(state_dir))
+        server.attach_durability(
+            manager, checkpoint_every=spec.get("checkpoint_every")
+        )
+        server.checkpoint()
+    return server
+
+
+# ----------------------------------------------------------------------
+# the serve loop
+# ----------------------------------------------------------------------
+def _logical_records(database: Database, relation_name: str) -> list[Any]:
+    relation = database.relations[relation_name]
+    if hasattr(relation, "scan_logical"):
+        return list(relation.scan_logical())
+    return list(relation.records_snapshot())
+
+
+def _handle(server: ViewServer, op: str, request: Mapping[str, Any]) -> Any:
+    if op == "ping":
+        return {"views": list(server.views())}
+    if op == "update":
+        relation = request["relation"]
+        schema = server.database.relations[relation].schema
+        txn = Transaction.of(
+            relation,
+            [decode_operation(schema, doc) for doc in request["ops"]],
+        )
+        server.apply_update(txn, client=request.get("client", "router"))
+        return {"applied": len(txn)}
+    if op == "fetch":
+        for record in _logical_records(server.database, request["relation"]):
+            if record.key == request["key"]:
+                return {"values": dict(record.values)}
+        return {"values": None}
+    if op == "query":
+        answer = server.query(
+            request["view"], request.get("lo"), request.get("hi"),
+            client=request.get("client", "router"),
+        )
+        return encode_answer(answer)
+    if op == "refresh":
+        return {"refreshed": list(server.refresh_all_stale())}
+    if op == "stats":
+        relations = {}
+        for name, relation in sorted(server.database.relations.items()):
+            if isinstance(relation, HypotheticalRelation):
+                coordinator = server.database.deferred_coordinator(name)
+                relations[name] = {
+                    "net_reads": relation.net_reads,
+                    "pending": relation.ad_entry_count(),
+                    "net_computes": (
+                        coordinator.net_computes if coordinator is not None else 0
+                    ),
+                }
+        return {
+            "epochs": server.planner.epochs,
+            "coalesced_waits": server.planner.coalesced_waits,
+            "relations": relations,
+            "degraded_views": server.degraded_views(),
+        }
+    if op == "metrics":
+        return server.metrics_dict()
+    if op == "checkpoint":
+        info = server.checkpoint()
+        return {"bytes_written": info.bytes_written}
+    raise WorkerSpecError(f"unknown op {op!r}")
+
+
+def serve(sock: socket.socket, server: ViewServer, shard_id: int) -> None:
+    """Answer framed requests until a ``shutdown`` op or router EOF.
+
+    Requests on one connection are handled strictly in order, so by the
+    time ``shutdown`` is read every earlier request has been fully
+    answered — the drain the router's close() relies on.  The reply is
+    sent *before* the durability seal so the router is never left
+    waiting on a final checkpoint.
+    """
+    while True:
+        request = recv_frame(sock)
+        if request is None:
+            return  # router vanished; finish via the finally in worker_main
+        request_id = request.get("id")
+        op = str(request.get("op", ""))
+        if op == "shutdown":
+            send_frame(sock, {"id": request_id, "ok": True,
+                              "result": {"shard": shard_id}})
+            return
+        try:
+            result = _handle(server, op, request)
+        except Exception as exc:  # surfaced to the router as an error frame
+            response = {
+                "id": request_id,
+                "ok": False,
+                "kind": type(exc).__name__,
+                "error": str(exc),
+            }
+        else:
+            response = {"id": request_id, "ok": True, "result": result}
+        send_frame(sock, response)
+
+
+def worker_main(sock: socket.socket, spec: Mapping[str, Any], shard_id: int) -> None:
+    """Process entry point for one shard worker.
+
+    SIGINT is ignored: a Ctrl-C at the terminal reaches the whole
+    process group, and the worker must stay alive long enough for the
+    router's drain-then-shutdown path to run — otherwise pipes break
+    mid-request and the router would have to treat its own shutdown as
+    a partial failure.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    server = build_server(spec)
+    try:
+        serve(sock, server, shard_id)
+    finally:
+        try:
+            server.shutdown()
+        finally:
+            sock.close()

@@ -7,7 +7,7 @@ one: the paper's artifacts (``fig1`` .. ``fig9``, ``params``,
 simulation-side checks (``validate``, ``sim-fig1``/``5``/``8``,
 ``ablation``) and the extensions (``ext-async``, ``ext-snapshot``,
 ``ext-hybrid``, ``ext-five``, ``ext-service``, ``ext-durability``,
-``ext-resilience``).
+``ext-resilience``, ``ext-cluster``).
 ``--csv DIR`` additionally writes raw data files, and ``--jobs N``
 fans independent experiments across a process pool (each experiment
 builds its own engines, so they share no state).
@@ -25,6 +25,7 @@ from typing import Callable
 from repro.core.regions import RegionMap
 from . import (
     ablation,
+    cluster,
     components,
     durability,
     extensions,
@@ -77,6 +78,7 @@ EXPERIMENTS: dict[str, Callable[[], list[Artifact]]] = {
     "ext-service": lambda: [service.adaptive_serving_table()],
     "ext-durability": lambda: [durability.durability_table()],
     "ext-resilience": lambda: [resilience.resilience_table()],
+    "ext-cluster": lambda: [cluster.cluster_scaling_table()],
     "ablation": lambda: [
         ablation.ad_file_ablation(),
         ablation.bloom_filter_ablation(),
@@ -158,10 +160,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="run independent experiments on N worker "
                         "processes (default: 1, in-process)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="widen ext-cluster's sweep to powers of two "
+                        "up to N shards (default sweep: %s)"
+                        % "/".join(map(str, cluster.DEFAULT_SHARD_COUNTS)))
     args = parser.parse_args(argv)
     if args.jobs < 1:
         print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    if args.shards is not None:
+        if args.shards < 1:
+            print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+            return 2
+        # Before the worker pool forks, so the override propagates.
+        cluster.configure_shard_counts(args.shards)
 
     wanted = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
     unknown = [exp_id for exp_id in wanted if exp_id not in EXPERIMENTS]

@@ -153,10 +153,17 @@ def main(argv: list[str] | None = None) -> int:
         if args.state_dir is None:
             print("hint: rerun with --state-dir DIR to arm checkpoint+WAL "
                   "recovery", file=sys.stderr)
+        try:
+            demo.server.shutdown()
+        except DEGRADABLE_ERRORS:
+            pass  # the WAL is sealed regardless; recovery replays it
         return 1
     manager = demo.server.durability
-    if args.state_dir is not None:
-        demo.server.shutdown()
+    # Unconditional graceful stop: with durability armed this takes the
+    # final checkpoint and seals the WAL; without it the call is an
+    # idempotent no-op — scripts can always pair a serve with a
+    # shutdown without tracking whether --state-dir was given.
+    demo.server.shutdown()
 
     total_ms = demo.database.meter.milliseconds(demo.server.params)
     per_query = total_ms / summary.queries if summary.queries else 0.0

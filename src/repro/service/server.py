@@ -753,6 +753,33 @@ class ViewServer:
                     token = self.cache.epoch_token(sources)
         return answer, token
 
+    def refresh_all_stale(self) -> tuple[str, ...]:
+        """One shared-delta epoch over every relation with a backlog.
+
+        The entry point cluster-wide refresh coordination drives: each
+        stale relation folds its net change exactly once (concurrent
+        callers coalesce through the planner as usual), and the names
+        of the relations actually refreshed are returned so the caller
+        can account epochs.  Relations with an empty backlog cost
+        nothing.
+        """
+        refreshed: list[str] = []
+        with self._world.read(self._lock_timeout):
+            for relation, views in sorted(self.planner.groups().items()):
+                if self.planner.pending(relation) == 0:
+                    continue
+                box = _CostBox()
+                if self.planner.refresh(
+                    relation, run=self._refresh_runner(relation, box)
+                ):
+                    refreshed.append(relation)
+                    self.metrics.histogram(
+                        "refresh_epoch_ms", relation=relation
+                    ).observe(box.ms)
+                    for name in views:
+                        self.scheduler.note_refreshed(name)
+        return tuple(refreshed)
+
     def _serve_degraded(
         self,
         name: str,

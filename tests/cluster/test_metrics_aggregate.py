@@ -1,0 +1,114 @@
+"""Per-shard metrics exports merged into one schema-valid document."""
+
+import pytest
+
+from repro.cluster.metrics import (
+    MetricsMergeError,
+    aggregate_metrics,
+    cluster_registry,
+)
+from repro.service.metrics import MetricsRegistry, validate_metrics
+
+
+def shard_registry(requests: int, depth: float, latencies: list[float]):
+    registry = MetricsRegistry()
+    registry.counter("requests_total", view="v").inc(requests)
+    registry.gauge("ad_depth", relation="r").set(depth)
+    for value in latencies:
+        registry.histogram("query_ms", view="v").observe(value)
+    return registry
+
+
+class TestMergeRules:
+    def test_counters_sum_across_shards(self):
+        doc = aggregate_metrics([
+            shard_registry(3, 1.0, [1.0]).to_dict(),
+            shard_registry(4, 1.0, [1.0]).to_dict(),
+        ])
+        (counter,) = [m for m in doc["metrics"] if m["name"] == "requests_total"]
+        assert counter["value"] == 7
+
+    def test_gauges_report_the_worst_shard(self):
+        doc = aggregate_metrics([
+            shard_registry(1, 2.0, [1.0]).to_dict(),
+            shard_registry(1, 9.0, [1.0]).to_dict(),
+            shard_registry(1, 4.0, [1.0]).to_dict(),
+        ])
+        (gauge,) = [m for m in doc["metrics"] if m["name"] == "ad_depth"]
+        assert gauge["value"] == 9.0
+
+    def test_histograms_merge_exactly(self):
+        doc = aggregate_metrics([
+            shard_registry(1, 1.0, [5.0, 7.0]).to_dict(),
+            shard_registry(1, 1.0, [50.0]).to_dict(),
+        ])
+        (hist,) = [m for m in doc["metrics"] if m["name"] == "query_ms"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 62.0
+        assert hist["min"] == 5.0 and hist["max"] == 50.0
+        assert hist["mean"] == pytest.approx(62.0 / 3)
+        single = shard_registry(1, 1.0, [5.0, 7.0, 50.0]).to_dict()
+        (expected,) = [m for m in single["metrics"] if m["name"] == "query_ms"]
+        assert hist["buckets"] == expected["buckets"]
+
+    def test_distinct_label_sets_stay_distinct(self):
+        a = MetricsRegistry()
+        a.counter("requests_total", shard="0").inc(2)
+        b = MetricsRegistry()
+        b.counter("requests_total", shard="1").inc(5)
+        doc = aggregate_metrics([a.to_dict(), b.to_dict()])
+        values = {
+            m["labels"]["shard"]: m["value"]
+            for m in doc["metrics"] if m["name"] == "requests_total"
+        }
+        assert values == {"0": 2, "1": 5}
+
+    def test_inputs_are_not_mutated(self):
+        export = shard_registry(3, 1.0, [5.0]).to_dict()
+        before = [dict(m) for m in export["metrics"]]
+        aggregate_metrics([export, shard_registry(4, 2.0, [9.0]).to_dict()])
+        assert [dict(m) for m in export["metrics"]] == before
+
+
+class TestRoundTrip:
+    def test_aggregate_round_trips_through_a_registry(self):
+        """The merged export is indistinguishable from a single-server
+        export: from_dict -> to_dict reproduces it byte for byte."""
+        doc = aggregate_metrics([
+            shard_registry(3, 2.0, [5.0, 7.0]).to_dict(),
+            shard_registry(4, 9.0, [50.0]).to_dict(),
+        ])
+        validate_metrics(doc)
+        assert MetricsRegistry.from_dict(doc).to_dict() == doc
+
+    def test_cluster_registry_is_live(self):
+        registry = cluster_registry([
+            shard_registry(3, 1.0, [1.0]).to_dict(),
+            shard_registry(4, 1.0, [1.0]).to_dict(),
+        ])
+        assert registry.counter("requests_total", view="v").value == 7
+        registry.counter("requests_total", view="v").inc()
+        assert registry.counter("requests_total", view="v").value == 8
+
+
+class TestRejections:
+    def test_invalid_export_rejected(self):
+        with pytest.raises(Exception):
+            aggregate_metrics([{"schema": "bogus", "metrics": []}])
+
+    def test_kind_mismatch_rejected(self):
+        a = MetricsRegistry()
+        a.counter("x").inc()
+        b = MetricsRegistry()
+        b.gauge("x").set(1.0)
+        with pytest.raises(MetricsMergeError, match="kind mismatch"):
+            aggregate_metrics([a.to_dict(), b.to_dict()])
+
+    def test_bucket_bound_mismatch_rejected(self):
+        a = shard_registry(1, 1.0, [1.0]).to_dict()
+        b = shard_registry(1, 1.0, [1.0]).to_dict()
+        for metric in b["metrics"]:
+            if metric["kind"] == "histogram":
+                metric["buckets"][0]["le"] = 0.5
+        with pytest.raises(MetricsMergeError, match="bucket bounds"):
+            aggregate_metrics([a, b])

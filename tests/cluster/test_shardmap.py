@@ -1,0 +1,103 @@
+"""Shard map placement, pruning, versioning and serialization."""
+
+import pytest
+
+from repro.cluster.shardmap import ShardMap, ShardMapError
+
+
+class TestRangePlacement:
+    def test_even_cuts_cover_the_domain(self):
+        shard_map = ShardMap.ranged("a", 0, 1600, 4)
+        assert shard_map.bounds == (400, 800, 1200)
+        assert shard_map.shard_of(0) == 0
+        assert shard_map.shard_of(399) == 0
+        assert shard_map.shard_of(400) == 1
+        assert shard_map.shard_of(1599) == 3
+
+    def test_single_shard_has_no_cuts(self):
+        shard_map = ShardMap.ranged("a", 0, 100, 1)
+        assert shard_map.bounds == ()
+        assert shard_map.shard_of(-5) == 0
+        assert shard_map.shard_of(10 ** 9) == 0
+
+    def test_range_query_prunes_to_intersecting_shards(self):
+        shard_map = ShardMap.ranged("a", 0, 1600, 4)
+        assert shard_map.shards_for_range(0, 399) == (0,)
+        assert shard_map.shards_for_range(100, 500) == (0, 1)
+        assert shard_map.shards_for_range(400, 400) == (1,)
+        assert shard_map.shards_for_range(None, None) == (0, 1, 2, 3)
+        assert shard_map.shards_for_range(700, 650) == ()
+
+    def test_explicit_bounds_must_be_sorted_and_sized(self):
+        with pytest.raises(ShardMapError):
+            ShardMap("range", 3, "a", bounds=(10,))
+        with pytest.raises(ShardMapError):
+            ShardMap("range", 3, "a", bounds=(20, 10))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ShardMapError):
+            ShardMap.ranged("a", 10, 10, 2)
+
+
+class TestHashPlacement:
+    def test_placement_is_deterministic_and_total(self):
+        one = ShardMap.hashed("a", 4)
+        two = ShardMap.hashed("a", 4)
+        placements = [one.shard_of(value) for value in range(500)]
+        assert placements == [two.shard_of(value) for value in range(500)]
+        assert set(placements) == {0, 1, 2, 3}
+
+    def test_ring_spreads_keys_roughly_evenly(self):
+        shard_map = ShardMap.hashed("a", 4, replicas=64)
+        counts = [0, 0, 0, 0]
+        for value in range(2000):
+            counts[shard_map.shard_of(value)] += 1
+        assert min(counts) > 2000 / 4 * 0.5
+
+    def test_hash_scheme_cannot_prune_ranges(self):
+        shard_map = ShardMap.hashed("a", 3)
+        assert shard_map.shards_for_range(5, 6) == (0, 1, 2)
+
+    def test_consistency_under_growth(self):
+        """Growing the ring moves only a fraction of the keys."""
+        four = ShardMap.hashed("a", 4)
+        five = ShardMap.hashed("a", 5)
+        moved = sum(
+            1 for value in range(2000)
+            if four.shard_of(value) != five.shard_of(value)
+        )
+        assert moved < 2000 * 0.5
+
+
+class TestVersioningAndSerialization:
+    def test_round_trip_range(self):
+        shard_map = ShardMap.ranged("a", 0, 1600, 4)
+        clone = ShardMap.from_json(shard_map.to_json())
+        assert clone == shard_map
+        assert [clone.shard_of(v) for v in (0, 400, 1599)] == [0, 1, 3]
+
+    def test_round_trip_hash(self):
+        shard_map = ShardMap.hashed("a", 3, replicas=16)
+        clone = ShardMap.from_dict(shard_map.to_dict())
+        assert clone == shard_map
+        assert all(
+            clone.shard_of(v) == shard_map.shard_of(v) for v in range(200)
+        )
+
+    def test_rebalance_bumps_version_without_mutation(self):
+        shard_map = ShardMap.ranged("a", 0, 100, 2)
+        moved = shard_map.rebalanced((70,))
+        assert shard_map.version == 1 and shard_map.bounds == (50,)
+        assert moved.version == 2 and moved.bounds == (70,)
+        assert moved.shard_of(60) == 0 and shard_map.shard_of(60) == 1
+
+    def test_hash_maps_do_not_rebalance(self):
+        with pytest.raises(ShardMapError):
+            ShardMap.hashed("a", 2).rebalanced((5,))
+
+    def test_bad_documents_fail_loudly(self):
+        with pytest.raises(ShardMapError):
+            ShardMap.from_dict({"scheme": "range"})
+        with pytest.raises(ShardMapError):
+            ShardMap.from_dict({"scheme": "mod", "n_shards": 2,
+                                "partition_field": "a"})

@@ -1,0 +1,47 @@
+"""The ext-cluster experiment and its --shards runner wiring."""
+
+import pytest
+
+from repro.experiments import cluster
+from repro.experiments.runner import EXPERIMENTS, main
+from repro.experiments.series import TableData
+
+
+class TestScalingTable:
+    def test_registered_with_the_runner(self):
+        assert "ext-cluster" in EXPERIMENTS
+
+    def test_table_shape_and_speedup_column(self):
+        table = cluster.cluster_scaling_table(shard_counts=(1, 2), pacing=0.0)
+        assert isinstance(table, TableData)
+        assert table.table_id == "ext-cluster"
+        assert table.columns[0] == "shards"
+        assert [row[0] for row in table.rows] == [1, 2]
+        assert table.rows[0][5] == "1.00x"  # one shard is its own baseline
+        for row in table.rows:
+            assert row[1] > 0  # queries actually ran at every width
+
+    def test_chunk_queries_stay_single_shard_under_range_placement(self):
+        table = cluster.cluster_scaling_table(shard_counts=(2,), pacing=0.0)
+        (row,) = table.rows
+        single, scatter = row[6], row[7]
+        assert single > 0
+        assert scatter == 0
+
+
+class TestShardCountConfiguration:
+    def teardown_method(self):
+        cluster._shard_counts = cluster.DEFAULT_SHARD_COUNTS
+
+    def test_powers_of_two_up_to_the_cap(self):
+        assert cluster.configure_shard_counts(8) == (1, 2, 4, 8)
+        assert cluster.configure_shard_counts(6) == (1, 2, 4, 6)
+        assert cluster.configure_shard_counts(1) == (1,)
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            cluster.configure_shard_counts(0)
+
+    def test_runner_flag_validates(self, capsys):
+        assert main(["params", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err

@@ -51,6 +51,22 @@ class TestServeCLI:
         assert main(["--phases", "nope"]) == 2
         assert "invalid phases" in capsys.readouterr().err
 
+    def test_shutdown_always_runs_even_without_durability(self, monkeypatch, capsys):
+        """The serve path pairs every run with a graceful stop; without
+        --state-dir the call must be an idempotent no-op, not skipped."""
+        from repro.service.server import ViewServer
+
+        calls = []
+        original = ViewServer.shutdown
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(ViewServer, "shutdown", counting)
+        assert main(self.ARGS) == 0
+        assert calls
+
 
 class TestServeDurabilityFlags:
     ARGS = ["--n-tuples", "300", "--phases", "0.2:12:3", "--seed", "5"]
