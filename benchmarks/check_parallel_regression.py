@@ -14,7 +14,12 @@ in **both** files:
 * for every shared series, the first (cheapest-concurrency) point
   gates at 20% — it isolates the hot path's fixed cost from scheduler
   luck in the wider points, and pacing makes it comparable across
-  machines.  Scaling ratios are asserted inside the benchmarks.
+  machines.  Scaling ratios are asserted inside the benchmarks;
+* when both the baseline and the current first point carry ``p95_ms``,
+  tail latency gates too: a p95 more than 25% above the baseline fails,
+  naming the offending series.  Series without a baseline p95 are not
+  latency-gated (a benchmark can grow the field before its baseline is
+  regenerated).
 
 Any nonzero ``*equivalence_violations`` counter in the current report
 fails outright: a fast wrong answer is not a result.
@@ -32,6 +37,8 @@ import sys
 from pathlib import Path
 
 TOLERANCE = 0.20
+#: Tail latency is noisier than throughput; allow a wider band.
+P95_TOLERANCE = 0.25
 
 
 def qps_series(report: dict) -> dict[str, dict]:
@@ -114,6 +121,33 @@ def main(argv: list[str] | None = None) -> int:
                 f"at its {label}-way point vs the committed baseline"
             )
             failed = True
+        if "p95_ms" in base_point:
+            if "p95_ms" not in point:
+                print(
+                    f"FAIL: series {name!r} baseline carries p95_ms but the "
+                    f"current report does not — latency gating went blind"
+                )
+                failed = True
+            else:
+                current_p95 = point["p95_ms"]
+                base_p95 = base_point["p95_ms"]
+                ceiling = base_p95 * (1.0 + P95_TOLERANCE)
+                verdict = "ok" if current_p95 <= ceiling else "REGRESSION"
+                print(
+                    f"{name}[{label}] p95: current={current_p95:.1f}ms "
+                    f"baseline={base_p95:.1f}ms ceiling={ceiling:.1f}ms "
+                    f"({verdict})"
+                )
+                if current_p95 > ceiling:
+                    print(
+                        f"FAIL: {name!r} series p95 latency regressed more "
+                        f"than {P95_TOLERANCE:.0%} at its {label}-way point "
+                        f"vs the committed baseline"
+                    )
+                    failed = True
+        elif "p95_ms" in point:
+            print(f"note: series {name!r} gained p95_ms with no baseline "
+                  "value yet (not latency-gated)")
 
     if failed:
         return 1

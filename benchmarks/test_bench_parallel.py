@@ -33,6 +33,7 @@ from repro.service.server import ViewServer
 from repro.storage.tuples import Schema
 from repro.views.definition import SelectProjectView
 from repro.views.predicate import IntervalPredicate
+from repro.workload.clients import exact_percentile
 
 #: Wall seconds per modelled millisecond (~10 ms sleep per typical op).
 PACING = 2e-4
@@ -90,12 +91,14 @@ def drive(server: ViewServer, streams, n_threads: int) -> dict:
     """Run every stream to completion on ``n_threads`` workers
     (thread t owns the relations with index ≡ t mod n_threads)."""
     queries = 0
+    latencies_ms: list[float] = []
     count_lock = threading.Lock()
     errors: list[Exception] = []
 
     def worker(thread_idx: int) -> None:
         nonlocal queries
         done = 0
+        mine: list[float] = []
         try:
             for rel_idx in range(thread_idx, N_RELATIONS, n_threads):
                 relation = SCHEMAS[rel_idx].name
@@ -106,12 +109,15 @@ def drive(server: ViewServer, streams, n_threads: int) -> dict:
                         server.apply_update(Transaction.of(
                             relation, [Update(key, {"v": value})]))
                     else:
+                        began = time.perf_counter()
                         server.query(view, *payload)
+                        mine.append((time.perf_counter() - began) * 1000.0)
                         done += 1
         except Exception as exc:  # pragma: no cover - surfaced below
             errors.append(exc)
         with count_lock:
             queries += done
+            latencies_ms.extend(mine)
 
     threads = [threading.Thread(target=worker, args=(t,), daemon=True)
                for t in range(n_threads)]
@@ -123,8 +129,14 @@ def drive(server: ViewServer, streams, n_threads: int) -> dict:
         assert not t.is_alive(), "benchmark worker wedged"
     wall = time.perf_counter() - start
     assert not errors, errors
-    return {"queries": queries, "wall_s": round(wall, 4),
-            "qps": round(queries / wall, 2)}
+    point = {"queries": queries, "wall_s": round(wall, 4),
+             "qps": round(queries / wall, 2)}
+    p95 = exact_percentile(latencies_ms, 0.95)
+    if p95 is not None:
+        # Pacing makes per-query wall latency machine-comparable, so
+        # the regression gate can bound p95 alongside qps.
+        point["p95_ms"] = round(p95, 3)
+    return point
 
 
 def check_equivalence() -> int:

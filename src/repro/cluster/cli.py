@@ -62,6 +62,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shard-map-out", type=Path, default=None,
                         metavar="FILE",
                         help="also write the versioned shard map JSON to FILE")
+    parser.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="serve the cluster over TCP via the repro.gateway "
+                        "front door instead of running local traffic "
+                        "(admission knobs: repro-gateway serve)")
+    parser.add_argument("--listen-duration", type=float, default=None,
+                        metavar="S", help="with --listen: serve for S seconds "
+                        "then exit (default: until ^C)")
     return parser
 
 
@@ -88,6 +95,21 @@ def main(argv: list[str] | None = None) -> int:
         if args.shard_map_out is not None:
             args.shard_map_out.parent.mkdir(parents=True, exist_ok=True)
             args.shard_map_out.write_text(router.shard_map.to_json(indent=2) + "\n")
+        if args.listen is not None:
+            # Thin shim: one network entry point — the gateway fronts
+            # the scatter-gather router.
+            from repro.gateway.cli import parse_listen, serve_until_interrupted
+            from repro.gateway.server import ClusterBackend
+
+            try:
+                host, port = parse_listen(args.listen)
+            except ValueError as exc:
+                print(f"invalid --listen: {exc}", file=sys.stderr)
+                return 2
+            return serve_until_interrupted(
+                ClusterBackend(router), host, port,
+                duration=args.listen_duration,
+            )
         summary = run_cluster_traffic(
             router, args.threads, args.ops, args.records
         )

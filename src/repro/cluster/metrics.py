@@ -19,9 +19,15 @@ Merge rules per instrument kind:
 
 from __future__ import annotations
 
+import math
 from typing import Any, Iterable, Mapping
 
-from repro.service.metrics import SCHEMA, MetricsRegistry, validate_metrics
+from repro.service.metrics import (
+    SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    validate_metrics,
+)
 
 __all__ = ["MetricsMergeError", "aggregate_metrics", "cluster_registry"]
 
@@ -58,6 +64,27 @@ def _merge_histogram(merged: dict[str, Any], entry: Mapping[str, Any]) -> None:
                 entry[field] if current is None else pick(current, entry[field])
             )
     merged["mean"] = merged["sum"] / merged["count"] if merged["count"] else 0.0
+    _refresh_summaries(merged)
+
+
+def _refresh_summaries(merged: dict[str, Any]) -> None:
+    """Recompute p50/p95/p99 from the merged bucket state — the
+    per-shard summaries are stale once counts are combined."""
+    bounds = tuple(
+        math.inf if b["le"] == "inf" else float(b["le"])
+        for b in merged["buckets"]
+    )
+    hist = Histogram(merged["name"], (), buckets=bounds)
+    hist.bucket_counts = [b["count"] for b in merged["buckets"]]
+    hist.count = int(merged["count"])
+    hist.sum = float(merged["sum"])
+    if merged.get("min") is not None:
+        hist.min = float(merged["min"])
+    if merged.get("max") is not None:
+        hist.max = float(merged["max"])
+    merged["p50"] = hist.quantile(0.50)
+    merged["p95"] = hist.quantile(0.95)
+    merged["p99"] = hist.quantile(0.99)
 
 
 def aggregate_metrics(exports: Iterable[Mapping[str, Any]]) -> dict[str, Any]:

@@ -153,6 +153,10 @@ class ClusterRouter:
         self._closing = False
         self._closed = False
 
+    def views(self) -> tuple[str, ...]:
+        """Names of the views this router can answer, sorted."""
+        return tuple(sorted(self._views))
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------

@@ -1,0 +1,204 @@
+"""Asyncio client for the gateway protocol.
+
+One :class:`AsyncGatewayClient` owns one TCP connection and any number
+of in-flight requests on it: a background reader task demultiplexes
+response frames by ``id`` back to their awaiting callers, which is what
+lets the open-loop load generator keep issuing requests on schedule
+while earlier ones are still queued server-side.
+
+Responses come back as :class:`GatewayReply` — a small record exposing
+the three outcome classes (``ok`` / ``rejected`` / ``error``) without
+raising, because under deliberate overload rejections are *expected*
+data, not exceptions.  :func:`call_once` is the convenience wrapper for
+scripts and tests that want exactly one call on a fresh connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.cluster.worker import decode_answer
+from .protocol import FrameError, pack_frame, read_frame
+
+__all__ = ["AsyncGatewayClient", "GatewayCallError", "GatewayReply", "call_once"]
+
+
+class GatewayCallError(RuntimeError):
+    """The connection died or the protocol was violated mid-call."""
+
+
+@dataclass(frozen=True)
+class GatewayReply:
+    """One response frame, classified.
+
+    Exactly one of the three outcome classes holds: ``ok`` (``result``
+    carries the payload), ``rejected`` (a rejection label from
+    :data:`~repro.gateway.admission.REJECTION_LABELS`), or an engine
+    error (``error`` carries the message, ``kind`` the exception class).
+    """
+
+    doc: Mapping[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.doc.get("ok"))
+
+    @property
+    def rejected(self) -> str | None:
+        return self.doc.get("rejected")
+
+    @property
+    def error(self) -> str | None:
+        return self.doc.get("error")
+
+    @property
+    def kind(self) -> str | None:
+        return self.doc.get("kind")
+
+    @property
+    def result(self) -> Any:
+        return self.doc.get("result")
+
+    def answer(self) -> tuple[Any, dict[str, Any] | None]:
+        """Decode an ``ok`` query result into (payload, degraded_info)."""
+        if not self.ok:
+            raise GatewayCallError(f"no answer in a non-ok reply: {self.doc}")
+        return decode_answer(self.doc["result"])
+
+
+class AsyncGatewayClient:
+    """A pipelined connection to one gateway."""
+
+    def __init__(self, host: str, port: int, client: str = "anon") -> None:
+        self.host = host
+        self.port = port
+        self.client = client
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future[GatewayReply]] = {}
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task[None] | None = None
+        self._closed = False
+
+    async def connect(self) -> "AsyncGatewayClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+        return self
+
+    async def __aenter__(self) -> "AsyncGatewayClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        self._closed = True
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._fail_pending(GatewayCallError("connection closed"))
+
+    def _fail_pending(self, exc: Exception) -> None:
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(exc)
+        self._pending.clear()
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                doc = await read_frame(self._reader)
+                if doc is None:
+                    break
+                future = self._pending.pop(doc.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(GatewayReply(doc))
+        except (FrameError, ConnectionError, OSError) as exc:
+            self._fail_pending(GatewayCallError(f"connection lost: {exc}"))
+            return
+        except asyncio.CancelledError:
+            raise
+        self._fail_pending(GatewayCallError("gateway closed the connection"))
+
+    async def call(self, doc: Mapping[str, Any]) -> GatewayReply:
+        """Send one request document (``id`` is assigned here) and await."""
+        if self._writer is None or self._closed:
+            raise GatewayCallError("client is not connected")
+        request = dict(doc)
+        request["id"] = next(self._ids)
+        future: asyncio.Future[GatewayReply] = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[request["id"]] = future
+        try:
+            self._writer.write(pack_frame(request))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request["id"], None)
+            raise GatewayCallError(f"send failed: {exc}") from exc
+        return await future
+
+    # -- typed helpers --------------------------------------------------
+    async def ping(self) -> GatewayReply:
+        return await self.call({"op": "ping"})
+
+    async def stats(self) -> dict[str, Any]:
+        reply = await self.call({"op": "stats"})
+        if not reply.ok:
+            raise GatewayCallError(f"stats failed: {reply.doc}")
+        return dict(reply.result)
+
+    async def metrics(self) -> dict[str, Any]:
+        reply = await self.call({"op": "metrics"})
+        if not reply.ok:
+            raise GatewayCallError(f"metrics failed: {reply.doc}")
+        return dict(reply.result)
+
+    async def query(
+        self, view: str, lo: Any, hi: Any,
+        deadline_ms: float | None = None,
+    ) -> GatewayReply:
+        doc: dict[str, Any] = {
+            "op": "query", "view": view, "lo": lo, "hi": hi,
+            "client": self.client,
+        }
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return await self.call(doc)
+
+    async def update(
+        self, relation: str, ops: list[Mapping[str, Any]],
+        deadline_ms: float | None = None,
+    ) -> GatewayReply:
+        doc: dict[str, Any] = {
+            "op": "update", "relation": relation, "ops": list(ops),
+            "client": self.client,
+        }
+        if deadline_ms is not None:
+            doc["deadline_ms"] = deadline_ms
+        return await self.call(doc)
+
+
+async def call_once(
+    host: str, port: int, doc: Mapping[str, Any], client: str = "anon"
+) -> GatewayReply:
+    """One request on a fresh connection; closes it afterwards."""
+    async with AsyncGatewayClient(host, port, client=client) as conn:
+        return await conn.call(doc)

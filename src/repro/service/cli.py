@@ -93,6 +93,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="allow bounded-staleness stale reads as the last "
                         "degradation rung (default on; only meaningful with "
                         "--fault-profile)")
+    parser.add_argument("--listen", default=None, metavar="HOST:PORT",
+                        help="serve the demo over TCP via the repro.gateway "
+                        "front door instead of replaying local traffic "
+                        "(admission knobs: repro-gateway serve)")
+    parser.add_argument("--listen-duration", type=float, default=None,
+                        metavar="S", help="with --listen: serve for S seconds "
+                        "then exit (default: until ^C)")
     return parser
 
 
@@ -142,6 +149,25 @@ def main(argv: list[str] | None = None) -> int:
         # Baseline checkpoint: the demo bootstrap ran before journaling,
         # so recovery must start from a snapshot that includes it.
         demo.server.checkpoint()
+
+    if args.listen is not None:
+        # Thin shim: the gateway is the one network entry point; this
+        # just hands it the demo server as a backend.
+        from repro.gateway.cli import parse_listen, serve_until_interrupted
+        from repro.gateway.server import ViewServerBackend
+
+        try:
+            host, port = parse_listen(args.listen)
+        except ValueError as exc:
+            print(f"invalid --listen: {exc}", file=sys.stderr)
+            return 2
+        try:
+            return serve_until_interrupted(
+                ViewServerBackend(demo.server), host, port,
+                duration=args.listen_duration,
+            )
+        finally:
+            demo.server.shutdown()
 
     requests = drifting_traffic(demo, phases, seed=args.seed + 1)
     try:

@@ -151,6 +151,36 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile from the cumulative buckets.
+
+        Linear interpolation inside the bucket holding the target rank,
+        clamped to the observed ``[min, max]`` (so the open-ended top
+        bucket can never report +inf).  ``None`` when empty.  The
+        estimate depends only on exported state (bucket counts, count,
+        min, max), so a registry rebuilt via :meth:`MetricsRegistry.from_dict`
+        reports identical quantiles.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._mutex:
+            if not self.count:
+                return None
+            target = q * self.count
+            cumulative = 0
+            prev_bound = -math.inf
+            for bound, n in zip(self.buckets, self.bucket_counts):
+                if n and cumulative + n >= target:
+                    lo = max(self.min, prev_bound)
+                    hi = self.max if bound == math.inf else min(self.max, bound)
+                    if hi < lo:
+                        hi = lo
+                    fraction = min(1.0, max(0.0, (target - cumulative) / n))
+                    return lo + (hi - lo) * fraction
+                cumulative += n
+                prev_bound = bound
+            return self.max
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "name": self.name,
@@ -161,6 +191,13 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean,
+            # Summary quantiles are computed at export time from the
+            # buckets, so dashboards and regression gates never have to
+            # re-derive them — and round-tripping through from_dict
+            # reproduces them exactly.
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
             "buckets": [
                 {"le": "inf" if bound == math.inf else bound, "count": n}
                 for bound, n in zip(self.buckets, self.bucket_counts)
@@ -184,15 +221,35 @@ class MetricsRegistry:
     def gauge(self, name: str, **labels: Any) -> Gauge:
         return self._get(Gauge, name, labels)
 
-    def histogram(self, name: str, **labels: Any) -> Histogram:
-        return self._get(Histogram, name, labels)
+    def histogram(
+        self,
+        name: str,
+        buckets: Iterable[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        """Histogram series; ``buckets`` overrides the default grid.
 
-    def _get(self, cls: type, name: str, labels: Mapping[str, Any]) -> Any:
+        The override only applies when the series is first created —
+        later lookups return the existing instrument unchanged, so
+        callers can pass the same buckets on every hot-path call.
+        """
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def _get(
+        self,
+        cls: type,
+        name: str,
+        labels: Mapping[str, Any],
+        buckets: Iterable[float] | None = None,
+    ) -> Any:
         key = (name, _labels_of(labels))
         with self._mutex:
             instrument = self._instruments.get(key)
             if instrument is None:
-                instrument = cls(name, key[1])
+                if cls is Histogram and buckets is not None:
+                    instrument = Histogram(name, key[1], buckets=tuple(buckets))
+                else:
+                    instrument = cls(name, key[1])
                 self._instruments[key] = instrument
             elif not isinstance(instrument, cls):
                 raise TypeError(
@@ -335,6 +392,16 @@ def _validate_histogram(name: str, entry: Mapping[str, Any]) -> None:
             isinstance(entry.get(field), (int, float)),
             f"{name}: histogram needs numeric {field!r}",
         )
+    for field in ("p50", "p95", "p99"):
+        _require(field in entry, f"{name}: histogram needs a {field!r} summary field")
+        value = entry[field]
+        if entry["count"]:
+            _require(
+                isinstance(value, (int, float)),
+                f"{name}: {field!r} must be numeric on a non-empty histogram",
+            )
+        else:
+            _require(value is None, f"{name}: {field!r} must be null when count is 0")
     buckets = entry.get("buckets")
     _require(isinstance(buckets, list) and bool(buckets), f"{name}: needs buckets")
     bounds: list[float] = []

@@ -111,6 +111,7 @@ def demo_server(
     with_aggregate: bool = True,
     fault_profile: FaultProfile | None = None,
     resilience: ResilienceConfig | None = None,
+    pacing: float = 0.0,
 ) -> ServiceDemo:
     """Build the standard serving-layer demo.
 
@@ -145,7 +146,7 @@ def demo_server(
     )
     server = ViewServer(
         db, params=cost_params, router=router if adaptive else None,
-        resilience=resilience,
+        resilience=resilience, pacing=pacing,
     )
 
     predicate = IntervalPredicate("a", 0, view_bound - 1, selectivity=selectivity)

@@ -1,5 +1,14 @@
-"""Workload specification, generation and simulation running."""
+"""Workload specification, generation, simulation and live load."""
 
+from .clients import (
+    LoadReport,
+    OpenLoopConfig,
+    ZipfClientPopulation,
+    demo_request_factory,
+    exact_percentile,
+    run_closed_loop,
+    run_open_loop,
+)
 from .generator import QueryOp, Scenario, UpdateOp, build_scenario
 from .runner import (
     SimulationResult,
@@ -10,14 +19,21 @@ from .runner import (
 from .spec import SCALED_DEFAULTS, ScenarioConfig
 
 __all__ = [
+    "LoadReport",
+    "OpenLoopConfig",
     "QueryOp",
     "SCALED_DEFAULTS",
     "Scenario",
     "ScenarioConfig",
     "SimulationResult",
     "UpdateOp",
+    "ZipfClientPopulation",
     "build_scenario",
+    "demo_request_factory",
+    "exact_percentile",
     "measure_base_update_cost",
     "run_config",
+    "run_open_loop",
+    "run_closed_loop",
     "run_scenario",
 ]

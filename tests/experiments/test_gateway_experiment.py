@@ -1,0 +1,166 @@
+"""The ext-gateway experiment: overload phases and the acceptance bar."""
+
+import json
+
+from repro.experiments import gateway as gateway_mod
+from repro.experiments.gateway import (
+    GatewayOverloadRun,
+    check_acceptance,
+    gateway_table,
+    main,
+    run_overload,
+)
+from repro.experiments.runner import EXPERIMENTS
+from repro.workload.clients import LoadReport
+
+
+def make_report(
+    ok=90, rejections=30, label="rejected_rate", latency_ms=120.0,
+    duration_s=1.0, queue_peak=12, queue_cap=16,
+):
+    report = LoadReport(
+        offered=ok + rejections, duration_s=duration_s, wall_s=duration_s,
+    )
+    for _ in range(ok):
+        report.record("ok", latency_ms)
+    for _ in range(rejections):
+        report.record(label, 0.4)
+    report.server_stats = {
+        "queue": {"cap": queue_cap, "depth": 0, "peak": queue_peak,
+                  "pushed": ok, "rejected": 0},
+    }
+    return report
+
+
+def make_run(**overrides):
+    base = dict(
+        single_client_rps=40.0,
+        saturation_rps=100.0,
+        offered_rate=200.0,
+        deadline_ms=600.0,
+        single=make_report(ok=40, rejections=0),
+        saturation=make_report(ok=100, rejections=0),
+        overload=make_report(),
+        quiesce_match=True,
+        quiesce_detail="gateway=7 engine=7",
+        metrics_summary={
+            "ok": {"count": 90, "p50_ms": 90.0, "p95_ms": 140.0,
+                   "p99_ms": 180.0},
+            "rejected_rate": {"count": 30, "p50_ms": 0.4, "p95_ms": 0.5,
+                              "p99_ms": 0.5},
+        },
+    )
+    base.update(overrides)
+    return GatewayOverloadRun(**base)
+
+
+class TestAcceptance:
+    def test_registered_as_experiment(self):
+        assert "ext-gateway" in EXPERIMENTS
+
+    def test_clean_run_passes(self):
+        assert check_acceptance(make_run()) == []
+
+    def test_goodput_floor(self):
+        run = make_run(overload=make_report(ok=70, rejections=50))
+        violations = check_acceptance(run)
+        assert any("bar: >= 80%" in v for v in violations)
+
+    def test_admitted_p99_bound(self):
+        run = make_run(overload=make_report(latency_ms=2000.0))
+        violations = check_acceptance(run)
+        assert any("p99 of admitted requests" in v for v in violations)
+
+    def test_wrong_results_flagged(self):
+        overload = make_report()
+        overload.wrong.append("v_tuples: tuple a=9 outside [0, 3]")
+        violations = check_acceptance(make_run(overload=overload))
+        assert any("wrong results" in v for v in violations)
+
+    def test_queue_above_cap_flagged(self):
+        run = make_run(overload=make_report(queue_peak=17, queue_cap=16))
+        violations = check_acceptance(run)
+        assert any("above its cap" in v for v in violations)
+
+    def test_no_rejections_means_no_admission_control(self):
+        run = make_run(overload=make_report(ok=120, rejections=0))
+        violations = check_acceptance(run)
+        assert any("never engaged" in v for v in violations)
+
+    def test_unknown_outcome_label_flagged(self):
+        overload = make_report()
+        overload.record("mystery", 1.0)
+        violations = check_acceptance(make_run(overload=overload))
+        assert any("mystery" in v for v in violations)
+
+    def test_quiesce_mismatch_flagged(self):
+        run = make_run(quiesce_match=False,
+                       quiesce_detail="gateway=6 engine=7")
+        violations = check_acceptance(run)
+        assert any("post-quiesce" in v for v in violations)
+
+    def test_metrics_export_must_summarize_ok_latency(self):
+        run = make_run(metrics_summary={
+            "ok": {"count": 90, "p50_ms": 90.0, "p95_ms": None,
+                   "p99_ms": 180.0},
+        })
+        violations = check_acceptance(run)
+        assert any("lacks p95_ms" in v for v in violations)
+
+
+class TestTableAndSerialization:
+    def test_table_shape(self):
+        table = gateway_table(run=make_run())
+        assert table.table_id == "ext-gateway"
+        assert len(table.rows) == 3
+        assert len(table.columns) == 10
+        phases = [row[0] for row in table.rows]
+        assert phases == [
+            "single (closed)", "saturation (closed)", "2x overload (open)",
+        ]
+        overload_row = table.rows[2]
+        assert overload_row[1] == "200"  # offered rps
+        assert overload_row[4] == 30  # labeled rejections
+        assert overload_row[-1] == 0  # wrong results
+
+    def test_to_dict_is_json_ready(self):
+        doc = make_run().to_dict()
+        json.dumps(doc)  # must not raise
+        assert doc["goodput_ratio"] == 0.9
+        assert doc["overload"]["outcomes"]["rejected_rate"]["count"] == 30
+        assert doc["metrics_summary"]["ok"]["p99_ms"] == 180.0
+
+
+class TestLiveOverload:
+    def test_short_overload_run_meets_the_bar(self):
+        run = run_overload(duration_s=1.5, probe_s=1.0, seed=7)
+        assert run.saturation_rps > 0
+        assert run.offered_rate == 2.0 * run.saturation_rps
+        # The storm really overloaded the gateway...
+        assert run.overload.rejected > 0
+        # ...yet every phase stayed inside the acceptance bar.
+        assert check_acceptance(run) == []
+
+
+class TestMain:
+    def test_main_writes_artifact_and_reports_violations(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(gateway_mod, "run_overload",
+                            lambda **kwargs: make_run())
+        artifact = tmp_path / "gateway.json"
+        assert main(["--json", str(artifact)]) == 0
+        doc = json.loads(artifact.read_text())
+        assert doc["experiment"] == "ext-gateway"
+        assert doc["acceptance_violations"] == []
+        assert doc["run"]["goodput_ratio"] == 0.9
+        assert "overload" in capsys.readouterr().out
+
+        monkeypatch.setattr(
+            gateway_mod, "run_overload",
+            lambda **kwargs: make_run(quiesce_match=False,
+                                      quiesce_detail="mismatch"),
+        )
+        assert main(["--json", str(artifact)]) == 1
+        doc = json.loads(artifact.read_text())
+        assert any("post-quiesce" in v for v in doc["acceptance_violations"])

@@ -1,0 +1,248 @@
+"""Admission-control invariants, property-style.
+
+The two load-bearing guarantees:
+
+* a :class:`TokenBucket` never admits more than ``rate * w + burst``
+  requests in **any** window of ``w`` seconds, for arbitrary arrival
+  patterns (hypothesis drives the arrivals on a fake clock);
+* a :class:`BoundedQueue` never exceeds its cap, even under a flood of
+  concurrent producers racing a slow consumer.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gateway.admission import (
+    EXPIRED,
+    REJECTED_CONCURRENCY,
+    REJECTED_QUEUE_FULL,
+    REJECTED_RATE,
+    REJECTION_LABELS,
+    AdmissionConfig,
+    AdmissionController,
+    BoundedQueue,
+    ConcurrencyGuard,
+    DeadLetterLog,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# ----------------------------------------------------------------------
+# token bucket
+# ----------------------------------------------------------------------
+arrival_patterns = st.lists(
+    st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    min_size=1, max_size=120,
+)
+rates = st.floats(min_value=0.5, max_value=50.0, allow_nan=False)
+bursts = st.integers(min_value=1, max_value=20)
+
+
+class TestTokenBucketWindowInvariant:
+    @given(gaps=arrival_patterns, rate=rates, burst=bursts)
+    @settings(max_examples=120, deadline=None)
+    def test_any_window_admits_at_most_rate_window_plus_burst(
+        self, gaps, rate, burst
+    ):
+        clock = FakeClock()
+        bucket = TokenBucket(rate, burst, clock=clock)
+        admitted: list[float] = []
+        for gap in gaps:
+            clock.advance(gap)
+            if bucket.try_acquire():
+                admitted.append(clock.now)
+        # Every window between two admissions must respect the bound.
+        # The half-open window (start, end] excludes the admission at
+        # `start` itself: its token was spent before the window began.
+        for i, start in enumerate(admitted):
+            for j in range(i, len(admitted)):
+                end = admitted[j]
+                inside = j - i  # admissions in (start, end]
+                ceiling = rate * (end - start) + burst
+                assert inside <= ceiling + 1e-9, (
+                    f"window ({start}, {end}] admitted {inside} > "
+                    f"rate*w+burst = {ceiling}"
+                )
+
+    def test_starts_full_and_refills(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [
+            True, True, True, False,
+        ]
+        clock.advance(1.0)  # +2 tokens
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refill_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=5, clock=clock)
+        clock.advance(1e6)
+        assert bucket.available == 5.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=0)
+
+
+# ----------------------------------------------------------------------
+# bounded queue
+# ----------------------------------------------------------------------
+class TestBoundedQueueCap:
+    def test_try_push_rejects_at_cap(self):
+        queue = BoundedQueue(cap=2)
+        assert queue.try_push("a") and queue.try_push("b")
+        assert not queue.try_push("c")
+        stats = queue.stats()
+        assert stats == {
+            "cap": 2, "depth": 2, "peak": 2, "pushed": 2, "rejected": 1,
+        }
+
+    def test_pop_times_out_empty(self):
+        assert BoundedQueue(cap=1).pop(timeout=0.01) is None
+
+    def test_fifo_order(self):
+        queue = BoundedQueue(cap=4)
+        for item in (1, 2, 3):
+            queue.try_push(item)
+        assert [queue.pop(0.01) for _ in range(3)] == [1, 2, 3]
+
+    @pytest.mark.parametrize("producers,per_producer,cap", [
+        (8, 50, 4), (16, 25, 1), (4, 100, 16),
+    ])
+    def test_concurrent_flood_never_exceeds_cap(
+        self, producers, per_producer, cap
+    ):
+        queue = BoundedQueue(cap=cap)
+        start = threading.Barrier(producers + 1)
+        consumed: list[int] = []
+        stop = threading.Event()
+        overflow: list[int] = []
+
+        def producer(idx: int) -> None:
+            start.wait()
+            for i in range(per_producer):
+                queue.try_push((idx, i))
+                depth = queue.depth
+                if depth > cap:  # pragma: no cover - the bug being hunted
+                    overflow.append(depth)
+
+        def consumer() -> None:
+            start.wait()
+            while not stop.is_set() or queue.depth:
+                item = queue.pop(timeout=0.005)
+                if item is not None:
+                    consumed.append(item)
+
+        threads = [
+            threading.Thread(target=producer, args=(i,))
+            for i in range(producers)
+        ]
+        drain = threading.Thread(target=consumer)
+        drain.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        stop.set()
+        drain.join(30)
+
+        assert not overflow, f"queue depth exceeded cap: {overflow}"
+        stats = queue.stats()
+        assert stats["peak"] <= cap
+        assert stats["pushed"] + stats["rejected"] == producers * per_producer
+        assert len(consumed) == stats["pushed"]
+
+
+# ----------------------------------------------------------------------
+# concurrency guard, dead letters, the controller
+# ----------------------------------------------------------------------
+class TestConcurrencyGuard:
+    def test_limit_is_per_client(self):
+        guard = ConcurrencyGuard(limit=2)
+        assert guard.try_acquire("a") and guard.try_acquire("a")
+        assert not guard.try_acquire("a")
+        assert guard.try_acquire("b")
+        guard.release("a")
+        assert guard.try_acquire("a")
+        assert guard.total_inflight() == 3
+
+    def test_release_clears_bookkeeping(self):
+        guard = ConcurrencyGuard(limit=1)
+        guard.try_acquire("a")
+        guard.release("a")
+        assert guard.inflight("a") == 0
+        assert guard.total_inflight() == 0
+
+
+class TestDeadLetterLog:
+    def test_counts_survive_ring_wrap(self):
+        log = DeadLetterLog(cap=4)
+        for i in range(10):
+            log.record(REJECTED_RATE, f"c{i}", "query")
+        log.record(EXPIRED, "slow", "update", detail="late", waited_ms=7.5)
+        assert log.total() == 11
+        assert log.counts() == {REJECTED_RATE: 10, EXPIRED: 1}
+        records = log.records()
+        assert len(records) == 4  # ring keeps only the tail
+        assert records[-1].to_dict()["label"] == EXPIRED
+        assert records[-1].waited_ms == 7.5
+
+    def test_rejects_unknown_label(self):
+        with pytest.raises(ValueError):
+            DeadLetterLog().record("rejected_vibes", "c", "query")
+
+    def test_label_vocabulary(self):
+        assert set(REJECTION_LABELS) == {
+            REJECTED_RATE, REJECTED_CONCURRENCY, REJECTED_QUEUE_FULL, EXPIRED,
+        }
+
+
+class TestAdmissionController:
+    def test_stage_order_client_rate_first(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionConfig(client_rate=1.0, client_burst=1,
+                            global_rate=100.0, client_concurrency=10),
+            clock=clock,
+        )
+        assert controller.admit("hot").admitted
+        decision = controller.admit("hot")
+        assert not decision.admitted
+        assert decision.label == REJECTED_RATE
+        # A different client still has its own bucket.
+        assert controller.admit("cold").admitted
+
+    def test_concurrency_released_on_release(self):
+        controller = AdmissionController(
+            AdmissionConfig(client_concurrency=1)
+        )
+        assert controller.admit("a").admitted
+        assert controller.admit("a").label == REJECTED_CONCURRENCY
+        controller.release("a")
+        assert controller.admit("a").admitted
+
+    def test_disabled_stages_admit_everything(self):
+        controller = AdmissionController(AdmissionConfig(
+            global_rate=None, client_rate=None, client_concurrency=None,
+        ))
+        for _ in range(500):
+            assert controller.admit("x").admitted
+        assert controller.stats()["inflight"] is None

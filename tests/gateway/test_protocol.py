@@ -1,0 +1,77 @@
+"""Wire framing: pack/read round trips and malformed-frame handling."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.cluster.rpc import MAX_FRAME_BYTES
+from repro.gateway.protocol import FrameError, pack_frame, read_frame
+
+
+def reader_with(data: bytes) -> asyncio.StreamReader:
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return reader
+
+
+def read_all(data: bytes):
+    async def collect():
+        reader = reader_with(data)
+        frames = []
+        while True:
+            doc = await read_frame(reader)
+            if doc is None:
+                return frames
+            frames.append(doc)
+    return asyncio.run(collect())
+
+
+class TestRoundTrip:
+    def test_single_frame(self):
+        doc = {"id": 1, "op": "query", "view": "v", "lo": None, "hi": 9}
+        assert read_all(pack_frame(doc)) == [doc]
+
+    def test_back_to_back_frames(self):
+        docs = [{"id": i, "op": "ping"} for i in range(5)]
+        data = b"".join(pack_frame(d) for d in docs)
+        assert read_all(data) == docs
+
+    def test_unicode_payload(self):
+        doc = {"id": 1, "client": "héloïse", "op": "ping"}
+        assert read_all(pack_frame(doc)) == [doc]
+
+    def test_clean_eof_is_none(self):
+        assert read_all(b"") == []
+
+
+class TestMalformedFrames:
+    def run_expecting_error(self, data: bytes):
+        async def go():
+            await read_frame(reader_with(data))
+        with pytest.raises(FrameError):
+            asyncio.run(go())
+
+    def test_truncated_header(self):
+        self.run_expecting_error(b"\x00\x00")
+
+    def test_truncated_payload(self):
+        frame = pack_frame({"id": 1, "op": "ping"})
+        self.run_expecting_error(frame[:-3])
+
+    def test_oversized_length(self):
+        self.run_expecting_error(struct.pack("!I", MAX_FRAME_BYTES + 1))
+
+    def test_non_json_payload(self):
+        payload = b"not json"
+        self.run_expecting_error(struct.pack("!I", len(payload)) + payload)
+
+    def test_non_object_payload(self):
+        payload = json.dumps([1, 2, 3]).encode()
+        self.run_expecting_error(struct.pack("!I", len(payload)) + payload)
+
+    def test_pack_rejects_oversized_doc(self):
+        with pytest.raises(FrameError):
+            pack_frame({"blob": "x" * (MAX_FRAME_BYTES + 1)})

@@ -159,3 +159,76 @@ class TestExportSchema:
         doc["metrics"][0]["labels"] = {"view": 3}
         with pytest.raises(MetricsSchemaError):
             validate_metrics(doc)
+
+    def test_rejects_missing_percentile_summary(self):
+        doc = self.make_registry().to_dict()
+        for entry in doc["metrics"]:
+            if entry["kind"] == "histogram":
+                del entry["p95"]
+        with pytest.raises(MetricsSchemaError):
+            validate_metrics(doc)
+
+    def test_rejects_non_null_percentiles_on_empty_histogram(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty_ms")
+        doc = registry.to_dict()
+        validate_metrics(doc)  # null percentiles are the valid shape
+        doc["metrics"][0]["p50"] = 1.0
+        with pytest.raises(MetricsSchemaError):
+            validate_metrics(doc)
+
+
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_null_summaries(self):
+        hist = MetricsRegistry().histogram("h")
+        assert hist.quantile(0.5) is None
+        doc = hist.to_dict()
+        assert doc["p50"] is None and doc["p95"] is None and doc["p99"] is None
+
+    def test_quantiles_are_clamped_to_observed_range(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (3.0, 4.0, 4.5, 900.0):
+            hist.observe(value)
+        p99 = hist.quantile(0.99)
+        assert p99 is not None and p99 <= 900.0
+        p0 = hist.quantile(0.0)
+        assert p0 is not None and p0 >= 3.0
+
+    def test_interpolation_inside_a_bucket(self):
+        # 100 observations spread across (2.5, 5.0]: the median must
+        # land strictly inside that bucket, between min and max.
+        hist = MetricsRegistry().histogram("h")
+        for i in range(100):
+            hist.observe(2.6 + (i % 10) * 0.2)
+        p50 = hist.quantile(0.5)
+        assert 2.6 <= p50 <= 4.4
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h").quantile(1.5)
+
+    def test_export_summary_matches_quantile(self):
+        hist = MetricsRegistry().histogram("h")
+        for value in (1.0, 10.0, 100.0, 1000.0):
+            hist.observe(value)
+        doc = hist.to_dict()
+        assert doc["p50"] == hist.quantile(0.50)
+        assert doc["p95"] == hist.quantile(0.95)
+        assert doc["p99"] == hist.quantile(0.99)
+
+    def test_percentiles_round_trip_through_export(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", outcome="ok")
+        for value in (0.7, 2.0, 2.2, 30.0, 600.0, 20_000.0):
+            hist.observe(value)
+        doc = registry.to_dict()
+        rebuilt = MetricsRegistry.from_dict(doc).to_dict()
+        assert rebuilt == doc  # p50/p95/p99 recomputed identically
+
+    def test_custom_buckets_apply_on_first_creation_only(self):
+        registry = MetricsRegistry()
+        grid = (0.1, 1.0, math.inf)
+        hist = registry.histogram("h", buckets=grid, outcome="ok")
+        assert hist.buckets == grid
+        again = registry.histogram("h", buckets=(5.0, math.inf), outcome="ok")
+        assert again is hist and again.buckets == grid

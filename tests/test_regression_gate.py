@@ -1,0 +1,126 @@
+"""The benchmark regression gate: qps floors and p95 ceilings.
+
+Drives ``benchmarks/check_parallel_regression.py`` against synthetic
+report/baseline pairs so the gating logic is tested without running
+the benchmarks themselves.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+GATE_PATH = (
+    Path(__file__).parents[1] / "benchmarks" / "check_parallel_regression.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location(
+        "check_parallel_regression", GATE_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_gate(gate, tmp_path, result, baseline):
+    result_path = tmp_path / "result.json"
+    baseline_path = tmp_path / "baseline.json"
+    result_path.write_text(json.dumps(result))
+    baseline_path.write_text(json.dumps(baseline))
+    return gate.main([str(result_path), str(baseline_path)])
+
+
+def report(qps=100.0, p95=None, extra_points=(), **top):
+    point = {"queries": 64, "qps": qps}
+    if p95 is not None:
+        point["p95_ms"] = p95
+    series = {"1": point}
+    for i, extra in enumerate(extra_points, start=2):
+        series[str(i)] = extra
+    doc = {"threads": series}
+    doc.update(top)
+    return doc
+
+
+class TestThroughputGate:
+    def test_matching_reports_pass(self, gate, tmp_path, capsys):
+        assert run_gate(gate, tmp_path, report(), report()) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_qps_regression_fails_naming_series(self, gate, tmp_path, capsys):
+        code = run_gate(gate, tmp_path, report(qps=70.0), report(qps=100.0))
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "'threads'" in out and "regressed" in out
+
+    def test_equivalence_violations_fail(self, gate, tmp_path, capsys):
+        code = run_gate(
+            gate, tmp_path,
+            report(equivalence_violations=3), report(),
+        )
+        assert code == 1
+        assert "disagreed" in capsys.readouterr().out
+
+
+class TestLatencyGate:
+    def test_p95_within_tolerance_passes(self, gate, tmp_path, capsys):
+        code = run_gate(
+            gate, tmp_path, report(p95=24.0), report(p95=20.0)
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "p95: current=24.0ms baseline=20.0ms" in out
+
+    def test_p95_regression_fails_naming_series(self, gate, tmp_path, capsys):
+        code = run_gate(
+            gate, tmp_path, report(p95=30.0), report(p95=20.0)
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "'threads' series p95 latency regressed" in out
+
+    def test_losing_p95_while_baseline_has_it_fails(
+        self, gate, tmp_path, capsys
+    ):
+        code = run_gate(gate, tmp_path, report(), report(p95=20.0))
+        assert code == 1
+        assert "went blind" in capsys.readouterr().out
+
+    def test_new_p95_without_baseline_is_noted_not_gated(
+        self, gate, tmp_path, capsys
+    ):
+        code = run_gate(gate, tmp_path, report(p95=500.0), report())
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "not latency-gated" in out
+
+    def test_only_the_first_point_gates_latency(self, gate, tmp_path):
+        # A blown p95 in a wider point is scheduler noise, not a gate.
+        current = report(
+            p95=20.0, extra_points=({"queries": 64, "qps": 150.0,
+                                     "p95_ms": 900.0},)
+        )
+        baseline = report(
+            p95=20.0, extra_points=({"queries": 64, "qps": 150.0,
+                                     "p95_ms": 30.0},)
+        )
+        assert run_gate(gate, tmp_path, current, baseline) == 0
+
+
+class TestCommittedBaseline:
+    def test_committed_baseline_is_latency_gated(self, gate):
+        """The repo's own baseline must keep the p95 gate armed."""
+        baseline = json.loads(
+            (GATE_PATH.parent / "BENCH_parallel.baseline.json").read_text()
+        )
+        series = gate.qps_series(baseline)
+        assert "threads" in series
+        label, point = gate.first_point(series["threads"])
+        assert "p95_ms" in point, (
+            "baseline threads series lost its p95 — regenerate it with "
+            "the parallel benchmarks"
+        )
