@@ -8,7 +8,7 @@ scatter–gather front-end router:
 * :mod:`repro.cluster.shardmap` — versioned, serializable assignment
   of tuples to shards (key range or consistent hash);
 * :mod:`repro.cluster.rpc` — framed JSON RPC with per-request ids,
-  per-call deadlines and poisoned-connection semantics;
+  per-call deadlines and timeout recovery (stale replies drained);
 * :mod:`repro.cluster.worker` — one process per shard, each hosting a
   full :class:`~repro.service.server.ViewServer` over its partition;
 * :mod:`repro.cluster.router` — single-shard routing, scatter–gather

@@ -13,8 +13,10 @@ the same traffic surface as a single :class:`ViewServer` — ``query``,
   by partition field, so the router keeps a key directory
   ``(relation, key) -> shard``.  An update that moves a tuple across
   the partition boundary becomes an explicit cross-shard *move*
-  (delete on the old owner, insert on the new), each half a normal
-  maintained transaction on its shard;
+  (insert on the new owner first, then delete on the old — a failure
+  mid-move can duplicate a tuple transiently but never lose one), each
+  half a normal maintained transaction on its shard; directory entries
+  commit only after the owning shard acknowledges the write;
 * **partial failure** — scatter legs run under per-shard deadlines; a
   missing or degraded leg turns the merged answer into a
   :class:`~repro.resilience.degradation.DegradedResult` whose mode,
@@ -454,7 +456,7 @@ class ClusterRouter:
         Operations that stay within a shard are batched per shard and
         applied as one transaction there (concurrently across shards).
         An update that changes the partition field across a boundary is
-        executed as a fetch + delete + insert move; pending batches for
+        executed as a fetch + insert + delete move; pending batches for
         the involved shards are flushed first so per-key operation
         order is preserved.
         """
@@ -463,32 +465,41 @@ class ClusterRouter:
         self._enter()
         try:
             pending: dict[int, list[dict[str, Any]]] = {}
+            # Directory mutations are *staged*, not applied: the
+            # overlay answers ownership questions for later operations
+            # in this transaction, and ``staged`` commits to the real
+            # directory per shard only once that shard has acknowledged
+            # its batch (in _flush).  A failed flush therefore cannot
+            # leave phantom entries that misroute later updates.
+            staged: dict[int, list[tuple[Any, int | None]]] = {}
+            overlay: dict[tuple[str, Any], int | None] = {}
             for op in txn.operations:
                 doc = encode_operation(op)
                 if doc["kind"] == "insert":
                     shard = self.shard_map.shard_of(doc["values"][field])
                     key = op.record.key
-                    with self._directory_lock:
-                        self._directory[(relation, key)] = shard
+                    overlay[(relation, key)] = shard
+                    staged.setdefault(shard, []).append((key, shard))
                     pending.setdefault(shard, []).append(doc)
                 elif doc["kind"] == "delete":
-                    shard = self._owner(relation, doc["key"])
-                    with self._directory_lock:
-                        self._directory.pop((relation, doc["key"]), None)
+                    shard = self._owner(relation, doc["key"], overlay)
+                    overlay[(relation, doc["key"])] = None
+                    staged.setdefault(shard, []).append((doc["key"], None))
                     pending.setdefault(shard, []).append(doc)
                 else:
-                    shard = self._owner(relation, doc["key"])
+                    shard = self._owner(relation, doc["key"], overlay)
                     changes = doc["changes"]
                     if field in changes:
                         target = self.shard_map.shard_of(changes[field])
                         if target != shard:
-                            self._flush(relation, pending, client,
+                            self._flush(relation, pending, staged, client,
                                         only={shard, target})
                             self._move(relation, doc["key"], changes,
                                        shard, target, client)
+                            overlay[(relation, doc["key"])] = target
                             continue
                     pending.setdefault(shard, []).append(doc)
-            self._flush(relation, pending, client)
+            self._flush(relation, pending, staged, client)
             if self.cache is not None:
                 # Bump *after* every shard committed: a reader that
                 # sampled the old token mid-update re-validates before
@@ -500,9 +511,18 @@ class ClusterRouter:
         finally:
             self._exit()
 
-    def _owner(self, relation: str, key: Any) -> int:
-        with self._directory_lock:
-            shard = self._directory.get((relation, key))
+    def _owner(
+        self,
+        relation: str,
+        key: Any,
+        overlay: Mapping[tuple[str, Any], int | None] | None = None,
+    ) -> int:
+        shard: int | None
+        if overlay is not None and (relation, key) in overlay:
+            shard = overlay[(relation, key)]
+        else:
+            with self._directory_lock:
+                shard = self._directory.get((relation, key))
         if shard is None:
             raise ClusterError(
                 f"no shard owns {relation!r} key {key!r} "
@@ -514,6 +534,7 @@ class ClusterRouter:
         self,
         relation: str,
         pending: dict[int, list[dict[str, Any]]],
+        staged: dict[int, list[tuple[Any, int | None]]],
         client: str,
         only: set[int] | None = None,
     ) -> None:
@@ -529,6 +550,20 @@ class ClusterRouter:
                 self.metrics.counter(
                     "shard_updates_total", shard=str(shard)
                 ).inc(len(pending[shard]))
+                # The shard acknowledged its batch: its staged
+                # directory entries are now true and safe to commit
+                # (in operation order — an insert/delete pair on one
+                # key nets out correctly).
+                entries = staged.pop(shard, ())
+                if entries:
+                    with self._directory_lock:
+                        for key, owner in entries:
+                            if owner is None:
+                                self._directory.pop((relation, key), None)
+                            else:
+                                self._directory[(relation, key)] = owner
+            else:
+                staged.pop(shard, None)
             pending[shard] = []
         if failures:
             shard, exc = next(iter(failures.items()))
@@ -577,10 +612,15 @@ class ClusterRouter:
     ) -> None:
         """Move one tuple across a partition boundary.
 
-        Fetch the current values from the owner, apply the changes,
-        delete there and insert on the new owner — each half a normal
-        maintained transaction on its shard, so both shards' views see
-        the move as the delete/insert pair it logically is.
+        Fetch the current values from the owner, insert the changed
+        tuple on the new owner, then delete the original — each half a
+        normal maintained transaction on its shard, so both shards'
+        views see the move as the insert/delete pair it logically is.
+        Insert-first ordering is deliberate: if the target insert fails
+        the tuple is still intact on the source and the directory is
+        untouched; a failure *after* the insert leaves a transient
+        duplicate (recoverable — the directory already points at the
+        authoritative new copy) rather than a lost tuple.
         """
         fetched = self.clients[source].call("fetch", relation=relation, key=key)
         values = fetched.get("values")
@@ -591,16 +631,16 @@ class ClusterRouter:
             )
         values = dict(values)
         values.update(changes)
-        self.clients[source].call(
-            "update", relation=relation, client=client,
-            ops=[{"kind": "delete", "key": key}],
-        )
         self.clients[target].call(
             "update", relation=relation, client=client,
             ops=[{"kind": "insert", "values": values}],
         )
         with self._directory_lock:
             self._directory[(relation, key)] = target
+        self.clients[source].call(
+            "update", relation=relation, client=client,
+            ops=[{"kind": "delete", "key": key}],
+        )
         self.metrics.counter("cross_shard_moves_total", relation=relation).inc()
         self.metrics.counter("shard_updates_total", shard=str(source)).inc()
         self.metrics.counter("shard_updates_total", shard=str(target)).inc()

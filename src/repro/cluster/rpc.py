@@ -10,11 +10,19 @@ whose id is not the one it is waiting for.
 Failure classes the router distinguishes:
 
 * :class:`ShardTimeout` — the worker did not answer within the
-  per-call deadline.  The connection is *poisoned* (a late reply would
-  desynchronize framing), so subsequent calls fail fast with
-  :class:`ShardUnavailable` until the cluster is rebuilt.
-* :class:`ShardUnavailable` — the worker is gone (EOF, broken pipe, or
-  a previously poisoned connection).
+  per-call deadline.  The call is abandoned but the connection
+  *recovers*: the client keeps a persistent receive buffer (a partial
+  frame stays buffered across the timeout, so framing never
+  desynchronizes) and ids are monotonic, so the next call simply
+  drains and discards any late replies to abandoned requests.  One
+  slow call — e.g. a request whose remaining gateway deadline was fed
+  in as the RPC timeout — therefore degrades that call only, it does
+  not remove the shard from service.
+* :class:`ShardUnavailable` — the worker is gone (EOF, broken pipe) or
+  the connection is poisoned.  Poisoning is reserved for genuinely
+  unrecoverable desynchronization: a send that timed out mid-frame
+  (the worker's inbound framing is now ahead of ours), a transport
+  error, or a response id from the future.
 * :class:`RemoteOpError` — the worker executed the call and raised;
   the exception class name and message come back in the error frame.
 """
@@ -132,10 +140,14 @@ class ShardClient:
 
     Calls are serialized per shard (one outstanding request per
     connection); cross-shard parallelism comes from the router issuing
-    calls on *different* clients concurrently.  A timeout or transport
-    error poisons the connection: in-order framing cannot be trusted
-    after an abandoned request, so every later call fails fast with
-    :class:`ShardUnavailable` instead of reading a stale frame.
+    calls on *different* clients concurrently.  A per-call timeout
+    abandons that call but keeps the connection serviceable: received
+    bytes persist in :attr:`_rxbuf` (so a partial frame resumes where
+    it stopped) and later calls discard stale replies by id.  Only
+    unrecoverable desynchronization — a send timing out mid-frame, a
+    transport error, a response id from the future — poisons the
+    connection, after which every call fails fast with
+    :class:`ShardUnavailable`.
     """
 
     def __init__(
@@ -148,11 +160,48 @@ class ShardClient:
         self._next_id = 0
         self._broken: str | None = None
         self._closed = False
+        #: Bytes received but not yet consumed as a whole frame.  This
+        #: is what makes a recv timeout recoverable: the next call
+        #: resumes at the exact framing position instead of treating
+        #: mid-frame bytes as a fresh header.
+        self._rxbuf = bytearray()
 
     @property
     def broken(self) -> str | None:
         """Why the connection is poisoned, or ``None`` if healthy."""
         return self._broken
+
+    def _read_frame(self) -> dict[str, Any] | None:
+        """One frame via the persistent receive buffer."""
+        while True:
+            if len(self._rxbuf) >= _LENGTH.size:
+                (length,) = _LENGTH.unpack(bytes(self._rxbuf[:_LENGTH.size]))
+                if length > MAX_FRAME_BYTES:
+                    raise FrameError(
+                        f"frame length {length} exceeds the protocol cap"
+                    )
+                end = _LENGTH.size + length
+                if len(self._rxbuf) >= end:
+                    payload = bytes(self._rxbuf[_LENGTH.size:end])
+                    del self._rxbuf[:end]
+                    try:
+                        doc = json.loads(payload.decode("utf-8"))
+                    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                        raise FrameError(
+                            f"frame payload is not JSON: {exc}"
+                        ) from exc
+                    if not isinstance(doc, dict):
+                        raise FrameError(
+                            f"frame must be a JSON object, "
+                            f"got {type(doc).__name__}"
+                        )
+                    return doc
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._rxbuf:
+                    raise FrameError("connection closed mid-frame")
+                return None
+            self._rxbuf += chunk
 
     def call(self, op: str, timeout: float | None = None, **params: Any) -> Any:
         """One request/response round trip; returns the result payload."""
@@ -169,20 +218,36 @@ class ShardClient:
             try:
                 self.sock.settimeout(deadline)
                 send_frame(self.sock, request)
+            except socket.timeout:
+                # A partial outbound frame cannot be resumed — the
+                # worker's inbound framing is now ahead of ours.
+                self._broken = f"send of {op!r} timed out mid-frame"
+                raise ShardTimeout(self.shard_id, op, deadline) from None
+            except OSError as exc:
+                self._broken = f"transport error: {exc}"
+                raise ShardUnavailable(self.shard_id, self._broken) from exc
+            try:
                 while True:
-                    response = recv_frame(self.sock)
+                    response = self._read_frame()
                     if response is None:
                         self._broken = "worker closed the connection"
                         raise ShardUnavailable(self.shard_id, self._broken)
-                    if response.get("id") == request_id:
+                    rid = response.get("id")
+                    if rid == request_id:
                         break
-                    # A frame from an earlier abandoned request would
-                    # have poisoned the connection already; an unknown
-                    # id here is a protocol violation.
-                    self._broken = f"out-of-order response id {response.get('id')!r}"
+                    if isinstance(rid, int) and 0 < rid < request_id:
+                        # A late reply to a call an earlier timeout
+                        # abandoned: discard it and keep reading — this
+                        # is how the connection resynchronizes instead
+                        # of staying poisoned.
+                        continue
+                    self._broken = f"out-of-order response id {rid!r}"
                     raise ShardUnavailable(self.shard_id, self._broken)
             except socket.timeout:
-                self._broken = f"timed out waiting for {op!r}"
+                # The call is abandoned; its reply, if one ever comes,
+                # is drained by a later call.  Framing stays intact
+                # (partial frames persist in the receive buffer), so
+                # the connection itself remains usable.
                 raise ShardTimeout(self.shard_id, op, deadline) from None
             except (OSError, FrameError) as exc:
                 if self._broken is None:

@@ -70,12 +70,33 @@ class GatewayReply:
 
 
 class AsyncGatewayClient:
-    """A pipelined connection to one gateway."""
+    """A pipelined connection to one gateway.
 
-    def __init__(self, host: str, port: int, client: str = "anon") -> None:
+    Every ``call`` is bounded: the server may legitimately drop a
+    response (send failure, shutdown race, requests left queued at
+    stop), and an unbounded await on a still-open connection would hang
+    the caller forever.  Requests carrying ``deadline_ms`` wait that
+    budget plus ``reply_slack_s`` (engine work is not interruptible, so
+    a late ``expired`` reply can trail the deadline by the full
+    execution time); requests without one wait ``reply_timeout_s``.
+    Either knob can be ``None`` to disable the bound.  Expiry raises
+    :class:`GatewayCallError`, which the load generators record as a
+    ``lost`` outcome.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        client: str = "anon",
+        reply_timeout_s: float | None = 60.0,
+        reply_slack_s: float | None = 30.0,
+    ) -> None:
         self.host = host
         self.port = port
         self.client = client
+        self.reply_timeout_s = reply_timeout_s
+        self.reply_slack_s = reply_slack_s
         self._ids = itertools.count(1)
         self._pending: dict[int, asyncio.Future[GatewayReply]] = {}
         self._reader: asyncio.StreamReader | None = None
@@ -137,8 +158,23 @@ class AsyncGatewayClient:
             raise
         self._fail_pending(GatewayCallError("gateway closed the connection"))
 
-    async def call(self, doc: Mapping[str, Any]) -> GatewayReply:
-        """Send one request document (``id`` is assigned here) and await."""
+    def _reply_budget(self, request: Mapping[str, Any]) -> float | None:
+        deadline_ms = request.get("deadline_ms")
+        if isinstance(deadline_ms, (int, float)) and not isinstance(
+            deadline_ms, bool
+        ):
+            if self.reply_slack_s is None:
+                return None
+            return max(0.0, deadline_ms) / 1000.0 + self.reply_slack_s
+        return self.reply_timeout_s
+
+    async def call(
+        self, doc: Mapping[str, Any], timeout: float | None = None
+    ) -> GatewayReply:
+        """Send one request document (``id`` is assigned here) and await.
+
+        ``timeout`` overrides the computed reply bound for this call.
+        """
         if self._writer is None or self._closed:
             raise GatewayCallError("client is not connected")
         request = dict(doc)
@@ -153,7 +189,17 @@ class AsyncGatewayClient:
         except (ConnectionError, OSError) as exc:
             self._pending.pop(request["id"], None)
             raise GatewayCallError(f"send failed: {exc}") from exc
-        return await future
+        budget = timeout if timeout is not None else self._reply_budget(request)
+        if budget is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout=budget)
+        except asyncio.TimeoutError:
+            self._pending.pop(request["id"], None)
+            raise GatewayCallError(
+                f"no reply to request {request['id']} within {budget:.3f}s "
+                f"(response lost)"
+            ) from None
 
     # -- typed helpers --------------------------------------------------
     async def ping(self) -> GatewayReply:

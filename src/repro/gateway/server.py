@@ -30,6 +30,7 @@ completion — an answer computed after its deadline is labelled
 from __future__ import annotations
 
 import asyncio
+import math
 import threading
 import time
 from dataclasses import dataclass, field
@@ -325,6 +326,24 @@ class GatewayServer:
             })
             return
 
+        # Malformed deadlines are rejected *before* admission: anything
+        # that can fail after admit() would otherwise leak the client's
+        # concurrency slot and wedge its cap permanently.
+        budget_ms = request.get("deadline_ms")
+        if budget_ms is None:
+            budget_ms = self.config.admission.default_deadline_ms
+        elif (
+            isinstance(budget_ms, bool)
+            or not isinstance(budget_ms, (int, float))
+            or not math.isfinite(budget_ms)
+        ):
+            self._respond(conn, {
+                "id": request.get("id"), "ok": False,
+                "kind": "GatewayError",
+                "error": f"deadline_ms must be a finite number, got {budget_ms!r}",
+            })
+            return
+
         decision = self.admission.admit(client)
         if not decision.admitted:
             assert decision.label is not None
@@ -336,12 +355,18 @@ class GatewayServer:
             })
             return
 
-        budget_ms = request.get("deadline_ms")
-        if budget_ms is None:
-            budget_ms = self.config.admission.default_deadline_ms
-        deadline = received + budget_ms / 1000.0 if budget_ms is not None else None
-        pending = _Pending(conn, request, op, client, received, deadline)
-        if not self.admission.queue.try_push(pending):
+        try:
+            deadline = (
+                received + budget_ms / 1000.0 if budget_ms is not None else None
+            )
+            pending = _Pending(conn, request, op, client, received, deadline)
+            pushed = self.admission.queue.try_push(pending)
+        except BaseException:
+            # Between admit() and a successful try_push() the slot is
+            # ours; never let it escape unreleased.
+            self.admission.release(client)
+            raise
+        if not pushed:
             self.admission.release(client)
             self._dead_letter(
                 REJECTED_QUEUE_FULL, client, op,
@@ -362,11 +387,34 @@ class GatewayServer:
         elif op == "stats":
             result = self.stats()
         else:
-            result = {
+            # "metrics" calls into the backend — for a cluster that is
+            # a synchronous scatter-gather bounded only by rpc_timeout,
+            # so it must not run inline on the event loop (it would
+            # stall parsing, admission and responses on every
+            # connection while it waits).
+            assert self._loop is not None
+            self._loop.create_task(self._answer_metrics(conn, request))
+            return
+        self._respond(conn, {"id": request.get("id"), "ok": True, "result": result})
+
+    async def _answer_metrics(self, conn: _Conn, request: dict[str, Any]) -> None:
+        loop = asyncio.get_running_loop()
+
+        def collect() -> dict[str, Any]:
+            return {
                 "gateway": self.metrics_dict(),
                 "backend": self.backend.metrics(),
             }
-        self._respond(conn, {"id": request.get("id"), "ok": True, "result": result})
+
+        try:
+            result = await loop.run_in_executor(None, collect)
+        except Exception as exc:
+            await self._send(conn, {
+                "id": request.get("id"), "ok": False,
+                "kind": type(exc).__name__, "error": str(exc),
+            })
+            return
+        await self._send(conn, {"id": request.get("id"), "ok": True, "result": result})
 
     def _respond(self, conn: _Conn, doc: dict[str, Any]) -> None:
         """Send from the event loop (fire-and-forget task per frame)."""

@@ -14,8 +14,9 @@ from repro.cluster.harness import (
 )
 from repro.cluster.router import ClusterClosedError, ClusterError, ClusterRouter
 from repro.cluster.rpc import ShardUnavailable
-from repro.engine.transaction import Transaction, Update
+from repro.engine.transaction import Insert, Transaction, Update
 from repro.resilience.degradation import DegradedResult
+from repro.storage.tuples import Schema
 
 N_RECORDS = 240
 
@@ -119,6 +120,75 @@ class TestUpdates:
         assert counter_value(router, "cross_shard_moves_total", relation="r") == 0
         lower = router.query("by_a", 0, 0)
         assert key in {vt.values["id"] for vt in lower}
+
+
+class TestUpdateFailureAtomicity:
+    """A failed write may duplicate transiently but never lose state."""
+
+    def test_failed_move_never_loses_the_tuple(self, router):
+        records = expected_records()
+        key = next(k for k, v in sorted(records.items()) if v["a"] < DOMAIN // 2)
+        router.processes[1].terminate()
+        router.processes[1].join(timeout=5.0)
+        with pytest.raises(ShardUnavailable):
+            router.apply_update(
+                Transaction.of("r", [Update(key, {"a": DOMAIN - 1})])
+            )
+        # Insert-first ordering: the target insert failed, so the tuple
+        # is intact on its source shard and the directory still routes
+        # to it.
+        lower = router.query("by_a", 0, DOMAIN // 2 - 1)
+        assert key in {vt.values["id"] for vt in lower}
+        router.apply_update(Transaction.of("r", [Update(key, {"v": 4321})]))
+        lower = router.query("by_a", 0, DOMAIN // 2 - 1)
+        assert [
+            vt.values["v"] for vt in lower if vt.values["id"] == key
+        ] == [4321]
+
+    def test_failed_insert_leaves_no_phantom_directory_entry(self, router):
+        router.processes[1].terminate()
+        router.processes[1].join(timeout=5.0)
+        schema = Schema("r", ("id", "a", "v"), "id", tuple_bytes=100)
+        new_key = 10**5
+        with pytest.raises(ShardUnavailable):
+            router.apply_update(Transaction.of("r", [
+                Insert(schema.new_record(id=new_key, a=DOMAIN - 1, v=1)),
+            ]))
+        # The shard never acknowledged the insert, so the directory
+        # must not claim the key exists — a later update fails loudly
+        # instead of being misrouted.
+        with pytest.raises(ClusterError, match="no shard owns"):
+            router.apply_update(
+                Transaction.of("r", [Update(new_key, {"v": 1})])
+            )
+
+    def test_failed_delete_keeps_the_directory_entry(self, router):
+        from repro.engine.transaction import Delete
+
+        records = expected_records()
+        key = next(
+            k for k, v in sorted(records.items()) if v["a"] >= DOMAIN // 2
+        )
+        router.processes[1].terminate()
+        router.processes[1].join(timeout=5.0)
+        with pytest.raises(ShardUnavailable):
+            router.apply_update(Transaction.of("r", [Delete(key)]))
+        # The delete was never applied; the key must still be owned.
+        assert router._owner("r", key) == 1
+
+    def test_interleaved_insert_then_update_in_one_txn(self, router):
+        # The overlay must answer ownership for a key inserted earlier
+        # in the same (unflushed) transaction.
+        schema = Schema("r", ("id", "a", "v"), "id", tuple_bytes=100)
+        new_key = 90_000
+        router.apply_update(Transaction.of("r", [
+            Insert(schema.new_record(id=new_key, a=3, v=1)),
+            Update(new_key, {"v": 2}),
+        ]))
+        lower = router.query("by_a", 0, DOMAIN // 2 - 1)
+        assert [
+            vt.values["v"] for vt in lower if vt.values["id"] == new_key
+        ] == [2]
 
 
 class TestRefreshEpochs:

@@ -1,8 +1,10 @@
-"""Framed RPC: wire format, request ids, deadlines, poisoning."""
+"""Framed RPC: wire format, request ids, deadlines, timeout recovery."""
 
+import json
 import socket
 import struct
 import threading
+import time
 
 import pytest
 
@@ -114,15 +116,71 @@ class TestShardClient:
         assert excinfo.value.kind == "KeyError"
         assert client.broken is None  # the op failed; the transport did not
 
-    def test_timeout_poisons_the_connection(self, pair):
+    def test_timeout_abandons_the_call_without_poisoning(self, pair):
         left, _right = pair  # nobody answers
         client = ShardClient(left, shard_id=2, timeout=0.05)
         with pytest.raises(ShardTimeout) as excinfo:
             client.call("query")
         assert excinfo.value.shard_id == 2
+        assert client.broken is None  # framing intact: still serviceable
+
+    def test_recovery_drains_the_late_reply(self, pair):
+        left, right = pair
+        client = ShardClient(left, shard_id=2, timeout=0.05)
+        with pytest.raises(ShardTimeout):
+            client.call("slow")
+        # The worker answers the abandoned request late; the retry must
+        # discard that stale frame and get its own answer.
+        first = recv_frame(right)
+        send_frame(right, {"id": first["id"], "ok": True, "result": "stale"})
+
+        def serve_next():
+            request = recv_frame(right)
+            send_frame(right, {"id": request["id"], "ok": True,
+                               "result": "fresh"})
+
+        thread = threading.Thread(target=serve_next, daemon=True)
+        thread.start()
+        assert client.call("query", timeout=5.0) == "fresh"
+        thread.join(timeout=5.0)
+        assert client.broken is None
+
+    def test_timeout_mid_frame_resynchronizes(self, pair):
+        left, right = pair
+        client = ShardClient(left, shard_id=3, timeout=0.1)
+
+        def dribble():
+            request = recv_frame(right)
+            payload = json.dumps({"id": request["id"], "ok": True,
+                                  "result": "stale"}).encode("utf-8")
+            frame = struct.pack("!I", len(payload)) + payload
+            right.sendall(frame[:5])  # header + 1 byte, then stall
+            time.sleep(0.3)           # the client times out meanwhile
+            right.sendall(frame[5:])  # finish the stale frame late
+            retry = recv_frame(right)
+            send_frame(right, {"id": retry["id"], "ok": True,
+                               "result": "fresh"})
+
+        thread = threading.Thread(target=dribble, daemon=True)
+        thread.start()
+        with pytest.raises(ShardTimeout):
+            client.call("a")
+        assert client.broken is None
+        assert client.call("b", timeout=5.0) == "fresh"
+        thread.join(timeout=5.0)
+
+    def test_send_timeout_poisons_the_connection(self, pair):
+        left, _right = pair
+        # Shrink the send buffer and fill it so sendall blocks past the
+        # deadline: outbound framing is torn mid-frame, which *is* the
+        # unrecoverable case.
+        left.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 4096)
+        client = ShardClient(left, shard_id=7, timeout=0.05)
+        with pytest.raises(ShardTimeout):
+            client.call("bulk", blob="x" * (64 * 1024 * 1024 // 32))
         assert client.broken is not None
         with pytest.raises(ShardUnavailable):
-            client.call("query")  # fails fast, no second deadline wait
+            client.call("ping")  # fails fast, no second deadline wait
 
     def test_out_of_order_id_poisons_the_connection(self, pair):
         left, right = pair

@@ -16,6 +16,7 @@ from repro.gateway import (
     AdmissionConfig,
     AsyncGatewayClient,
     GATEWAY_PROTOCOL,
+    GatewayCallError,
     GatewayConfig,
     GatewayHandle,
     ViewServerBackend,
@@ -248,6 +249,38 @@ class TestAdmissionOverTheWire:
         assert reply.doc.get("late") is True
         assert stats["dead_letters"] == {"expired": 1}
 
+    def test_malformed_deadline_never_leaks_a_concurrency_slot(self):
+        # A string deadline_ms used to raise *after* admit() had taken
+        # the client's slot, permanently wedging its concurrency cap.
+        _, handle = launch_stub(GatewayConfig(
+            admission=AdmissionConfig(client_concurrency=1)
+        ))
+
+        async def go():
+            async with AsyncGatewayClient(
+                "127.0.0.1", handle.port, client="m"
+            ) as conn:
+                bad = [
+                    await conn.call({
+                        "op": "query", "view": "echo", "lo": 1, "hi": 1,
+                        "client": "m", "deadline_ms": "soon",
+                    })
+                    for _ in range(3)
+                ]
+                good = await conn.query("echo", 5, None)
+                return bad, good
+
+        with handle:
+            bad, good = asyncio.run(go())
+            stats = gateway_stats(handle)
+        for reply in bad:
+            assert not reply.ok and reply.kind == "GatewayError"
+            assert "deadline_ms" in reply.error
+        # With a cap of 1, a valid request still gets through: the
+        # malformed frames consumed no slots.
+        assert good.ok and good.result["value"] == 5
+        assert stats["inflight"] == 0
+
     def test_default_deadline_applies_when_request_names_none(self):
         _, handle = launch_stub(GatewayConfig(
             admission=AdmissionConfig(default_deadline_ms=40.0)
@@ -256,6 +289,51 @@ class TestAdmissionOverTheWire:
             reply = call(handle, {"op": "query", "view": "sleep",
                                   "lo": 0.2, "hi": None})
         assert reply.rejected == "expired"
+
+
+class TestBoundedClientAwait:
+    """The server may drop a response; the client must not hang."""
+
+    @staticmethod
+    async def _black_hole_server():
+        async def black_hole(reader, writer):
+            while await reader.read(65536):
+                pass
+
+        return await asyncio.start_server(black_hole, "127.0.0.1", 0)
+
+    def test_dropped_reply_raises_instead_of_hanging(self):
+        async def go():
+            server = await self._black_hole_server()
+            port = server.sockets[0].getsockname()[1]
+            try:
+                async with AsyncGatewayClient("127.0.0.1", port) as conn:
+                    with pytest.raises(GatewayCallError, match="response lost"):
+                        await conn.call({"op": "ping"}, timeout=0.2)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
+
+    def test_deadline_plus_slack_bounds_the_await(self):
+        async def go():
+            server = await self._black_hole_server()
+            port = server.sockets[0].getsockname()[1]
+            try:
+                conn = AsyncGatewayClient("127.0.0.1", port, reply_slack_s=0.1)
+                async with conn:
+                    started = time.monotonic()
+                    with pytest.raises(GatewayCallError, match="response lost"):
+                        await conn.call({"op": "query", "view": "echo",
+                                         "lo": 0, "hi": 0,
+                                         "deadline_ms": 50.0})
+                    assert time.monotonic() - started < 5.0
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        asyncio.run(go())
 
 
 class TestRealBackends:
