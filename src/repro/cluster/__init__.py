@@ -22,7 +22,15 @@ scatter–gather front-end router:
 See ``docs/cluster.md`` for topology and failure-mode semantics.
 """
 
+from .chaos import ChaosError, ChaosInjector
 from .metrics import MetricsMergeError, aggregate_metrics, cluster_registry
+from .replication import (
+    Member,
+    ReplicaSet,
+    ReplicationConfig,
+    ReplicationError,
+    select_promotion_candidate,
+)
 from .router import ClusterClosedError, ClusterError, ClusterRouter
 from .rpc import (
     RemoteOpError,
@@ -32,6 +40,7 @@ from .rpc import (
     ShardUnavailable,
 )
 from .shardmap import ShardMap, ShardMapError
+from .supervisor import ClusterSupervisor
 
 __all__ = [
     "ShardMap",
@@ -44,6 +53,14 @@ __all__ = [
     "ShardTimeout",
     "ShardUnavailable",
     "RemoteOpError",
+    "ReplicationConfig",
+    "ReplicationError",
+    "ReplicaSet",
+    "Member",
+    "select_promotion_candidate",
+    "ClusterSupervisor",
+    "ChaosInjector",
+    "ChaosError",
     "aggregate_metrics",
     "cluster_registry",
     "MetricsMergeError",

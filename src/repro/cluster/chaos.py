@@ -1,0 +1,184 @@
+"""Process-level fault injection for the replicated cluster.
+
+The :class:`ChaosInjector` attacks a live router's worker processes
+with real signals — no mocks, no cooperative flags:
+
+* ``kill``/``kill_primary``/``kill_random_replica`` — SIGKILL, the
+  crash the failover machinery exists for;
+* ``pause``/``resume`` — SIGSTOP/SIGCONT, a *black-holed* worker: the
+  process is alive (its listener even accepts connections at the
+  kernel level) but answers nothing, which is exactly the failure mode
+  heartbeat timeouts and suspect/dead thresholds must catch;
+* ``delay`` — SIGSTOP now, SIGCONT after a timer: a worker that stalls
+  long enough to miss deadlines, then comes back and must be
+  re-integrated (or stay demoted) without corrupting anything.
+
+Every injection is appended to :attr:`events` with a monotonic offset,
+so an experiment can reconstruct the exact fault schedule it ran and
+measure failover latency against the recorded kill instants.
+Randomized choices draw from a seeded generator — the same seed
+replays the same schedule.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import threading
+import time
+from typing import Any
+
+from .replication import Member
+
+__all__ = ["ChaosError", "ChaosInjector"]
+
+
+class ChaosError(RuntimeError):
+    """The requested fault has no valid target."""
+
+
+class ChaosInjector:
+    """Seeded signal-level fault injection against one router."""
+
+    def __init__(self, router: Any, seed: int = 0) -> None:
+        self.router = router
+        self.random = random.Random(seed)
+        #: Injection log: ``{"t", "action", "shard", "member", "pid"}``
+        #: with ``t`` seconds since this injector was created.
+        self.events: list[dict[str, Any]] = []
+        self._t0 = time.monotonic()
+        self._lock = threading.Lock()
+        self._timers: list[threading.Timer] = []
+
+    def _log(self, action: str, member: Member, shard_id: int) -> dict[str, Any]:
+        event = {
+            "t": round(time.monotonic() - self._t0, 6),
+            "action": action,
+            "shard": shard_id,
+            "member": member.member_id,
+            "pid": member.process.pid,
+        }
+        with self._lock:
+            self.events.append(event)
+        return event
+
+    def _shard_of(self, member: Member) -> int:
+        for replica_set in self.router.shards:
+            if member in replica_set.members:
+                return replica_set.shard_id
+        return -1
+
+    def _signal(self, member: Member, signum: int) -> None:
+        pid = member.process.pid
+        if pid is None:
+            raise ChaosError(f"member m{member.member_id} has no pid")
+        try:
+            os.kill(pid, signum)
+        except ProcessLookupError as exc:
+            raise ChaosError(
+                f"member m{member.member_id} (pid {pid}) is already gone"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # crashes
+    # ------------------------------------------------------------------
+    def kill(self, member: Member) -> dict[str, Any]:
+        """SIGKILL one worker — no drain, no goodbye frame."""
+        self._signal(member, signal.SIGKILL)
+        return self._log("kill", member, self._shard_of(member))
+
+    def kill_primary(self, shard: int) -> dict[str, Any]:
+        member = self.router.shards[shard].primary
+        if member is None or not member.process.is_alive():
+            raise ChaosError(f"shard {shard} has no live primary to kill")
+        return self.kill(member)
+
+    def kill_random_replica(self, shard: int | None = None) -> dict[str, Any]:
+        sets = (
+            self.router.shards if shard is None
+            else [self.router.shards[shard]]
+        )
+        candidates = [m for rs in sets for m in rs.live_replicas()]
+        if not candidates:
+            raise ChaosError("no live replica to kill")
+        return self.kill(self.random.choice(candidates))
+
+    # ------------------------------------------------------------------
+    # black holes and delays
+    # ------------------------------------------------------------------
+    def pause(self, member: Member) -> dict[str, Any]:
+        """SIGSTOP: the worker black-holes every RPC but stays alive."""
+        self._signal(member, signal.SIGSTOP)
+        return self._log("pause", member, self._shard_of(member))
+
+    def resume(self, member: Member) -> dict[str, Any]:
+        self._signal(member, signal.SIGCONT)
+        return self._log("resume", member, self._shard_of(member))
+
+    def delay(self, member: Member, seconds: float) -> dict[str, Any]:
+        """Stall the worker for ``seconds``, then let it continue."""
+        event = self.pause(member)
+        timer = threading.Timer(seconds, self._safe_resume, args=(member,))
+        timer.daemon = True
+        timer.start()
+        with self._lock:
+            self._timers.append(timer)
+        return event
+
+    def _safe_resume(self, member: Member) -> None:
+        try:
+            self.resume(member)
+        except ChaosError:
+            pass  # killed or reaped while stopped; nothing to resume
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def at(self, delay_s: float, action: Any, *args: Any) -> threading.Timer:
+        """Run one injection (or any callable) after ``delay_s``.
+
+        Exceptions from the scheduled action are swallowed after being
+        logged as ``failed:<action>`` events — a fault that lost its
+        race (the target died first) must not take the experiment down.
+        """
+        def fire() -> None:
+            try:
+                action(*args)
+            except ChaosError:
+                with self._lock:
+                    self.events.append({
+                        "t": round(time.monotonic() - self._t0, 6),
+                        "action": f"failed:{getattr(action, '__name__', action)}",
+                        "shard": args[0] if args else None,
+                        "member": None,
+                        "pid": None,
+                    })
+
+        timer = threading.Timer(delay_s, fire)
+        timer.daemon = True
+        timer.start()
+        with self._lock:
+            self._timers.append(timer)
+        return timer
+
+    def close(self) -> None:
+        """Cancel pending timers and resume anything still stopped."""
+        with self._lock:
+            timers = list(self._timers)
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()
+        for replica_set in self.router.shards:
+            for member in replica_set.members:
+                if member.process.is_alive():
+                    try:
+                        os.kill(member.process.pid, signal.SIGCONT)
+                    except (ProcessLookupError, TypeError):
+                        pass
+
+    def __enter__(self) -> "ChaosInjector":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

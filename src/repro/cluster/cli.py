@@ -7,6 +7,7 @@ throughput plus the per-shard epoch accounting::
     repro-cluster --shards 4                       # 4-way range-sharded demo
     repro-cluster --shards 8 --scheme hash         # consistent-hash placement
     repro-cluster --shards 2 --strategy immediate  # strategy twin
+    repro-cluster --shards 2 --replicas 1          # replicated + supervised
     repro-cluster --shards 4 --json                # aggregated metrics export
     repro-cluster --shards 2 --state-dir st        # per-shard WAL + checkpoints
     repro-cluster --shards 4 --shard-map-out map.json
@@ -51,6 +52,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         "(default 0: as fast as possible)")
     parser.add_argument("--seed", type=int, default=17,
                         help="seed for data and traffic (default 17)")
+    parser.add_argument("--replicas", type=int, default=0, metavar="N",
+                        help="replica workers per shard beyond the primary "
+                        "(default 0: unreplicated)")
+    parser.add_argument("--supervise", action="store_true",
+                        help="attach the health-checking supervisor "
+                        "(heartbeats, failover promotion, replica respawn); "
+                        "implied by --replicas > 0")
     parser.add_argument("--router-cache", action="store_true",
                         help="cache merged cross-shard results at the router")
     parser.add_argument("--state-dir", default=None, metavar="DIR",
@@ -80,6 +88,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.threads < 1:
         print(f"--threads must be >= 1, got {args.threads}", file=sys.stderr)
         return 2
+    if args.replicas < 0:
+        print(f"--replicas must be >= 0, got {args.replicas}", file=sys.stderr)
+        return 2
 
     router = launch_demo(
         args.shards,
@@ -90,6 +101,8 @@ def main(argv: list[str] | None = None) -> int:
         n_records=args.records,
         seed=args.seed,
         state_dir=args.state_dir,
+        replicas=args.replicas,
+        supervise=args.supervise or args.replicas > 0,
     )
     try:
         if args.shard_map_out is not None:
@@ -118,10 +131,14 @@ def main(argv: list[str] | None = None) -> int:
         if args.json:
             print(json.dumps(router.cluster_metrics(), indent=2, sort_keys=True))
             return 0
+        replication = (
+            f", {args.replicas} replica(s)/shard (supervised)"
+            if args.replicas else ""
+        )
         print(
             f"cluster: {args.shards} shard(s), {args.scheme} placement over "
             f"'a' in [0, {DOMAIN}), strategy {args.strategy}, "
-            f"map v{router.shard_map.version}"
+            f"map v{router.shard_map.version}{replication}"
         )
         print(
             f"served {summary['ops']} requests ({summary['queries']} queries, "

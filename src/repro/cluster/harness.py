@@ -23,8 +23,10 @@ from typing import Any
 
 from repro.engine.transaction import Transaction, Update
 from repro.service.cache import QueryResultCache
+from .replication import ReplicationConfig
 from .router import ClusterRouter
 from .shardmap import ShardMap
+from .supervisor import ClusterSupervisor
 
 __all__ = [
     "DOMAIN",
@@ -32,6 +34,7 @@ __all__ = [
     "demo_spec",
     "demo_shard_map",
     "launch_demo",
+    "live_worker_pids",
     "chunk_bounds",
     "partitioned_cluster_stream",
     "run_cluster_traffic",
@@ -120,18 +123,47 @@ def launch_demo(
     seed: int = 17,
     state_dir: str | None = None,
     rpc_timeout: float = 30.0,
+    replicas: int = 0,
+    supervise: bool = False,
+    replication: ReplicationConfig | None = None,
 ) -> ClusterRouter:
-    """Fork a demo cluster and return its router."""
+    """Fork a demo cluster and return its router.
+
+    ``replicas`` workers per shard beyond the primary; ``supervise``
+    attaches a started :class:`ClusterSupervisor` (heartbeats, failover
+    promotion, respawn) that ``router.close()`` stops automatically.
+    """
     spec = demo_spec(
         n_records=n_records, strategy=strategy, pacing=pacing,
         cache=cache, seed=seed, state_dir=state_dir,
     )
-    return ClusterRouter.launch(
+    if replication is None:
+        replication = ReplicationConfig(replicas=replicas)
+    router = ClusterRouter.launch(
         spec,
         demo_shard_map(n_shards, scheme),
         cache=QueryResultCache() if router_cache else None,
         rpc_timeout=rpc_timeout,
+        replication=replication,
     )
+    if supervise:
+        ClusterSupervisor(router).start()
+    return router
+
+
+def live_worker_pids(router: ClusterRouter) -> list[int]:
+    """Pids of every worker process currently alive under the router.
+
+    Includes supervisor-respawned members, so a test can assert that
+    ``close()`` leaves no orphans no matter how much churn the chaos
+    harness caused: after close, none of these pids may be running.
+    """
+    return [
+        member.process.pid
+        for replica_set in router.shards
+        for member in replica_set.members
+        if member.process.is_alive()
+    ]
 
 
 def chunk_bounds(chunk: int) -> tuple[int, int]:

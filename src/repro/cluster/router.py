@@ -37,8 +37,6 @@ the same traffic surface as a single :class:`ViewServer` — ``query``,
 
 from __future__ import annotations
 
-import multiprocessing
-import socket
 import threading
 from typing import Any, Iterable, Mapping
 
@@ -46,9 +44,10 @@ from repro.resilience.degradation import DegradedResult
 from repro.service.cache import QueryResultCache
 from repro.service.metrics import MetricsRegistry
 from .metrics import aggregate_metrics
-from .rpc import RpcError, ShardClient, ShardTimeout
+from .replication import ReplicaSet, ReplicationConfig, ReplicationError
+from .rpc import RpcError, ShardTimeout
 from .shardmap import ShardMap
-from .worker import decode_answer, encode_operation, worker_main
+from .worker import decode_answer, encode_operation
 
 __all__ = ["ClusterRouter", "ClusterError", "ClusterClosedError"]
 
@@ -124,16 +123,18 @@ class ClusterRouter:
     def __init__(
         self,
         shard_map: ShardMap,
-        clients: list[ShardClient],
-        processes: list[Any],
+        shards: list[ReplicaSet],
         views: dict[str, _ViewMeta],
         directory: dict[tuple[str, Any], int],
         cache: QueryResultCache | None = None,
         rpc_timeout: float = 30.0,
     ) -> None:
         self.shard_map = shard_map
-        self.clients = clients
-        self.processes = processes
+        #: One :class:`ReplicaSet` per shard id, in shard order.
+        self.shards = shards
+        #: Set by the harness when a ClusterSupervisor watches this
+        #: router; close() stops it before reaping workers.
+        self.supervisor: Any = None
         self.metrics = MetricsRegistry()
         self.cache = cache
         self.rpc_timeout = rpc_timeout
@@ -154,10 +155,40 @@ class ClusterRouter:
         self._inflight = 0
         self._closing = False
         self._closed = False
+        #: Per-caller-thread flag: the last query on this thread was
+        #: answered by a replica retry.  The gateway pops it to label
+        #: the outcome ``ok_retry`` in its per-outcome histograms.
+        self._retry_local = threading.local()
 
     def views(self) -> tuple[str, ...]:
         """Names of the views this router can answer, sorted."""
         return tuple(sorted(self._views))
+
+    @property
+    def clients(self) -> list[Any]:
+        """The current primary client per shard (failover-aware)."""
+        return [
+            (rs.primary or rs.members[0]).client for rs in self.shards
+        ]
+
+    @property
+    def processes(self) -> list[Any]:
+        """Every worker process ever spawned, in shard-major order.
+
+        With no replicas this is exactly the one-process-per-shard list
+        the original launch produced; with replicas and respawns it is
+        the full reap list — dead and replaced members included — so
+        nothing the cluster forked can be orphaned.
+        """
+        return [
+            member.process for rs in self.shards for member in rs.members
+        ]
+
+    def pop_retried(self) -> bool:
+        """Consume this thread's replica-retry flag (set by query())."""
+        flag = getattr(self._retry_local, "flag", False)
+        self._retry_local.flag = False
+        return bool(flag)
 
     # ------------------------------------------------------------------
     # construction
@@ -169,16 +200,21 @@ class ClusterRouter:
         shard_map: ShardMap,
         cache: QueryResultCache | None = None,
         rpc_timeout: float = 30.0,
+        replication: ReplicationConfig | None = None,
     ) -> "ClusterRouter":
-        """Partition a cluster spec and fork one worker per shard.
+        """Partition a cluster spec and launch one replica set per shard.
 
         ``spec`` is a worker spec (see :mod:`repro.cluster.worker`)
         whose relation ``records`` hold the *whole* data set; this
         splits every relation by the shard map's partition field,
         builds per-shard specs (with per-shard ``state_dir``
-        subdirectories when durability is requested) and forks the
-        workers over inherited socketpairs.
+        subdirectories when durability is requested) and launches each
+        shard's 1+N workers over TCP listeners on the loopback
+        interface — a listening socket per worker is what lets a
+        poisoned client reconnect to the *same living process* instead
+        of writing the shard off.
         """
+        replication = replication or ReplicationConfig()
         field = shard_map.partition_field
         views = {}
         for view_doc in spec.get("views", ()):
@@ -201,9 +237,10 @@ class ClusterRouter:
                 directory[(rel["name"], values[rel["key_field"]])] = shard
             shard_records[rel["name"]] = buckets
 
-        context = multiprocessing.get_context("fork")
-        clients: list[ShardClient] = []
-        processes: list[Any] = []
+        router = cls(
+            shard_map, [], views, directory,
+            cache=cache, rpc_timeout=rpc_timeout,
+        )
         try:
             for shard in range(shard_map.n_shards):
                 shard_spec = dict(spec)
@@ -212,31 +249,19 @@ class ClusterRouter:
                     {**rel, "records": shard_records[rel["name"]][shard]}
                     for rel in spec.get("relations", ())
                 ]
+                state_dir = None
                 if spec.get("state_dir") is not None:
-                    shard_spec["state_dir"] = str(spec["state_dir"]) + (
-                        f"/shard-{shard:03d}"
-                    )
-                parent_sock, child_sock = socket.socketpair()
-                process = context.Process(
-                    target=worker_main,
-                    args=(child_sock, shard_spec, shard),
-                    name=f"repro-shard-{shard}",
-                    daemon=True,
-                )
-                process.start()
-                child_sock.close()
-                clients.append(ShardClient(parent_sock, shard, timeout=rpc_timeout))
-                processes.append(process)
+                    state_dir = f"{spec['state_dir']}/shard-{shard:03d}"
+                router.shards.append(ReplicaSet.launch(
+                    shard, shard_spec, replication,
+                    rpc_timeout=rpc_timeout, state_dir=state_dir,
+                    metrics=router.metrics,
+                ))
         except BaseException:
-            for client in clients:
-                client.close()
-            for process in processes:
-                process.terminate()
+            for replica_set in router.shards:
+                replica_set.close(rpc_timeout=2.0)
             raise
-        return cls(
-            shard_map, clients, processes, views, directory,
-            cache=cache, rpc_timeout=rpc_timeout,
-        )
+        return router
 
     # ------------------------------------------------------------------
     # request accounting (drain-before-close)
@@ -340,10 +365,11 @@ class ClusterRouter:
                 self.metrics.counter("single_shard_queries_total", view=name).inc()
             else:
                 self.metrics.counter("scatter_queries_total", view=name).inc()
-            results, failures = self._scatter(
-                shards, "query", timeout=timeout,
-                view=name, lo=lo, hi=hi, client=client,
+            results, failures, retried = self._scatter_query(
+                shards, name, lo, hi, client, timeout
             )
+            if retried:
+                self._retry_local.flag = True
             answer = self._merge(meta, shards, results, failures, allow_partial)
             if (
                 token is not None
@@ -358,6 +384,71 @@ class ClusterRouter:
             return answer
         finally:
             self._exit()
+
+    def _scatter_query(
+        self,
+        shards: Iterable[int],
+        name: str,
+        lo: Any,
+        hi: Any,
+        client: str,
+        timeout: float | None,
+    ) -> tuple[dict[int, Any], dict[int, Exception], bool]:
+        """Scatter one query, retrying each leg on replicas.
+
+        Each leg goes through its shard's :meth:`ReplicaSet.query`:
+        primary first, then the most-caught-up live replicas within
+        the remaining deadline.  A leg served by a *lagging* replica is
+        labelled ``stale_read`` with the replica's lag in operations as
+        the staleness bound — a caught-up replica's answer is simply
+        correct and carries no label.  Degraded labels only appear when
+        every member of a shard is unreachable, the honest last resort.
+        """
+        shard_list = list(shards)
+        results: dict[int, Any] = {}
+        failures: dict[int, Exception] = {}
+        retried_legs: dict[int, bool] = {}
+
+        def leg(shard: int) -> None:
+            try:
+                doc, info = self.shards[shard].query(
+                    timeout=timeout, view=name, lo=lo, hi=hi, client=client,
+                )
+            except (RpcError, ReplicationError) as exc:
+                failures[shard] = exc
+                return
+            if info.get("retried"):
+                retried_legs[shard] = True
+                self.metrics.counter(
+                    "replica_served_total", shard=str(shard)
+                ).inc()
+                lag = int(info.get("lag", 0))
+                if lag > 0 and doc.get("degraded") is None:
+                    doc = dict(doc)
+                    doc["degraded"] = {
+                        "view": name,
+                        "mode": "stale_read",
+                        "reason": (
+                            f"served by shard {shard} replica "
+                            f"m{info.get('member')} lagging {lag} ops"
+                        ),
+                        "staleness_bound": lag,
+                        "strategy": "replica",
+                    }
+            results[shard] = doc
+
+        if len(shard_list) == 1:
+            leg(shard_list[0])
+        else:
+            threads = [
+                threading.Thread(target=leg, args=(shard,), daemon=True)
+                for shard in shard_list
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        return results, failures, any(retried_legs.values())
 
     def _cache_token(self, meta: _ViewMeta) -> Any:
         if self.cache is None:
@@ -581,11 +672,13 @@ class ClusterRouter:
 
         def leg(shard: int) -> None:
             try:
-                results[shard] = self.clients[shard].call(
-                    "update", relation=relation, ops=pending[shard],
-                    client=client,
+                # Through the replica set: the batch gets its epoch,
+                # lands on the (possibly just-promoted) primary, and is
+                # shipped to replicas before the ack comes back.
+                results[shard] = self.shards[shard].apply_update(
+                    relation, pending[shard], client=client,
                 )
-            except RpcError as exc:
+            except (RpcError, ReplicationError) as exc:
                 failures[shard] = exc
 
         if len(shards) == 1:
@@ -622,7 +715,9 @@ class ClusterRouter:
         duplicate (recoverable — the directory already points at the
         authoritative new copy) rather than a lost tuple.
         """
-        fetched = self.clients[source].call("fetch", relation=relation, key=key)
+        fetched = self.shards[source].call_primary(
+            "fetch", relation=relation, key=key
+        )
         values = fetched.get("values")
         if values is None:
             raise ClusterError(
@@ -631,15 +726,15 @@ class ClusterRouter:
             )
         values = dict(values)
         values.update(changes)
-        self.clients[target].call(
-            "update", relation=relation, client=client,
-            ops=[{"kind": "insert", "values": values}],
+        # Both halves go through the replica sets so the move is
+        # shipped to replicas like any other committed batch.
+        self.shards[target].apply_update(
+            relation, [{"kind": "insert", "values": values}], client=client,
         )
         with self._directory_lock:
             self._directory[(relation, key)] = target
-        self.clients[source].call(
-            "update", relation=relation, client=client,
-            ops=[{"kind": "delete", "key": key}],
+        self.shards[source].apply_update(
+            relation, [{"kind": "delete", "key": key}], client=client,
         )
         self.metrics.counter("cross_shard_moves_total", relation=relation).inc()
         self.metrics.counter("shard_updates_total", shard=str(source)).inc()
@@ -651,16 +746,27 @@ class ClusterRouter:
     def refresh_epoch(self, timeout: float | None = None) -> bool:
         """One cluster-wide deferred-refresh epoch, coalesced.
 
-        The leader scatters ``refresh`` to every shard (each shard's
-        SharedDeltaPlanner folds its partition's net change exactly
-        once); concurrent callers wait on the in-flight epoch instead
-        of stacking duplicate scatters, then return ``False`` — the
-        same leader/follower contract as the per-shard planner.
+        The leader scatters ``refresh`` to every shard's replica set
+        (each shard's SharedDeltaPlanner folds its partition's net
+        change exactly once; a dead primary is failed over first);
+        concurrent callers wait on the in-flight epoch instead of
+        stacking duplicate scatters, then return ``False``.
+
+        Two failure rules keep the epoch honest under crashes:
+
+        * a shard whose *every* member is gone does not veto the
+          epoch — the survivors converge and the lost legs are counted
+          in ``refresh_leg_failures_total``; only a scatter with *no*
+          surviving leg raises;
+        * a follower that wakes to find the epoch count unchanged knows
+          its leader died mid-epoch and loops back to take over the
+          leadership instead of reporting an epoch that never happened.
         """
         self._enter()
         try:
             while True:
                 with self._epoch_lock:
+                    epochs_seen = self.epochs
                     event = self._epoch_inflight
                     if event is None:
                         event = threading.Event()
@@ -670,13 +776,14 @@ class ClusterRouter:
                         leading = False
                 if leading:
                     try:
-                        _results, failures = self._scatter(
-                            self.shard_map.all_shards(), "refresh",
-                            timeout=timeout,
-                        )
-                        if failures:
+                        results, failures = self._scatter_refresh(timeout)
+                        if not results:
                             shard, exc = next(iter(failures.items()))
                             raise exc
+                        for shard in failures:
+                            self.metrics.counter(
+                                "refresh_leg_failures_total", shard=str(shard)
+                            ).inc()
                         with self._epoch_lock:
                             self.epochs += 1
                         self.metrics.counter("cluster_refresh_epochs_total").inc()
@@ -689,9 +796,37 @@ class ClusterRouter:
                     self.coalesced_waits += 1
                 self.metrics.counter("cluster_refresh_coalesced_total").inc()
                 event.wait()
-                return False
+                with self._epoch_lock:
+                    advanced = self.epochs > epochs_seen
+                if advanced:
+                    return False
+                # The leader failed without completing the epoch; take
+                # over rather than pretending a refresh happened.
+
         finally:
             self._exit()
+
+    def _scatter_refresh(
+        self, timeout: float | None
+    ) -> tuple[dict[int, Any], dict[int, Exception]]:
+        results: dict[int, Any] = {}
+        failures: dict[int, Exception] = {}
+
+        def leg(shard: int) -> None:
+            try:
+                results[shard] = self.shards[shard].refresh(timeout=timeout)
+            except (RpcError, ReplicationError) as exc:
+                failures[shard] = exc
+
+        threads = [
+            threading.Thread(target=leg, args=(shard,), daemon=True)
+            for shard in self.shard_map.all_shards()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return results, failures
 
     # ------------------------------------------------------------------
     # observability
@@ -763,17 +898,14 @@ class ClusterRouter:
                 lambda: self._inflight == 0, timeout=drain_timeout
             )
             self._closed = True
-        for client in self.clients:
-            try:
-                client.call("shutdown", timeout=min(self.rpc_timeout, 10.0))
-            except RpcError:
-                pass  # already gone; the join/terminate below reaps it
-            client.close()
-        for process in self.processes:
-            process.join(timeout=10.0)
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=5.0)
+        # The supervisor stops first so no respawn can race the reap:
+        # after stop() returns, the member lists are final and every
+        # process ever forked — original, promoted, respawned — is in
+        # them.
+        if self.supervisor is not None:
+            self.supervisor.stop()
+        for replica_set in self.shards:
+            replica_set.close(rpc_timeout=min(self.rpc_timeout, 10.0))
 
     def __enter__(self) -> "ClusterRouter":
         return self

@@ -33,6 +33,7 @@ import json
 import socket
 import struct
 import threading
+import time
 from typing import Any, Mapping
 
 __all__ = [
@@ -151,11 +152,22 @@ class ShardClient:
     """
 
     def __init__(
-        self, sock: socket.socket, shard_id: int, timeout: float = 10.0
+        self,
+        sock: socket.socket,
+        shard_id: int,
+        timeout: float = 10.0,
+        address: tuple[str, int] | None = None,
     ) -> None:
         self.sock = sock
         self.shard_id = shard_id
         self.timeout = timeout
+        #: Where the worker listens, when known.  A client with an
+        #: address is *repairable*: :meth:`reconnect` can replace a
+        #: poisoned transport with a fresh connection to the same
+        #: worker instead of removing the shard from service forever.
+        self.address = address
+        #: Successful :meth:`reconnect` repairs on this client.
+        self.reconnects_total = 0
         self._mutex = threading.Lock()
         self._next_id = 0
         self._broken: str | None = None
@@ -170,6 +182,70 @@ class ShardClient:
     def broken(self) -> str | None:
         """Why the connection is poisoned, or ``None`` if healthy."""
         return self._broken
+
+    def reconnect(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 1.0,
+        connect_timeout: float = 2.0,
+    ) -> None:
+        """Replace a poisoned transport with a fresh connection.
+
+        Retries with capped exponential backoff (``base_delay * 2**i``
+        capped at ``max_delay``); on success the framing state is reset
+        — receive buffer cleared, request ids restarted — because the
+        new connection shares no history with the old one.  Raises
+        :class:`ShardUnavailable` when no address is known or every
+        attempt fails; the client stays poisoned in that case so callers
+        keep failing fast.
+        """
+        with self._mutex:
+            if self._closed:
+                raise ShardUnavailable(self.shard_id, "client closed")
+            if self.address is None:
+                raise ShardUnavailable(
+                    self.shard_id, "no worker address to reconnect to"
+                )
+            last_error: Exception | None = None
+            for attempt in range(max(1, attempts)):
+                if attempt:
+                    time.sleep(min(max_delay, base_delay * 2 ** (attempt - 1)))
+                try:
+                    sock = socket.create_connection(
+                        self.address, timeout=connect_timeout
+                    )
+                except OSError as exc:
+                    last_error = exc
+                    continue
+                try:
+                    # shutdown(), not just close(): workers forked after
+                    # this connection was established inherited a
+                    # duplicate of its descriptor, so close() alone
+                    # would never deliver EOF — the worker would stay
+                    # blocked on the old connection instead of
+                    # accepting the replacement.  shutdown() sends FIN
+                    # at the connection level regardless of how many
+                    # processes still hold the descriptor.
+                    self.sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    self.sock.close()
+                except OSError:
+                    pass
+                sock.settimeout(self.timeout)
+                self.sock = sock
+                self._rxbuf.clear()
+                self._next_id = 0
+                self._broken = None
+                self.reconnects_total += 1
+                return
+            raise ShardUnavailable(
+                self.shard_id,
+                f"reconnect to {self.address} failed after {attempts} "
+                f"attempts: {last_error}",
+            )
 
     def _read_frame(self) -> dict[str, Any] | None:
         """One frame via the persistent receive buffer."""
@@ -266,6 +342,10 @@ class ShardClient:
             if self._closed:
                 return
             self._closed = True
+            try:
+                self.sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self.sock.close()
             except OSError:

@@ -41,6 +41,8 @@ from .rpc import recv_frame, send_frame
 
 __all__ = [
     "WorkerSpecError",
+    "DeltaGapError",
+    "WorkerState",
     "build_server",
     "worker_main",
     "encode_operation",
@@ -52,6 +54,26 @@ __all__ = [
 
 class WorkerSpecError(ValueError):
     """A worker spec document is malformed or unsupported."""
+
+
+class DeltaGapError(RuntimeError):
+    """A shipped delta skipped an epoch: the replica must re-bootstrap."""
+
+
+class WorkerState:
+    """Per-process replication state the serve loop threads through.
+
+    ``applied_epoch`` counts the committed update batches this worker
+    has absorbed — via epoch-tagged ``update`` calls on a primary or
+    ``apply_delta`` shipments on a replica — so any member can report
+    how caught-up it is and serve a consistent ``snapshot`` for a
+    replacement worker's bootstrap.
+    """
+
+    __slots__ = ("applied_epoch",)
+
+    def __init__(self, applied_epoch: int = 0) -> None:
+        self.applied_epoch = applied_epoch
 
 
 # ----------------------------------------------------------------------
@@ -194,18 +216,71 @@ def _logical_records(database: Database, relation_name: str) -> list[Any]:
     return list(relation.records_snapshot())
 
 
-def _handle(server: ViewServer, op: str, request: Mapping[str, Any]) -> Any:
+def _apply_ops(
+    server: ViewServer, relation: str, ops: Any, client: str
+) -> int:
+    schema = server.database.relations[relation].schema
+    txn = Transaction.of(
+        relation, [decode_operation(schema, doc) for doc in ops]
+    )
+    server.apply_update(txn, client=client)
+    return len(txn)
+
+
+def _handle(
+    server: ViewServer,
+    op: str,
+    request: Mapping[str, Any],
+    state: WorkerState,
+) -> Any:
     if op == "ping":
-        return {"views": list(server.views())}
+        return {"views": list(server.views()), "epoch": state.applied_epoch}
     if op == "update":
-        relation = request["relation"]
-        schema = server.database.relations[relation].schema
-        txn = Transaction.of(
-            relation,
-            [decode_operation(schema, doc) for doc in request["ops"]],
+        # A replicated primary tags each batch with the epoch the
+        # router assigned it, so a snapshot taken from this worker
+        # carries an exact catch-up position — and a retried write
+        # whose first attempt committed before the connection broke
+        # is recognized and skipped instead of double-applied.
+        epoch = request.get("epoch")
+        if isinstance(epoch, int) and epoch <= state.applied_epoch:
+            return {"applied": 0, "epoch": state.applied_epoch,
+                    "duplicate": True}
+        applied = _apply_ops(
+            server, request["relation"], request["ops"],
+            request.get("client", "router"),
         )
-        server.apply_update(txn, client=request.get("client", "router"))
-        return {"applied": len(txn)}
+        if isinstance(epoch, int):
+            state.applied_epoch = epoch
+        return {"applied": applied}
+    if op == "apply_delta":
+        epoch = int(request["epoch"])
+        if epoch <= state.applied_epoch:
+            # A re-shipped batch this replica already holds (catch-up
+            # after a repair overlaps the live stream): idempotent skip.
+            return {"applied": 0, "epoch": state.applied_epoch,
+                    "duplicate": True}
+        if epoch != state.applied_epoch + 1:
+            raise DeltaGapError(
+                f"delta epoch {epoch} skips ahead of applied "
+                f"{state.applied_epoch}; replica needs a snapshot bootstrap"
+            )
+        applied = _apply_ops(
+            server, request["relation"], request["ops"],
+            request.get("client", "replication"),
+        )
+        state.applied_epoch = epoch
+        return {"applied": applied, "epoch": state.applied_epoch}
+    if op == "snapshot":
+        # The router holds the shard's write lock while fetching, so
+        # the records and the epoch cut the same consistent state.
+        relations = {
+            name: [
+                dict(record.values)
+                for record in _logical_records(server.database, name)
+            ]
+            for name in sorted(server.database.relations)
+        }
+        return {"epoch": state.applied_epoch, "relations": relations}
     if op == "fetch":
         for record in _logical_records(server.database, request["relation"]):
             if record.key == request["key"]:
@@ -245,8 +320,18 @@ def _handle(server: ViewServer, op: str, request: Mapping[str, Any]) -> Any:
     raise WorkerSpecError(f"unknown op {op!r}")
 
 
-def serve(sock: socket.socket, server: ViewServer, shard_id: int) -> None:
-    """Answer framed requests until a ``shutdown`` op or router EOF.
+def serve(
+    sock: socket.socket,
+    server: ViewServer,
+    shard_id: int,
+    state: WorkerState | None = None,
+) -> str:
+    """Answer framed requests until a ``shutdown`` op or peer EOF.
+
+    Returns ``"shutdown"`` when the router asked the worker to exit and
+    ``"eof"`` when the connection merely closed — the accept loop in
+    :func:`worker_main` uses the distinction to keep the process alive
+    across a router-side reconnect.
 
     Requests on one connection are handled strictly in order, so by the
     time ``shutdown`` is read every earlier request has been fully
@@ -254,18 +339,23 @@ def serve(sock: socket.socket, server: ViewServer, shard_id: int) -> None:
     sent *before* the durability seal so the router is never left
     waiting on a final checkpoint.
     """
+    if state is None:
+        state = WorkerState()
     while True:
-        request = recv_frame(sock)
+        try:
+            request = recv_frame(sock)
+        except OSError:
+            return "eof"
         if request is None:
-            return  # router vanished; finish via the finally in worker_main
+            return "eof"
         request_id = request.get("id")
         op = str(request.get("op", ""))
         if op == "shutdown":
             send_frame(sock, {"id": request_id, "ok": True,
                               "result": {"shard": shard_id}})
-            return
+            return "shutdown"
         try:
-            result = _handle(server, op, request)
+            result = _handle(server, op, request, state)
         except Exception as exc:  # surfaced to the router as an error frame
             response = {
                 "id": request_id,
@@ -275,11 +365,24 @@ def serve(sock: socket.socket, server: ViewServer, shard_id: int) -> None:
             }
         else:
             response = {"id": request_id, "ok": True, "result": result}
-        send_frame(sock, response)
+        try:
+            send_frame(sock, response)
+        except OSError:
+            return "eof"
 
 
-def worker_main(sock: socket.socket, spec: Mapping[str, Any], shard_id: int) -> None:
+def worker_main(
+    listener: socket.socket, spec: Mapping[str, Any], shard_id: int
+) -> None:
     """Process entry point for one shard worker.
+
+    ``listener`` is a *listening* TCP socket inherited from the router.
+    The worker accepts one connection at a time and serves it to EOF,
+    then loops back to ``accept`` — this is what lets the router repair
+    a poisoned :class:`~repro.cluster.rpc.ShardClient` with
+    ``reconnect()`` instead of declaring the shard dead: the worker
+    process (and all its state) outlives any single connection.  Only
+    an explicit ``shutdown`` op ends the process.
 
     SIGINT is ignored: a Ctrl-C at the terminal reaches the whole
     process group, and the worker must stay alive long enough for the
@@ -289,10 +392,24 @@ def worker_main(sock: socket.socket, spec: Mapping[str, Any], shard_id: int) -> 
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     server = build_server(spec)
+    state = WorkerState(int(spec.get("replica_epoch", 0)))
     try:
-        serve(sock, server, shard_id)
+        while True:
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                break  # listener torn down under us: exit cleanly
+            try:
+                reason = serve(conn, server, shard_id, state)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if reason == "shutdown":
+                break
     finally:
         try:
             server.shutdown()
         finally:
-            sock.close()
+            listener.close()

@@ -76,7 +76,9 @@ GLOBAL_BURST = 8
 CLIENT_CONCURRENCY = 64
 
 #: Outcomes an overload run is allowed to produce.
-_ALLOWED_OUTCOMES = frozenset(("ok", "degraded")) | frozenset(REJECTION_LABELS)
+_ALLOWED_OUTCOMES = (
+    frozenset(("ok", "ok_retry", "degraded")) | frozenset(REJECTION_LABELS)
+)
 
 
 @dataclass

@@ -7,7 +7,8 @@ one: the paper's artifacts (``fig1`` .. ``fig9``, ``params``,
 simulation-side checks (``validate``, ``sim-fig1``/``5``/``8``,
 ``ablation``) and the extensions (``ext-async``, ``ext-snapshot``,
 ``ext-hybrid``, ``ext-five``, ``ext-service``, ``ext-durability``,
-``ext-resilience``, ``ext-cluster``, ``ext-gateway``).
+``ext-resilience``, ``ext-cluster``, ``ext-gateway``,
+``ext-failover``).
 ``--csv DIR`` additionally writes raw data files, and ``--jobs N``
 fans independent experiments across a process pool (each experiment
 builds its own engines, so they share no state).
@@ -29,6 +30,7 @@ from . import (
     components,
     durability,
     extensions,
+    failover,
     figures,
     gateway,
     resilience,
@@ -81,6 +83,7 @@ EXPERIMENTS: dict[str, Callable[[], list[Artifact]]] = {
     "ext-resilience": lambda: [resilience.resilience_table()],
     "ext-cluster": lambda: [cluster.cluster_scaling_table()],
     "ext-gateway": lambda: [gateway.gateway_table()],
+    "ext-failover": lambda: [failover.failover_table()],
     "ablation": lambda: [
         ablation.ad_file_ablation(),
         ablation.bloom_filter_ablation(),

@@ -144,6 +144,10 @@ class ClusterBackend:
     ) -> Any:
         return self.router.query(view, lo, hi, client=client, timeout=timeout)
 
+    def pop_retry_flag(self) -> bool:
+        """Whether this thread's last query was served via replica retry."""
+        return self.router.pop_retried()
+
     def update(
         self, relation: str, ops: list[Mapping[str, Any]], client: str,
         timeout: float | None = None,
@@ -462,7 +466,23 @@ class GatewayServer:
                     pending.client, timeout=remaining,
                 )
                 result = encode_answer(answer)
-                outcome = "degraded" if result.get("degraded") else "ok"
+                # pop_retry_flag runs on this same worker thread, so
+                # the flag the router parked thread-locally belongs to
+                # exactly this request.
+                retried = bool(getattr(
+                    self.backend, "pop_retry_flag", lambda: False
+                )())
+                if retried:
+                    result["retried"] = True
+                if result.get("degraded"):
+                    outcome = "degraded"
+                elif retried:
+                    # A full-fidelity answer that needed a replica
+                    # retry: correct, but worth its own histogram —
+                    # failover latency hides inside these.
+                    outcome = "ok_retry"
+                else:
+                    outcome = "ok"
             else:
                 applied = self.backend.update(
                     request["relation"], request.get("ops", ()),
@@ -471,6 +491,23 @@ class GatewayServer:
                 result = {"applied": applied}
                 outcome = "ok"
         except Exception as exc:
+            if (
+                pending.deadline is not None
+                and time.monotonic() >= pending.deadline - 0.010
+            ):
+                # The budget ran out mid-call: backends that honour the
+                # remaining-time budget (cluster shard legs) raise when
+                # it is exhausted, so the honest label is the deadline's
+                # — expired — not an engine error.
+                self._dead_letter(
+                    EXPIRED, pending, pending.op, "deadline cut mid-call",
+                    (time.monotonic() - pending.received) * 1000.0,
+                )
+                self._finish(pending, EXPIRED, {
+                    "id": request.get("id"), "ok": False,
+                    "rejected": EXPIRED, "late": True,
+                })
+                return
             self._finish(pending, "error", {
                 "id": request.get("id"), "ok": False,
                 "kind": type(exc).__name__, "error": str(exc),

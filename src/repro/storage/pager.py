@@ -320,11 +320,14 @@ class SimulatedDisk:
 
     def page_count(self, file: str) -> int:
         """Number of allocated pages in one file."""
-        return sum(1 for pid in self._pages if pid.file == file)
+        # list() snapshots the keys atomically (single bytecode under
+        # the GIL); bare iteration races concurrent allocate() calls
+        # with "dictionary changed size during iteration".
+        return sum(1 for pid in list(self._pages) if pid.file == file)
 
     def files(self) -> list[str]:
         """Every file name with at least one allocated page, sorted."""
-        return sorted({pid.file for pid in self._pages})
+        return sorted({pid.file for pid in list(self._pages)})
 
     def allocate(self, file: str, capacity: int) -> Page:
         """Allocate a fresh page in ``file`` (no I/O is charged)."""
@@ -367,7 +370,7 @@ class SimulatedDisk:
 
     def file_pages(self, file: str) -> list[PageId]:
         """All page ids of a file, in allocation order."""
-        pids = [pid for pid in self._pages if pid.file == file]
+        pids = [pid for pid in list(self._pages) if pid.file == file]
         pids.sort(key=lambda pid: pid.number)
         return pids
 

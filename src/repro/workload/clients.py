@@ -97,10 +97,15 @@ class LoadReport:
     #: Wall time including the drain of in-flight tails.
     wall_s: float = 0.0
     #: outcome label -> completion count.  Outcomes are ``ok``,
-    #: ``degraded``, the admission rejection labels, ``error`` (engine
-    #: exception) and ``lost`` (connection died mid-call).
+    #: ``ok_retry`` (full-fidelity answer that needed a replica
+    #: retry), ``degraded``, the admission rejection labels, ``error``
+    #: (engine exception) and ``lost`` (connection died mid-call).
     outcomes: dict[str, int] = field(default_factory=dict)
     latencies_ms: dict[str, list[float]] = field(default_factory=dict)
+    #: Per-completion ``(monotonic_time, outcome)`` samples in
+    #: completion order — what failover experiments slice into
+    #: pre-kill / failover-window / post-window populations.
+    samples: list[tuple[float, str]] = field(default_factory=list)
     #: Invariant violations in admitted answers — must stay empty.
     wrong: list[str] = field(default_factory=list)
     #: Engine error messages (first few, for diagnosis).
@@ -108,14 +113,23 @@ class LoadReport:
     #: Gateway ``stats`` snapshot taken after the run, when available.
     server_stats: dict[str, Any] | None = None
 
-    def record(self, outcome: str, latency_ms: float) -> None:
+    def record(
+        self, outcome: str, latency_ms: float, at: float | None = None,
+    ) -> None:
         """Count one completion under ``outcome`` with its latency."""
         self.outcomes[outcome] = self.outcomes.get(outcome, 0) + 1
         self.latencies_ms.setdefault(outcome, []).append(latency_ms)
+        self.samples.append(
+            (time.monotonic() if at is None else at, outcome)
+        )
 
     @property
     def ok(self) -> int:
-        return self.outcomes.get("ok", 0) + self.outcomes.get("degraded", 0)
+        return (
+            self.outcomes.get("ok", 0)
+            + self.outcomes.get("ok_retry", 0)
+            + self.outcomes.get("degraded", 0)
+        )
 
     @property
     def rejected(self) -> int:
@@ -261,8 +275,13 @@ async def _issue(
     latency_ms = (time.monotonic() - started) * 1000.0
     if reply.ok:
         result = reply.result
-        degraded = isinstance(result, Mapping) and result.get("degraded")
-        report.record("degraded" if degraded else "ok", latency_ms)
+        if isinstance(result, Mapping) and result.get("degraded"):
+            outcome = "degraded"
+        elif isinstance(result, Mapping) and result.get("retried"):
+            outcome = "ok_retry"
+        else:
+            outcome = "ok"
+        report.record(outcome, latency_ms)
         if validator is not None:
             problem = validator(result)
             if problem is not None:

@@ -1,0 +1,112 @@
+"""Promotion safety under arbitrary crash/lag schedules (hypothesis).
+
+The invariant behind "promotion preserves acked writes": the candidate
+:func:`select_promotion_candidate` picks is never behind another live
+replica — whatever epochs the replicas reached and whichever subset of
+members crashed or was declared dead before the primary was lost.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.cluster.replication import Member, select_promotion_candidate
+
+
+class FakeProcess:
+    """Just enough process surface for health checks: pid + liveness."""
+
+    def __init__(self, alive=True):
+        self.pid = 4242
+        self._alive = alive
+
+    def is_alive(self):
+        return self._alive
+
+
+def make_member(member_id, role, applied_epoch, health, alive):
+    member = Member(
+        member_id, role, client=None,
+        process=FakeProcess(alive), address=("127.0.0.1", 0),
+    )
+    member.applied_epoch = applied_epoch
+    member.health = health
+    return member
+
+
+def live_replicas(members):
+    return [
+        m for m in members
+        if m.role == "replica" and m.health != "dead" and m.process.is_alive()
+    ]
+
+
+member_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["primary", "replica"]),
+        st.integers(min_value=0, max_value=50),
+        st.sampled_from(["healthy", "suspect", "dead"]),
+        st.booleans(),
+    ),
+    max_size=9,
+)
+
+
+@given(member_specs)
+def test_candidate_is_the_most_caught_up_live_replica(specs):
+    members = [make_member(i, *spec) for i, spec in enumerate(specs)]
+    candidate = select_promotion_candidate(members)
+    live = live_replicas(members)
+    if candidate is None:
+        assert not live
+        return
+    assert candidate in live
+    # Safety: never promote a replica behind another live replica —
+    # that would silently drop acked writes the better replica holds.
+    assert all(candidate.applied_epoch >= m.applied_epoch for m in live)
+    # Determinism: ties break toward the oldest member id, so repeated
+    # selection over the same state cannot flip-flop.
+    tied = [m for m in live if m.applied_epoch == candidate.applied_epoch]
+    assert candidate.member_id == min(m.member_id for m in tied)
+
+
+schedule_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("ship"), st.integers(0, 8), st.integers(1, 4)),
+        st.tuples(st.just("crash"), st.integers(0, 8)),
+        st.tuples(st.just("mark_dead"), st.integers(0, 8)),
+    ),
+    max_size=60,
+)
+
+
+@given(st.integers(min_value=2, max_value=6), schedule_ops)
+def test_promotion_after_a_crash_and_lag_schedule(n_members, ops):
+    """Replay a random schedule, then lose the primary and promote."""
+    members = [make_member(0, "primary", 0, "healthy", True)] + [
+        make_member(i, "replica", 0, "healthy", True)
+        for i in range(1, n_members)
+    ]
+    write_epoch = 0
+    for op in ops:
+        target = members[op[1] % n_members]
+        if op[0] == "ship":
+            # A batch commits; this member may or may not apply it —
+            # applied epochs never run ahead of the write epoch.
+            write_epoch += op[2]
+            if target.role == "replica" and target.is_live:
+                target.applied_epoch = min(
+                    write_epoch, target.applied_epoch + op[2]
+                )
+        elif op[0] == "crash":
+            target.process._alive = False
+        else:
+            target.health = "dead"
+    members[0].process._alive = False  # the fault that forces promotion
+
+    candidate = select_promotion_candidate(members)
+    live = live_replicas(members)
+    if not live:
+        assert candidate is None
+        return
+    assert candidate in live
+    assert candidate.applied_epoch == max(m.applied_epoch for m in live)
+    assert candidate.applied_epoch <= write_epoch

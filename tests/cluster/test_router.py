@@ -220,6 +220,63 @@ class TestRefreshEpochs:
         assert router.epochs + router.coalesced_waits == 4
 
 
+class TestRefreshUnderFaults:
+    def test_refresh_epoch_survives_a_worker_crash_mid_cluster(self, router):
+        router.apply_update(Transaction.of("r", [Update(0, {"v": 2})]))
+        router.processes[1].terminate()
+        router.processes[1].join(timeout=5.0)
+        # The surviving leg's answer is the epoch's result; the dead
+        # leg is counted, not fatal.
+        assert router.refresh_epoch() is True
+        assert router.epochs == 1
+        assert counter_value(router, "refresh_leg_failures_total", shard="1") >= 1
+
+    def test_concurrent_refresh_with_a_dead_leg_still_converges(self, router):
+        router.processes[1].terminate()
+        router.processes[1].join(timeout=5.0)
+        outcomes = []
+
+        def caller():
+            outcomes.append(router.refresh_epoch())
+
+        threads = [threading.Thread(target=caller) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(outcomes) == 4 and any(outcomes)
+        # The coalescing invariant holds under partial failure too:
+        # every caller either led an epoch or waited on one in flight.
+        assert router.epochs + router.coalesced_waits == 4
+
+    def test_refresh_with_every_leg_dead_raises_for_every_caller(self, router):
+        for process in router.processes:
+            process.terminate()
+        for process in router.processes:
+            process.join(timeout=5.0)
+        errors = []
+
+        def caller():
+            try:
+                router.refresh_epoch()
+            except ShardUnavailable as exc:
+                errors.append(exc)
+
+        # Concurrent callers exercise the follower-takeover loop: each
+        # follower wakes to find the epoch did not advance, takes over
+        # leadership, and hits the same dead cluster — everyone gets
+        # the error, nobody hangs on a leader that already failed.
+        threads = [threading.Thread(target=caller) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not any(thread.is_alive() for thread in threads)
+        assert len(errors) == 3
+        assert router.epochs == 0
+
+
 class TestPartialFailure:
     def test_lost_leg_degrades_instead_of_lying(self, router):
         router.apply_update(Transaction.of("r", [Update(0, {"v": 1})]))

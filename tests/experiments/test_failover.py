@@ -1,0 +1,226 @@
+"""The ext-failover experiment: chaos schedule, bars, and the table."""
+
+import json
+
+from repro.experiments import failover as failover_mod
+from repro.experiments.failover import (
+    FailoverRun,
+    _kill_records,
+    check_acceptance,
+    failover_table,
+    main,
+    run_failover,
+)
+from repro.experiments.runner import EXPERIMENTS
+from repro.workload.clients import LoadReport
+
+
+def make_load(outcomes=None, t0=100.0, spacing=0.03):
+    if outcomes is None:
+        outcomes = ["ok"] * 99 + ["ok_retry"]
+    report = LoadReport(offered=len(outcomes), duration_s=3.0, wall_s=3.2)
+    for i, outcome in enumerate(outcomes):
+        report.record(outcome, 10.0, at=t0 + spacing * i)
+    return report
+
+
+def make_run(**overrides):
+    base = dict(
+        saturation_rps=80.0,
+        offered_rate=64.0,
+        deadline_ms=1000.0,
+        load=make_load(),
+        chaos_events=[
+            {"t": 1.0, "action": "kill", "shard": 0, "member": 0, "pid": 123},
+        ],
+        kills=[
+            {"shard": 0, "member": 0, "at_s": 1.0, "failover_ms": 150.0,
+             "window_samples": 40, "window_disrupted": 3},
+        ],
+        steady_served_fraction=1.0,
+        steady_samples=50,
+        writer_acked=100,
+        writer_ambiguous=0,
+        writer_failures=[],
+        writer_p99_ms=12.0,
+        writer_max_ms=30.0,
+        quiesce_match=True,
+        quiesce_detail="total=12345, 480 tuples identical",
+        shard_counters=[
+            {"shard": 0, "promotions": 1, "respawns": 1, "repairs": 0,
+             "live_members": 2},
+            {"shard": 1, "promotions": 0, "respawns": 0, "repairs": 0,
+             "live_members": 2},
+        ],
+        orphans=[],
+    )
+    base.update(overrides)
+    return FailoverRun(**base)
+
+
+class TestKillRecords:
+    def test_failover_is_the_last_disrupted_completion_in_the_window(self):
+        events = [{"t": 1.0, "action": "kill", "shard": 0, "member": 0,
+                   "pid": 1}]
+        samples = [
+            (100.8, "ok"),          # before the kill
+            (101.1, "degraded"),    # wobble
+            (101.4, "ok_retry"),
+            (101.9, "degraded"),    # last wobble: 900 ms after the kill
+            (103.5, "ok"),          # after the window
+        ]
+        (record,) = _kill_records(events, 100.0, samples, 2.0)
+        assert record["shard"] == 0
+        assert record["failover_ms"] == 900.0
+        assert record["window_samples"] == 3
+        assert record["window_disrupted"] == 2
+
+    def test_invisible_wobble_falls_back_to_first_served_completion(self):
+        events = [{"t": 0.5, "action": "kill", "shard": 1, "member": 2,
+                   "pid": 2}]
+        samples = [(100.62, "ok"), (100.70, "ok")]
+        (record,) = _kill_records(events, 100.0, samples, 2.0)
+        assert abs(record["failover_ms"] - 120.0) < 1e-6
+        assert record["window_disrupted"] == 0
+
+    def test_empty_window_reports_no_latency(self):
+        events = [{"t": 1.0, "action": "kill", "shard": 0, "member": 0,
+                   "pid": 3}]
+        (record,) = _kill_records(events, 100.0, [(99.0, "ok")], 2.0)
+        assert record["failover_ms"] is None
+
+    def test_non_kill_events_are_ignored(self):
+        events = [
+            {"t": 0.2, "action": "pause", "shard": 0, "member": 1, "pid": 4},
+            {"t": 0.5, "action": "resume", "shard": 0, "member": 1, "pid": 4},
+        ]
+        assert _kill_records(events, 100.0, [(100.6, "ok")], 2.0) == []
+
+
+class TestAcceptance:
+    def test_registered_as_experiment(self):
+        assert "ext-failover" in EXPERIMENTS
+
+    def test_clean_run_passes(self):
+        assert check_acceptance(make_run()) == []
+
+    def test_slow_failover_flagged(self):
+        run = make_run(kills=[{"shard": 0, "member": 0, "at_s": 1.0,
+                               "failover_ms": 2500.0, "window_samples": 40,
+                               "window_disrupted": 30}])
+        assert any("failover took" in v for v in check_acceptance(run))
+
+    def test_silent_window_flagged(self):
+        run = make_run(kills=[{"shard": 0, "member": 0, "at_s": 1.0,
+                               "failover_ms": None, "window_samples": 0,
+                               "window_disrupted": 0}])
+        assert any("no completions" in v for v in check_acceptance(run))
+
+    def test_no_kills_means_nothing_was_tested(self):
+        run = make_run(kills=[], chaos_events=[])
+        assert any("no kills" in v for v in check_acceptance(run))
+
+    def test_steady_state_fidelity_floor(self):
+        run = make_run(steady_served_fraction=0.9)
+        assert any("steady-state" in v for v in check_acceptance(run))
+
+    def test_writer_failures_flagged(self):
+        run = make_run(writer_failures=["ShardUnavailable: shard 0 ..."])
+        assert any("writer errors" in v for v in check_acceptance(run))
+
+    def test_ambiguous_writes_flagged_under_kill_only_faults(self):
+        run = make_run(writer_ambiguous=2)
+        assert any("ambiguous" in v for v in check_acceptance(run))
+
+    def test_error_outcomes_are_never_acceptable(self):
+        run = make_run(load=make_load(["ok"] * 99 + ["error"]))
+        assert any("error" in v for v in check_acceptance(run))
+
+    def test_wrong_results_flagged(self):
+        load = make_load()
+        load.wrong.append("by_a: tuple a=9 outside [0, 3]")
+        assert any("wrong results" in v
+                   for v in check_acceptance(make_run(load=load)))
+
+    def test_quiesce_mismatch_flagged(self):
+        run = make_run(quiesce_match=False, quiesce_detail="total diverged")
+        assert any("post-quiesce" in v for v in check_acceptance(run))
+
+    def test_killed_shard_must_promote_and_respawn(self):
+        run = make_run(shard_counters=[
+            {"shard": 0, "promotions": 0, "respawns": 0, "repairs": 0,
+             "live_members": 2},
+            {"shard": 1, "promotions": 0, "respawns": 0, "repairs": 0,
+             "live_members": 2},
+        ])
+        violations = check_acceptance(run)
+        assert any("no promotion" in v for v in violations)
+        assert any("never respawned" in v for v in violations)
+
+    def test_depleted_membership_flagged(self):
+        run = make_run(shard_counters=[
+            {"shard": 0, "promotions": 1, "respawns": 1, "repairs": 0,
+             "live_members": 1},
+            {"shard": 1, "promotions": 0, "respawns": 0, "repairs": 0,
+             "live_members": 2},
+        ])
+        assert any("live members" in v for v in check_acceptance(run))
+
+    def test_orphans_flagged(self):
+        run = make_run(orphans=[31337])
+        assert any("31337" in v for v in check_acceptance(run))
+
+
+class TestTableAndSerialization:
+    def test_table_shape(self):
+        table = failover_table(run=make_run())
+        assert table.table_id == "ext-failover"
+        assert len(table.columns) == 9
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert row[0] == "kill primary s0"
+        assert row[2] == "150"
+        assert row[5] == 1  # promotions on the killed shard
+        assert row[6] == 1  # respawns on the killed shard
+        assert "held" in table.notes
+
+    def test_to_dict_is_json_ready(self):
+        doc = make_run().to_dict()
+        json.dumps(doc)  # must not raise
+        assert doc["writer_acked"] == 100
+        assert doc["kills"][0]["failover_ms"] == 150.0
+        assert doc["quiesce_match"] is True
+
+
+class TestLiveFailover:
+    def test_reduced_chaos_run_meets_the_bar(self):
+        run = run_failover(reduced=True)
+        assert run.saturation_rps > 0
+        assert run.kills, "the reduced schedule still injects one kill"
+        assert run.kills[0]["failover_ms"] is not None
+        assert run.writer_acked > 0
+        assert check_acceptance(run) == []
+
+
+class TestMain:
+    def test_main_writes_artifact_and_reports_violations(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(failover_mod, "run_failover",
+                            lambda **kwargs: make_run())
+        artifact = tmp_path / "failover.json"
+        assert main(["--reduced", "--json", str(artifact)]) == 0
+        doc = json.loads(artifact.read_text())
+        assert doc["experiment"] == "ext-failover"
+        assert doc["acceptance_violations"] == []
+        assert doc["run"]["writer_acked"] == 100
+        assert "kill primary s0" in capsys.readouterr().out
+
+        monkeypatch.setattr(
+            failover_mod, "run_failover",
+            lambda **kwargs: make_run(quiesce_match=False,
+                                      quiesce_detail="total diverged"),
+        )
+        assert main(["--json", str(artifact)]) == 1
+        doc = json.loads(artifact.read_text())
+        assert any("post-quiesce" in v for v in doc["acceptance_violations"])
