@@ -1,0 +1,310 @@
+"""The AST lint framework behind ``repro-lint``.
+
+Stdlib-only by design (``ast`` + ``re``): the linter must run in the
+same bare container as the test suite.  A *rule* is a small object with
+a ``name``, a module-prefix scope, and a ``check`` method that walks a
+parsed file and yields :class:`Finding`\\ s.  The framework owns
+everything rules should not care about: file discovery, module-name
+derivation, pragma suppression, baseline diffing, and stable JSON
+serialization.
+
+Pragmas
+-------
+A finding is suppressed when its line (or the line a multi-line
+statement starts on) carries::
+
+    # repro-lint: disable=<rule>[,<rule>...]
+
+``disable=all`` suppresses every rule on that line.  Suppressions are
+recorded (rule, path, line) so the CLI can report pragma usage — the
+concurrency and cluster packages are required to carry none.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "PragmaUse",
+    "collect_pragmas",
+    "module_name_for",
+    "lint_file",
+    "lint_paths",
+    "findings_to_doc",
+    "load_baseline",
+    "diff_against_baseline",
+]
+
+PRAGMA_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\-]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Deliberately excludes line/column so an unrelated edit above a
+        baselined finding does not resurrect it as "new".
+        """
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class PragmaUse:
+    """One pragma suppression that actually fired."""
+
+    rule: str
+    path: str
+    line: int
+
+    def to_dict(self) -> dict[str, object]:
+        return {"rule": self.rule, "path": self.path, "line": self.line}
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may look at for one file."""
+
+    path: str
+    module: str
+    source: str
+    tree: ast.Module
+    lines: Sequence[str] = field(default_factory=tuple)
+
+    @classmethod
+    def for_source(
+        cls, source: str, path: str = "<memory>", module: str = "memory"
+    ) -> "LintContext":
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=ast.parse(source),
+            lines=tuple(source.splitlines()),
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``name`` and override :meth:`check`.
+
+    ``scopes`` is a tuple of dotted module prefixes; empty means the
+    rule applies everywhere.  ``excludes`` wins over ``scopes`` (used
+    to keep a rule out of the very module that implements the checked
+    mechanism).
+    """
+
+    name: str = ""
+    description: str = ""
+    scopes: tuple[str, ...] = ()
+    excludes: tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        if any(_prefix_match(module, prefix) for prefix in self.excludes):
+            return False
+        if not self.scopes:
+            return True
+        return any(_prefix_match(module, prefix) for prefix in self.scopes)
+
+    def check(self, ctx: LintContext) -> list[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+    def finding(self, ctx: LintContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.name,
+            path=ctx.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def _prefix_match(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name of a source file, anchored at ``repro``.
+
+    Files outside a ``repro`` package root (corpus fixtures, scripts)
+    get a ``file:`` pseudo-module so scoped rules skip them unless a
+    caller overrides the module explicitly.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("repro",):
+        if anchor in parts:
+            idx = parts.index(anchor)
+            return ".".join(parts[idx:])
+    return f"file:{path.name}"
+
+
+def collect_pragmas(source: str) -> dict[int, frozenset[str]]:
+    """Map line number → rule names disabled on that line."""
+    pragmas: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = PRAGMA_RE.search(line)
+        if match:
+            names = frozenset(
+                part.strip() for part in match.group(1).split(",") if part.strip()
+            )
+            pragmas[lineno] = names
+    return pragmas
+
+
+def _suppressed(finding: Finding, pragmas: dict[int, frozenset[str]]) -> bool:
+    rules = pragmas.get(finding.line)
+    if rules is None:
+        return False
+    return finding.rule in rules or "all" in rules
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    module: str | None = None,
+) -> tuple[list[Finding], list[PragmaUse]]:
+    """Lint one file; returns (kept findings, pragma suppressions used)."""
+    source = path.read_text(encoding="utf-8")
+    mod = module if module is not None else module_name_for(path)
+    try:
+        ctx = LintContext.for_source(source, path=str(path), module=mod)
+    except SyntaxError as exc:
+        return (
+            [
+                Finding(
+                    rule="parse-error",
+                    path=str(path),
+                    line=exc.lineno or 0,
+                    col=exc.offset or 0,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            [],
+        )
+    pragmas = collect_pragmas(source)
+    kept: list[Finding] = []
+    used: list[PragmaUse] = []
+    for rule in rules:
+        if not rule.applies_to(mod):
+            continue
+        for finding in rule.check(ctx):
+            if _suppressed(finding, pragmas):
+                used.append(PragmaUse(finding.rule, finding.path, finding.line))
+            else:
+                kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept, used
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Sequence[Rule],
+    module_for: Callable[[Path], str] | None = None,
+) -> tuple[list[Finding], list[PragmaUse]]:
+    """Lint every ``.py`` file under ``paths`` (dirs recursed, sorted)."""
+    findings: list[Finding] = []
+    used: list[PragmaUse] = []
+    for file in iter_python_files(paths):
+        module = module_for(file) if module_for is not None else None
+        file_findings, file_used = lint_file(file, rules, module=module)
+        findings.extend(file_findings)
+        used.extend(file_used)
+    return findings, used
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def findings_to_doc(
+    findings: Sequence[Finding],
+    pragmas: Sequence[PragmaUse] = (),
+    rules: Sequence[Rule] = (),
+) -> dict[str, object]:
+    """Stable JSON document for ``--json`` output and baselines."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return {
+        "version": 1,
+        "rules": [
+            {"name": rule.name, "description": rule.description} for rule in rules
+        ],
+        "counts": dict(sorted(counts.items())),
+        "findings": [f.to_dict() for f in findings],
+        "pragmas": [p.to_dict() for p in pragmas],
+    }
+
+
+def load_baseline(path: Path) -> list[Finding]:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    return [
+        Finding(
+            rule=str(entry["rule"]),
+            path=str(entry["path"]),
+            line=int(entry.get("line", 0)),
+            col=int(entry.get("col", 0)),
+            message=str(entry["message"]),
+        )
+        for entry in doc.get("findings", ())
+    ]
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split current findings into (new, known) against a baseline.
+
+    Matching is by fingerprint with multiplicity: two identical
+    findings in one file need two baseline entries — a *second*
+    occurrence of a baselined violation is still new.
+    """
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in baseline:
+        key = entry.fingerprint()
+        budget[key] = budget.get(key, 0) + 1
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known

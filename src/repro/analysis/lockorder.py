@@ -1,0 +1,200 @@
+"""Dynamic lock-order recording and deadlock-cycle detection.
+
+The static ``lock-discipline`` rule sees one function at a time; the
+recorder sees what actually happened.  When installed (via
+:func:`repro.concurrency.locks.set_lock_observer` — a single ``is not
+None`` check on the acquisition path, zero overhead when off), every
+successful :class:`~repro.concurrency.locks.RWLock` acquisition is
+reported here.  If the acquiring thread already holds other locks, each
+``held → new`` pair becomes an edge in a global *lock-order graph*,
+recorded with both acquisition stacks.
+
+A cycle in that graph is a potential deadlock: some thread acquires
+``A`` then ``B`` while another acquires ``B`` then ``A``; whether the
+interleaving has bitten yet is luck.  ``LockManager.acquire``'s
+canonical sorted order exists precisely to keep this graph acyclic —
+the recorder is the machine check that it stays that way across the
+whole test suite (enable with ``REPRO_LOCK_ORDER=1``) and across the
+experiment harnesses (``repro-lint --lock-order``).
+
+Read-vs-write mode is deliberately ignored when building edges: two
+readers never block each other, but a read-then-write order against a
+write-then-read order can still deadlock through writer preference, so
+the conservative graph treats every acquisition the same.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["LockOrderRecorder", "recording", "format_cycle"]
+
+#: Frames of acquisition stack retained per edge endpoint.
+_STACK_DEPTH = 12
+
+
+def _capture_stack() -> list[str]:
+    frames = traceback.extract_stack()
+    # Drop the recorder's own frames (this function + on_acquire).
+    trimmed = frames[:-2][-_STACK_DEPTH:]
+    return [
+        f"{frame.filename}:{frame.lineno} in {frame.name}" for frame in trimmed
+    ]
+
+
+@dataclass
+class Edge:
+    """``source`` was held while ``target`` was acquired."""
+
+    source: str
+    target: str
+    count: int = 0
+    #: Stacks from the first time this edge was observed: where the
+    #: source lock was acquired, and where the target acquisition
+    #: happened while it was held.
+    source_stack: list[str] = field(default_factory=list)
+    target_stack: list[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "source": self.source,
+            "target": self.target,
+            "count": self.count,
+            "source_stack": list(self.source_stack),
+            "target_stack": list(self.target_stack),
+        }
+
+
+class LockOrderRecorder:
+    """Accumulate acquisition-order edges and detect cycles."""
+
+    def __init__(self, capture_stacks: bool = True) -> None:
+        self.capture_stacks = capture_stacks
+        self._mutex = threading.Lock()
+        self._edges: dict[tuple[str, str], Edge] = {}
+        self._held = threading.local()
+        self.acquisitions = 0
+
+    # -- observer protocol (called from repro.concurrency.locks) -------
+    def on_acquire(self, name: str, mode: str) -> None:
+        held: list[tuple[str, list[str]]] = getattr(self._held, "stack", None) or []
+        stack = _capture_stack() if self.capture_stacks else []
+        with self._mutex:
+            self.acquisitions += 1
+            for held_name, held_stack in held:
+                if held_name == name:
+                    continue  # re-entrant; not an ordering edge
+                key = (held_name, name)
+                edge = self._edges.get(key)
+                if edge is None:
+                    edge = Edge(held_name, name)
+                    edge.source_stack = list(held_stack)
+                    edge.target_stack = list(stack)
+                    self._edges[key] = edge
+                edge.count += 1
+        held.append((name, stack))
+        self._held.stack = held
+
+    def on_release(self, name: str, mode: str) -> None:
+        held: list[tuple[str, list[str]]] = getattr(self._held, "stack", None) or []
+        for index in range(len(held) - 1, -1, -1):
+            if held[index][0] == name:
+                del held[index]
+                break
+        self._held.stack = held
+
+    # -- the graph ------------------------------------------------------
+    def edges(self) -> list[Edge]:
+        with self._mutex:
+            return list(self._edges.values())
+
+    def cycles(self) -> list[list[Edge]]:
+        """Every elementary cycle's edge list (deduplicated by node set).
+
+        The graph is tiny (one node per named lock), so a DFS from each
+        node is plenty; each cycle is reported once, rotated to start
+        at its lexicographically smallest node.
+        """
+        with self._mutex:
+            adjacency: dict[str, list[str]] = {}
+            for source, target in self._edges:
+                adjacency.setdefault(source, []).append(target)
+            edge_map = dict(self._edges)
+
+        seen: set[tuple[str, ...]] = set()
+        cycles: list[list[Edge]] = []
+
+        def dfs(start: str, node: str, path: list[str], on_path: set[str]) -> None:
+            for nxt in adjacency.get(node, ()):
+                if nxt == start:
+                    cycle = _rotate(path)
+                    key = tuple(cycle)
+                    if key not in seen:
+                        seen.add(key)
+                        cycles.append([
+                            edge_map[(cycle[i], cycle[(i + 1) % len(cycle)])]
+                            for i in range(len(cycle))
+                        ])
+                elif nxt not in on_path and nxt > start:
+                    # Only explore nodes > start: every cycle is found
+                    # from its smallest node exactly once.
+                    on_path.add(nxt)
+                    dfs(start, nxt, path + [nxt], on_path)
+                    on_path.discard(nxt)
+
+        for start in sorted(adjacency):
+            dfs(start, start, [start], {start})
+        return cycles
+
+    def report(self) -> dict[str, Any]:
+        cycles = self.cycles()
+        return {
+            "version": 1,
+            "acquisitions": self.acquisitions,
+            "locks": sorted({
+                name for edge in self.edges() for name in (edge.source, edge.target)
+            }),
+            "edges": [edge.to_dict() for edge in sorted(
+                self.edges(), key=lambda e: (e.source, e.target)
+            )],
+            "cycles": [[edge.to_dict() for edge in cycle] for cycle in cycles],
+            "acyclic": not cycles,
+        }
+
+
+def _rotate(path: list[str]) -> list[str]:
+    pivot = path.index(min(path))
+    return path[pivot:] + path[:pivot]
+
+
+def format_cycle(cycle: list[Edge]) -> str:
+    """Human-readable one-cycle report with both stacks per edge."""
+    nodes = " -> ".join([cycle[0].source] + [edge.target for edge in cycle])
+    lines = [f"potential deadlock cycle: {nodes}"]
+    for edge in cycle:
+        lines.append(
+            f"  edge {edge.source} -> {edge.target} (seen {edge.count}x):"
+        )
+        lines.append(f"    {edge.source} acquired at:")
+        lines.extend(f"      {frame}" for frame in edge.source_stack[-4:])
+        lines.append(f"    {edge.target} acquired (while held) at:")
+        lines.extend(f"      {frame}" for frame in edge.target_stack[-4:])
+    return "\n".join(lines)
+
+
+@contextmanager
+def recording(capture_stacks: bool = True) -> Iterator[LockOrderRecorder]:
+    """Install a recorder on the global RWLock observer hook."""
+    from repro.concurrency import locks
+
+    recorder = LockOrderRecorder(capture_stacks=capture_stacks)
+    previous = locks.get_lock_observer()
+    locks.set_lock_observer(recorder)
+    try:
+        yield recorder
+    finally:
+        locks.set_lock_observer(previous)

@@ -24,13 +24,51 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Protocol
 
-__all__ = ["LockTimeout", "RWLock", "LockManager", "Pacer"]
+__all__ = [
+    "LockTimeout",
+    "LockObserver",
+    "RWLock",
+    "LockManager",
+    "Pacer",
+    "set_lock_observer",
+    "get_lock_observer",
+]
 
 
 class LockTimeout(RuntimeError):
     """A lock acquisition exceeded its timeout (possible ordering bug)."""
+
+
+class LockObserver(Protocol):
+    """Observer protocol for lock-order recording (see repro.analysis).
+
+    Called after every successful RWLock acquisition and before every
+    release, outside the lock's internal condition variable.  The
+    installed observer must be fast and must never raise.
+    """
+
+    def on_acquire(self, name: str, mode: str) -> None: ...
+
+    def on_release(self, name: str, mode: str) -> None: ...
+
+
+#: Process-global acquisition observer.  ``None`` (the default) keeps
+#: the hot path at a single pointer check per acquisition — the
+#: recorder in :mod:`repro.analysis.lockorder` is opt-in tooling, not a
+#: production dependency.
+_observer: LockObserver | None = None
+
+
+def set_lock_observer(observer: LockObserver | None) -> None:
+    """Install (or with ``None`` remove) the global lock observer."""
+    global _observer
+    _observer = observer
+
+
+def get_lock_observer() -> LockObserver | None:
+    return _observer
 
 
 class RWLock:
@@ -53,6 +91,9 @@ class RWLock:
         self._write_depth = 0
         self._writers_waiting = 0
 
+    def _observed_name(self) -> str:
+        return self.name or f"rwlock@{id(self):x}"
+
     # ------------------------------------------------------------------
     # read side
     # ------------------------------------------------------------------
@@ -69,10 +110,18 @@ class RWLock:
             ):
                 self._wait(deadline, "read")
             self._readers[me] = self._readers.get(me, 0) + 1
-            return True
+        # Observer calls happen outside the condition variable: the
+        # recorder may capture a stack, which must not extend the
+        # critical section.  The no-op (write-held) path above never
+        # reports — it acquires nothing.
+        if _observer is not None:
+            _observer.on_acquire(self._observed_name(), "read")
+        return True
 
     def release_read(self) -> None:
         me = threading.get_ident()
+        if _observer is not None:
+            _observer.on_release(self._observed_name(), "read")
         with self._cond:
             count = self._readers.get(me, 0)
             if count <= 1:
@@ -99,21 +148,25 @@ class RWLock:
         with self._cond:
             if self._writer == me:
                 self._write_depth += 1
-                return
-            if me in self._readers:
-                raise RuntimeError(
-                    f"lock {self.name!r}: read-to-write upgrade would deadlock"
-                )
-            self._writers_waiting += 1
-            try:
-                while self._writer is not None or self._readers:
-                    self._wait(deadline, "write")
-            finally:
-                self._writers_waiting -= 1
-            self._writer = me
-            self._write_depth = 1
+            else:
+                if me in self._readers:
+                    raise RuntimeError(
+                        f"lock {self.name!r}: read-to-write upgrade would deadlock"
+                    )
+                self._writers_waiting += 1
+                try:
+                    while self._writer is not None or self._readers:
+                        self._wait(deadline, "write")
+                finally:
+                    self._writers_waiting -= 1
+                self._writer = me
+                self._write_depth = 1
+        if _observer is not None:
+            _observer.on_acquire(self._observed_name(), "write")
 
     def release_write(self) -> None:
+        if _observer is not None:
+            _observer.on_release(self._observed_name(), "write")
         with self._cond:
             if self._writer != threading.get_ident():
                 raise RuntimeError(f"lock {self.name!r}: write released by non-owner")

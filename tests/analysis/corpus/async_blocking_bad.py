@@ -1,0 +1,14 @@
+"""Corpus: async-blocking true positives (linted as repro.gateway.corpus)."""
+
+import time
+
+
+class Handler:
+    async def handle(self):
+        time.sleep(0.01)  # BAD
+        payload = open("request.json").read()  # BAD
+        self._send_lock.acquire()  # BAD
+        rows = self.backend.query("v_tuples", 0, 10)  # BAD
+        with self._world.read():  # BAD
+            rows = list(rows)
+        return payload, rows

@@ -1,0 +1,20 @@
+"""Corpus: async-blocking clean patterns (linted as repro.gateway.corpus)."""
+
+import asyncio
+
+
+class Handler:
+    async def handle(self):
+        await asyncio.sleep(0.01)
+        await self._send_lock.acquire()
+        loop = asyncio.get_running_loop()
+
+        def collect():
+            # Executor thunk: runs on a worker thread, so blocking
+            # engine work here is exactly the sanctioned pattern.
+            with self._world.read():
+                return self.backend.query("v_tuples", 0, 10)
+
+        rows = await loop.run_in_executor(None, collect)
+        async with self.conn_lock:
+            return rows

@@ -1,0 +1,9 @@
+"""Corpus: deadline-threading true positives (linted as repro.cluster.corpus)."""
+
+
+class Router:
+    def fetch(self, client):
+        current = client.call("fetch", relation="r", key=1)  # BAD
+        alive = client.call("ping", timeout=None)  # BAD
+        snap = self.shards[0].call_primary("snapshot")  # BAD
+        return current, alive, snap

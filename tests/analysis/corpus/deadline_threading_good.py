@@ -1,0 +1,12 @@
+"""Corpus: deadline-threading clean patterns (linted as repro.cluster.corpus)."""
+
+
+class Router:
+    def fetch(self, client, timeout):
+        current = client.call("fetch", relation="r", key=1, timeout=timeout)
+        alive = client.call_primary("ping", timeout=min(timeout, 1.0))
+        # Not the shard RPC signature: first argument is a document,
+        # not a string op name (the async gateway client's call shape).
+        doc = {"op": "query", "view": "v_total"}
+        answer = self.gateway.call(doc)
+        return current, alive, answer

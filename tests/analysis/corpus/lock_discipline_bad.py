@@ -1,0 +1,21 @@
+"""Corpus: lock-discipline true positives (linted as repro.service.corpus)."""
+
+
+class Server:
+    def nested_rwlocks(self):
+        with self.lock_a.read():
+            with self.lock_b.write():  # BAD
+                return self._scan()
+
+    def rwlock_under_mutex(self):
+        with self._mutex:
+            with self.world.read():  # BAD
+                return self._scan()
+
+    def direct_nested_acquire(self):
+        with self.lock_a.write():
+            self.lock_b.acquire_read()  # BAD
+            try:
+                return self._scan()
+            finally:
+                self.lock_b.release_read()

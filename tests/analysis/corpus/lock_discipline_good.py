@@ -1,0 +1,22 @@
+"""Corpus: lock-discipline clean patterns (linted as repro.service.corpus)."""
+
+
+class Server:
+    def sanctioned_hierarchy(self):
+        # world RW -> LockManager.acquire (canonical sorted order) ->
+        # plain engine mutex as the leaf: the documented hierarchy.
+        with self.world.read():
+            with self._locks.acquire(writes=["r"], reads=["v_total"]):
+                with self._engine_lock:
+                    return self._scan()
+
+    def reentrant_same_receiver(self):
+        with self.world.read():
+            with self.world.read():
+                return self._scan()
+
+    def sequential_not_nested(self):
+        with self.lock_a.read():
+            first = self._scan()
+        with self.lock_b.read():
+            return first + self._scan()

@@ -1,0 +1,12 @@
+"""Corpus: seeded-determinism true positives (linted as repro.experiments.corpus)."""
+
+import random
+import time
+
+
+def schedule_faults():
+    jitter = random.random()  # BAD
+    rng = random.Random()  # BAD
+    clock_rng = random.Random(time.time())  # BAD
+    clock_rng.seed(time.time())  # BAD
+    return jitter, rng

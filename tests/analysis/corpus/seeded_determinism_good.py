@@ -1,0 +1,10 @@
+"""Corpus: seeded-determinism clean patterns (linted as repro.experiments.corpus)."""
+
+import random
+
+
+def schedule_faults(seed: int):
+    rng = random.Random(seed)
+    jitter = rng.random()
+    reseeded = random.Random(seed * 31 + 7)
+    return jitter, reseeded

@@ -1,0 +1,22 @@
+"""Corpus: snapshot-iteration true positives (linted as repro.storage.corpus)."""
+
+import threading
+
+
+class SimulatedDisk:
+    def __init__(self):
+        self._pages = {}
+        self._lock = threading.Lock()
+
+    def page_count(self, file_id):
+        return sum(1 for pid in self._pages if pid[0] == file_id)  # BAD
+
+    def dump(self):
+        for pid, payload in self._pages.items():  # BAD
+            yield pid, len(payload)
+
+    def allocate(self, file_id, page_no):
+        self._pages[(file_id, page_no)] = b""
+
+    def free(self, file_id, page_no):
+        self._pages.pop((file_id, page_no), None)

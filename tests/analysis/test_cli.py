@@ -1,0 +1,120 @@
+"""The repro-lint CLI: exit codes, JSON reports, baseline workflow."""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+
+BAD_SOURCE = (
+    '"""Fault scheduler."""\n'
+    "import random\n"
+    "\n"
+    "def schedule():\n"
+    "    return random.random()\n"
+)
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    """A fake repro package root with one seeded-determinism violation.
+
+    The path contains a ``repro`` directory component, so the CLI's
+    module derivation scopes the file as ``repro.experiments.sched``.
+    """
+    pkg = tmp_path / "src" / "repro" / "experiments"
+    pkg.mkdir(parents=True)
+    (pkg / "sched.py").write_text(BAD_SOURCE)
+    return tmp_path
+
+
+def run(tree, *extra, baseline="lint-baseline.json"):
+    return main(
+        [str(tree / "src"), "--baseline", str(tree / baseline), *extra]
+    )
+
+
+def test_findings_exit_1_and_json_report(tree, capsys):
+    report = tree / "report.json"
+    assert run(tree, "--json", str(report)) == 1
+    doc = json.loads(report.read_text())
+    assert doc["counts"] == {"seeded-determinism": 1}
+    assert doc["findings"][0]["line"] == 5
+    assert doc["baseline"] == {"path": None, "known": 0, "new": 1}
+    out = capsys.readouterr().out
+    assert "seeded-determinism" in out
+    assert "1 new" in out
+
+
+def test_clean_tree_exits_0(tree, capsys):
+    (tree / "src" / "repro" / "experiments" / "sched.py").write_text(
+        "def schedule(rng):\n    return rng.random()\n"
+    )
+    assert run(tree) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_baseline_workflow_turns_known_findings_green(tree, capsys):
+    assert run(tree, "--write-baseline") == 0
+    assert run(tree) == 0
+    out = capsys.readouterr().out
+    assert "[baselined]" in out
+    assert "1 finding(s) (0 new, 1 baselined)" in out
+    # A *second* violation is still new despite the baseline.
+    pkg = tree / "src" / "repro" / "experiments"
+    (pkg / "more.py").write_text(BAD_SOURCE)
+    assert run(tree) == 1
+
+
+def test_pragma_suppression_reported_and_green(tree, capsys):
+    pkg = tree / "src" / "repro" / "experiments"
+    (pkg / "sched.py").write_text(
+        BAD_SOURCE.replace(
+            "return random.random()",
+            "return random.random()  # repro-lint: disable=seeded-determinism",
+        )
+    )
+    report = tree / "report.json"
+    assert run(tree, "--json", str(report)) == 0
+    doc = json.loads(report.read_text())
+    assert doc["findings"] == []
+    assert len(doc["pragmas"]) == 1
+    assert "pragma suppressed" in capsys.readouterr().out
+
+
+def test_rules_subset_skips_other_rules(tree):
+    assert run(tree, "--rules", "async-blocking") == 0
+    assert run(tree, "--rules", "seeded-determinism,async-blocking") == 1
+
+
+def test_unknown_rule_is_a_usage_error(tree):
+    with pytest.raises(SystemExit) as excinfo:
+        run(tree, "--rules", "nope")
+    assert excinfo.value.code == 2
+
+
+def test_missing_path_is_a_usage_error(tree):
+    with pytest.raises(SystemExit):
+        main([str(tree / "does-not-exist")])
+
+
+def test_list_rules_prints_catalog(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "async-blocking", "lock-discipline", "deadline-threading",
+        "seeded-determinism", "snapshot-iteration",
+    ):
+        assert name in out
+
+
+def test_lock_order_mode_writes_report(tmp_path, capsys):
+    report = tmp_path / "lockorder.json"
+    rc = main([
+        "--lock-order", "--operations", "30", "--threads", "2",
+        "--json", str(report),
+    ])
+    assert rc == 0
+    doc = json.loads(report.read_text())
+    assert doc["acyclic"] is True
+    assert "lock-order graph is acyclic" in capsys.readouterr().out

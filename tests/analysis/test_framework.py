@@ -1,0 +1,120 @@
+"""Pragmas, module derivation, baseline diffing, JSON document shape."""
+
+from pathlib import Path
+
+from repro.analysis import collect_pragmas, lint_file, module_name_for
+from repro.analysis.framework import (
+    Finding,
+    diff_against_baseline,
+    findings_to_doc,
+    load_baseline,
+)
+from repro.analysis.rules import SeededDeterminismRule
+
+BAD_LINE = "jitter = random.random()\n"
+MODULE = "repro.experiments.corpus"
+
+
+def lint_source(tmp_path, source, module=MODULE):
+    path = tmp_path / "snippet.py"
+    path.write_text(source)
+    return lint_file(path, [SeededDeterminismRule()], module=module)
+
+
+class TestModuleNames:
+    def test_anchored_at_repro(self):
+        path = Path("src/repro/gateway/server.py")
+        assert module_name_for(path) == "repro.gateway.server"
+
+    def test_init_maps_to_package(self):
+        path = Path("src/repro/analysis/__init__.py")
+        assert module_name_for(path) == "repro.analysis"
+
+    def test_outside_repro_gets_pseudo_module(self):
+        assert module_name_for(Path("tools/bench.py")) == "file:bench.py"
+
+
+class TestPragmas:
+    def test_pragma_parse(self):
+        pragmas = collect_pragmas(
+            "x = 1\n"
+            "y = 2  # repro-lint: disable=seeded-determinism,lock-discipline\n"
+        )
+        assert pragmas == {
+            2: frozenset({"seeded-determinism", "lock-discipline"})
+        }
+
+    def test_matching_pragma_suppresses_and_is_recorded(self, tmp_path):
+        findings, used = lint_source(
+            tmp_path,
+            BAD_LINE.rstrip() + "  # repro-lint: disable=seeded-determinism\n",
+        )
+        assert findings == []
+        assert len(used) == 1
+        assert used[0].rule == "seeded-determinism"
+        assert used[0].line == 1
+
+    def test_disable_all_suppresses_everything(self, tmp_path):
+        findings, used = lint_source(
+            tmp_path, BAD_LINE.rstrip() + "  # repro-lint: disable=all\n"
+        )
+        assert findings == []
+        assert len(used) == 1
+
+    def test_wrong_rule_pragma_does_not_suppress(self, tmp_path):
+        findings, used = lint_source(
+            tmp_path, BAD_LINE.rstrip() + "  # repro-lint: disable=async-blocking\n"
+        )
+        assert len(findings) == 1
+        assert used == []
+
+    def test_pragma_on_other_line_does_not_suppress(self, tmp_path):
+        findings, _ = lint_source(
+            tmp_path, "# repro-lint: disable=all\n" + BAD_LINE
+        )
+        assert len(findings) == 1
+
+
+class TestScopingAndParse:
+    def test_out_of_scope_module_skipped(self, tmp_path):
+        findings, _ = lint_source(tmp_path, BAD_LINE, module="repro.engine.core")
+        assert findings == []
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        findings, _ = lint_source(tmp_path, "def broken(:\n")
+        assert [f.rule for f in findings] == ["parse-error"]
+
+
+class TestBaseline:
+    @staticmethod
+    def finding(message="m", line=1):
+        return Finding(
+            rule="seeded-determinism", path="a.py", line=line, col=0,
+            message=message,
+        )
+
+    def test_known_findings_matched_new_ones_split_out(self):
+        baseline = [self.finding("old")]
+        current = [self.finding("old", line=40), self.finding("fresh")]
+        new, known = diff_against_baseline(current, baseline)
+        # Line moved but fingerprint (rule, path, message) matches.
+        assert [f.message for f in known] == ["old"]
+        assert [f.message for f in new] == ["fresh"]
+
+    def test_multiplicity_second_occurrence_is_new(self):
+        baseline = [self.finding("dup")]
+        current = [self.finding("dup", line=1), self.finding("dup", line=9)]
+        new, known = diff_against_baseline(current, baseline)
+        assert len(known) == 1
+        assert len(new) == 1
+
+    def test_roundtrip_through_json_doc(self, tmp_path):
+        findings = [self.finding("x"), self.finding("y")]
+        doc = findings_to_doc(findings, rules=[SeededDeterminismRule()])
+        assert doc["counts"] == {"seeded-determinism": 2}
+        assert doc["rules"][0]["name"] == "seeded-determinism"
+        path = tmp_path / "baseline.json"
+        import json
+
+        path.write_text(json.dumps(doc))
+        assert load_baseline(path) == findings

@@ -1,0 +1,140 @@
+"""The dynamic lock-order recorder: edges, cycles, and the ABBA catch."""
+
+import threading
+
+from repro.analysis.cli import run_lock_order_harness
+from repro.analysis.lockorder import format_cycle, recording
+from repro.concurrency.locks import LockManager, RWLock, get_lock_observer
+
+
+class TestAbbaDetection:
+    def test_seeded_abba_deadlock_is_reported_as_a_cycle(self):
+        """Two threads acquire A→B and B→A; the graph must say so.
+
+        The threads run sequentially, so the program never actually
+        deadlocks — which is exactly the point: the recorder convicts
+        on ordering evidence, not on getting lucky with interleaving.
+        """
+        lock_a, lock_b = RWLock("alpha"), RWLock("beta")
+
+        def t_ab():
+            lock_a.acquire_write()
+            lock_b.acquire_write()
+            lock_b.release_write()
+            lock_a.release_write()
+
+        def t_ba():
+            lock_b.acquire_write()
+            lock_a.acquire_read()
+            lock_a.release_read()
+            lock_b.release_write()
+
+        with recording() as recorder:
+            for target in (t_ab, t_ba):
+                thread = threading.Thread(target=target)
+                thread.start()
+                thread.join()
+
+        cycles = recorder.cycles()
+        assert len(cycles) == 1
+        nodes = {edge.source for edge in cycles[0]}
+        assert nodes == {"alpha", "beta"}
+
+        report = recorder.report()
+        assert report["acyclic"] is False
+        assert report["acquisitions"] == 4
+
+        text = format_cycle(cycles[0])
+        assert "potential deadlock cycle" in text
+        assert "alpha" in text and "beta" in text
+        # Both acquisition stacks point back into this test.
+        assert "t_ab" in text or "t_ba" in text
+        assert "test_lockorder" in text
+
+    def test_consistent_order_is_acyclic(self):
+        lock_a, lock_b = RWLock("alpha"), RWLock("beta")
+        with recording(capture_stacks=False) as recorder:
+            for _ in range(3):
+                lock_a.acquire_write()
+                lock_b.acquire_write()
+                lock_b.release_write()
+                lock_a.release_write()
+        report = recorder.report()
+        assert report["acyclic"] is True
+        assert len(report["edges"]) == 1
+        assert report["edges"][0]["source"] == "alpha"
+        assert report["edges"][0]["count"] == 3
+
+
+class TestRecorderSemantics:
+    def test_manager_sorted_order_produces_acyclic_graph(self):
+        manager = LockManager()
+        with recording(capture_stacks=False) as recorder:
+            with manager.acquire(writes=["rel"], reads=["v1", "v2"]):
+                pass
+            with manager.acquire(writes=["v2"], reads=["rel"]):
+                pass
+            with manager.acquire(reads=["v1", "rel", "v2"]):
+                pass
+        report = recorder.report()
+        assert report["acyclic"] is True
+        # Canonical sorted order: every edge points lexically forward.
+        assert all(e["source"] < e["target"] for e in report["edges"])
+
+    def test_reentrant_holds_make_no_edges(self):
+        lock = RWLock("solo")
+        with recording(capture_stacks=False) as recorder:
+            lock.acquire_write()
+            lock.acquire_write()  # re-entrant write
+            assert lock.acquire_read() is False  # read-under-write no-op
+            lock.release_write()
+            lock.release_write()
+        assert recorder.edges() == []
+        # The no-op read is not an acquisition; the two writes are.
+        assert recorder.acquisitions == 2
+
+    def test_failed_read_acquisition_is_not_recorded(self):
+        import pytest
+
+        from repro.concurrency.locks import LockTimeout
+
+        lock = RWLock("contended")
+        ready = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            lock.acquire_write()
+            ready.set()
+            release.wait(5)
+            lock.release_write()
+
+        thread = threading.Thread(target=writer)
+        with recording(capture_stacks=False) as recorder:
+            thread.start()
+            ready.wait(5)
+            with pytest.raises(LockTimeout):
+                lock.acquire_read(timeout=0.05)
+            release.set()
+            thread.join()
+        # Only the writer thread's successful acquisition shows up.
+        assert recorder.acquisitions == 1
+
+    def test_recording_restores_previous_observer(self):
+        before = get_lock_observer()
+        with recording(capture_stacks=False):
+            inner = get_lock_observer()
+            assert inner is not None and inner is not before
+            with recording(capture_stacks=False):
+                assert get_lock_observer() is not inner
+            assert get_lock_observer() is inner
+        assert get_lock_observer() is before
+
+
+class TestHarness:
+    def test_mixed_traffic_harness_is_acyclic(self):
+        report = run_lock_order_harness(operations=40, threads=2, seed=3)
+        assert report["acyclic"] is True
+        assert report["acquisitions"] > 0
+        assert "world" in report["locks"]
+        # The striped hierarchy hangs off the world lock.
+        assert any(edge["source"] == "world" for edge in report["edges"])

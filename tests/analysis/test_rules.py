@@ -1,0 +1,87 @@
+"""Every rule flags its bad corpus file and passes its good one.
+
+The corpus files live under ``corpus/`` and are linted with an explicit
+module override (they are not importable ``repro`` modules), so each
+rule runs exactly as it would against its scoped package.  Violating
+lines carry a trailing ``# BAD`` marker; the test asserts the flagged
+line set equals the marked line set, which keeps the corpus honest in
+both directions — a rule that goes blind *or* trigger-happy fails here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import default_rules, lint_file
+
+CORPUS = Path(__file__).parent / "corpus"
+
+#: rule name -> (corpus stem, module the corpus pretends to live in)
+CASES = {
+    "async-blocking": ("async_blocking", "repro.gateway.corpus"),
+    "lock-discipline": ("lock_discipline", "repro.service.corpus"),
+    "deadline-threading": ("deadline_threading", "repro.cluster.corpus"),
+    "seeded-determinism": ("seeded_determinism", "repro.experiments.corpus"),
+    "snapshot-iteration": ("snapshot_iteration", "repro.storage.corpus"),
+}
+
+
+def run_rule(rule_name, filename, module):
+    findings, used = lint_file(
+        CORPUS / filename, default_rules([rule_name]), module=module
+    )
+    assert not used, "corpus files must not carry pragmas"
+    return findings
+
+
+def marked_lines(filename):
+    lines = (CORPUS / filename).read_text().splitlines()
+    return {
+        lineno for lineno, line in enumerate(lines, start=1)
+        if line.rstrip().endswith("# BAD")
+    }
+
+
+@pytest.mark.parametrize("rule_name", sorted(CASES))
+def test_bad_corpus_is_flagged_on_the_marked_lines(rule_name):
+    stem, module = CASES[rule_name]
+    findings = run_rule(rule_name, f"{stem}_bad.py", module)
+    assert findings, f"{rule_name} found nothing in its bad corpus"
+    assert all(f.rule == rule_name for f in findings)
+    assert {f.line for f in findings} == marked_lines(f"{stem}_bad.py")
+
+
+@pytest.mark.parametrize("rule_name", sorted(CASES))
+def test_good_corpus_passes_clean(rule_name):
+    stem, module = CASES[rule_name]
+    assert run_rule(rule_name, f"{stem}_good.py", module) == []
+
+
+@pytest.mark.parametrize("rule_name", sorted(CASES))
+def test_scoped_rules_skip_out_of_scope_modules(rule_name):
+    stem, _ = CASES[rule_name]
+    findings = run_rule(rule_name, f"{stem}_bad.py", "repro.views.strategies")
+    if rule_name in ("lock-discipline", "snapshot-iteration"):
+        # Scoped to all of repro: still fires outside its home package.
+        assert findings
+    else:
+        assert findings == []
+
+
+def test_rule_excludes_win_over_scopes():
+    findings = run_rule(
+        "snapshot-iteration", "snapshot_iteration_bad.py", "repro.analysis.self"
+    )
+    assert findings == []
+
+
+def test_every_rule_has_a_corpus_pair():
+    assert {rule.name for rule in default_rules()} == set(CASES)
+    for stem, _ in CASES.values():
+        assert (CORPUS / f"{stem}_bad.py").exists()
+        assert (CORPUS / f"{stem}_good.py").exists()
+
+
+def test_unknown_rule_name_rejected():
+    with pytest.raises(ValueError, match="unknown rule"):
+        default_rules(["no-such-rule"])
