@@ -275,22 +275,29 @@ class ReplicaSet:
     # ------------------------------------------------------------------
     # membership views
     # ------------------------------------------------------------------
+    # The membership views below are read by router query threads and
+    # the supervisor's heartbeat thread while _spawn (under self._lock)
+    # appends replacements; list() snapshots the membership atomically
+    # so an iteration never observes a half-grown list.
     @property
     def primary(self) -> Member | None:
-        for member in self.members:
+        for member in list(self.members):
             if member.role == "primary":
                 return member
         return None
 
     def live_members(self) -> list[Member]:
-        return [m for m in self.members if m.is_live]
+        return [m for m in list(self.members) if m.is_live]
 
     def live_replicas(self) -> list[Member]:
-        return [m for m in self.members if m.role == "replica" and m.is_live]
+        return [
+            m for m in list(self.members)
+            if m.role == "replica" and m.is_live
+        ]
 
     @property
     def processes(self) -> list[Any]:
-        return [m.process for m in self.members]
+        return [m.process for m in list(self.members)]
 
     def _count(self, name: str, **labels: str) -> None:
         if self.metrics is not None:
@@ -450,7 +457,7 @@ class ReplicaSet:
 
     def _catch_up(self, member: Member, timeout: float | None = None) -> None:
         """Replay retained deltas the member has not applied yet."""
-        entries = [e for e in self.delta_log if e[0] > member.applied_epoch]
+        entries = [e for e in list(self.delta_log) if e[0] > member.applied_epoch]
         if entries and entries[0][0] != member.applied_epoch + 1:
             raise ReplicationError(
                 f"shard {self.shard_id} member m{member.member_id} is behind "
@@ -473,7 +480,10 @@ class ReplicaSet:
         """
         if self.write_epoch <= member.applied_epoch:
             return 0
-        entries = [e for e in self.delta_log if e[0] > member.applied_epoch]
+        # The supervisor reads lag from its heartbeat thread while
+        # apply_update appends on a router thread; iterating the live
+        # deque dies with "deque mutated during iteration".
+        entries = [e for e in list(self.delta_log) if e[0] > member.applied_epoch]
         if entries and entries[0][0] == member.applied_epoch + 1:
             return sum(e[3] for e in entries)
         return max(self.shipped_ops_total, self.write_epoch - member.applied_epoch)
@@ -516,7 +526,7 @@ class ReplicaSet:
         """
         with self._lock:
             source = self._usable_primary()
-            snap = source.client.call("snapshot")
+            snap = source.client.call("snapshot", timeout=self.rpc_timeout)
             member = self._spawn(
                 "replica",
                 records=snap.get("relations", {}),

@@ -1133,7 +1133,9 @@ class ViewServer:
     def _service_state(self) -> dict[str, Any]:
         """Serving-layer catalog carried inside each checkpoint."""
         views = {}
-        for name, entry in self._catalog.items():
+        # Checkpoints run under the world write lock, but list() keeps
+        # this consistent for any caller outside it too.
+        for name, entry in list(self._catalog.items()):
             policy = self.scheduler.policy_of(name)
             views[name] = {
                 "adaptive": entry.adaptive,

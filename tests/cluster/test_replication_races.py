@@ -1,0 +1,138 @@
+"""Membership and delta-log reads race supervised mutation safely.
+
+Regression tests for the snapshot-iteration findings repro-lint raised
+against ``repro.cluster.replication``: the supervisor's heartbeat
+thread reads ``lag_ops`` / ``live_members`` / ``primary`` while router
+threads append to ``delta_log`` and ``_spawn`` grows ``members``.
+Before the ``list(...)`` snapshots, ``lag_ops`` died with "deque
+mutated during iteration" under exactly this interleaving.
+
+The tests build a :class:`ReplicaSet` directly (its constructor forks
+nothing) and drive the race with plain threads; the GIL switch
+interval is pinned low so the interleaving actually happens within a
+short test.
+"""
+
+import sys
+import threading
+
+import pytest
+
+from repro.cluster.replication import Member, ReplicaSet, ReplicationConfig
+
+
+class FakeProcess:
+    def __init__(self, alive=True):
+        self.alive = alive
+        self.pid = 4242
+
+    def is_alive(self):
+        return self.alive
+
+
+def make_member(member_id, role="replica", alive=True):
+    return Member(
+        member_id, role, client=None, process=FakeProcess(alive),
+        address=("127.0.0.1", 0),
+    )
+
+
+def make_set(delta_log_cap=4096):
+    return ReplicaSet(
+        shard_id=0,
+        spec={"relations": [], "views": []},
+        config=ReplicationConfig(delta_log_cap=delta_log_cap),
+    )
+
+
+@pytest.fixture()
+def fast_switching():
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    yield
+    sys.setswitchinterval(previous)
+
+
+def test_lag_ops_survives_concurrent_delta_log_appends(fast_switching):
+    rs = make_set(delta_log_cap=4096)
+    for epoch in range(1, 3001):
+        rs.delta_log.append((epoch, "r", [{"kind": "update"}], 1))
+    rs.write_epoch = 3000
+    member = make_member(1)
+    member.applied_epoch = 0
+
+    stop = threading.Event()
+    errors = []
+
+    def appender():
+        epoch = 3000
+        while not stop.is_set():
+            epoch += 1
+            # At the cap this append also pops the oldest entry —
+            # both ends of the deque move under the reader.
+            rs.delta_log.append((epoch, "r", [{"kind": "update"}], 1))
+            rs.write_epoch = epoch
+
+    thread = threading.Thread(target=appender)
+    thread.start()
+    try:
+        for _ in range(300):
+            try:
+                lag = rs.lag_ops(member)
+            except RuntimeError as exc:  # "deque mutated during iteration"
+                errors.append(exc)
+                break
+            assert lag >= 0
+    finally:
+        stop.set()
+        thread.join()
+    assert errors == []
+
+
+def test_lag_ops_window_math_is_unchanged():
+    rs = make_set()
+    for epoch in range(1, 11):
+        rs.delta_log.append((epoch, "r", [{"kind": "update"}] * 3, 3))
+    rs.write_epoch = 10
+    member = make_member(1)
+    member.applied_epoch = 4
+    # Epochs 5..10 are retained and contiguous from the member's next
+    # epoch: exact answer is 6 batches x 3 ops.
+    assert rs.lag_ops(member) == 18
+    member.applied_epoch = 10
+    assert rs.lag_ops(member) == 0
+
+
+def test_membership_reads_survive_concurrent_churn(fast_switching):
+    rs = make_set()
+    # Primary deliberately last: a live-list iteration that skips an
+    # element under churn would miss it.
+    rs.members.append(make_member(0, role="replica"))
+    rs.members.append(make_member(1, role="primary"))
+
+    stop = threading.Event()
+    failures = []
+
+    def churn():
+        next_id = 10
+        while not stop.is_set():
+            rs.members.insert(0, make_member(next_id, alive=False))
+            next_id += 1
+            rs.members.pop(0)
+
+    thread = threading.Thread(target=churn)
+    thread.start()
+    try:
+        for _ in range(2000):
+            if rs.primary is None:
+                failures.append("primary vanished mid-iteration")
+                break
+            live = rs.live_members()
+            if not any(m.role == "primary" for m in live):
+                failures.append("live_members lost the primary")
+                break
+            assert len(rs.processes) >= 2
+    finally:
+        stop.set()
+        thread.join()
+    assert failures == []
