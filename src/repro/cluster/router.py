@@ -541,7 +541,9 @@ class ClusterRouter:
     # ------------------------------------------------------------------
     # updates
     # ------------------------------------------------------------------
-    def apply_update(self, txn: Any, client: str = "anon") -> None:
+    def apply_update(
+        self, txn: Any, client: str = "anon", timeout: float | None = None,
+    ) -> None:
         """Route one transaction's operations to their owning shards.
 
         Operations that stay within a shard are batched per shard and
@@ -550,6 +552,11 @@ class ClusterRouter:
         executed as a fetch + insert + delete move; pending batches for
         the involved shards are flushed first so per-key operation
         order is preserved.
+
+        ``timeout`` is the caller's remaining deadline budget (the
+        gateway passes what is left of ``deadline_ms``); it bounds
+        every shard RPC the transaction fans out into.  ``None`` falls
+        back to each shard client's construction-time default.
         """
         field = self.shard_map.partition_field
         relation = txn.relation
@@ -584,13 +591,15 @@ class ClusterRouter:
                         target = self.shard_map.shard_of(changes[field])
                         if target != shard:
                             self._flush(relation, pending, staged, client,
-                                        only={shard, target})
+                                        only={shard, target},
+                                        timeout=timeout)
                             self._move(relation, doc["key"], changes,
-                                       shard, target, client)
+                                       shard, target, client,
+                                       timeout=timeout)
                             overlay[(relation, doc["key"])] = target
                             continue
                     pending.setdefault(shard, []).append(doc)
-            self._flush(relation, pending, staged, client)
+            self._flush(relation, pending, staged, client, timeout=timeout)
             if self.cache is not None:
                 # Bump *after* every shard committed: a reader that
                 # sampled the old token mid-update re-validates before
@@ -628,6 +637,7 @@ class ClusterRouter:
         staged: dict[int, list[tuple[Any, int | None]]],
         client: str,
         only: set[int] | None = None,
+        timeout: float | None = None,
     ) -> None:
         shards = [
             shard for shard in pending
@@ -635,7 +645,9 @@ class ClusterRouter:
         ]
         if not shards:
             return
-        results, failures = self._scatter_updates(shards, relation, pending, client)
+        results, failures = self._scatter_updates(
+            shards, relation, pending, client, timeout
+        )
         for shard in shards:
             if shard in results:
                 self.metrics.counter(
@@ -666,6 +678,7 @@ class ClusterRouter:
         relation: str,
         pending: Mapping[int, list[dict[str, Any]]],
         client: str,
+        timeout: float | None = None,
     ) -> tuple[dict[int, Any], dict[int, Exception]]:
         results: dict[int, Any] = {}
         failures: dict[int, Exception] = {}
@@ -676,7 +689,7 @@ class ClusterRouter:
                 # lands on the (possibly just-promoted) primary, and is
                 # shipped to replicas before the ack comes back.
                 results[shard] = self.shards[shard].apply_update(
-                    relation, pending[shard], client=client,
+                    relation, pending[shard], client=client, timeout=timeout,
                 )
             except (RpcError, ReplicationError) as exc:
                 failures[shard] = exc
@@ -702,6 +715,7 @@ class ClusterRouter:
         source: int,
         target: int,
         client: str,
+        timeout: float | None = None,
     ) -> None:
         """Move one tuple across a partition boundary.
 
@@ -716,7 +730,7 @@ class ClusterRouter:
         authoritative new copy) rather than a lost tuple.
         """
         fetched = self.shards[source].call_primary(
-            "fetch", relation=relation, key=key
+            "fetch", relation=relation, key=key, timeout=timeout,
         )
         values = fetched.get("values")
         if values is None:
@@ -730,11 +744,13 @@ class ClusterRouter:
         # shipped to replicas like any other committed batch.
         self.shards[target].apply_update(
             relation, [{"kind": "insert", "values": values}], client=client,
+            timeout=timeout,
         )
         with self._directory_lock:
             self._directory[(relation, key)] = target
         self.shards[source].apply_update(
             relation, [{"kind": "delete", "key": key}], client=client,
+            timeout=timeout,
         )
         self.metrics.counter("cross_shard_moves_total", relation=relation).inc()
         self.metrics.counter("shard_updates_total", shard=str(source)).inc()

@@ -162,7 +162,9 @@ class ClusterBackend:
                 )
             operations.append(decode_operation(schema, doc))
         txn = Transaction.of(relation, operations)
-        self.router.apply_update(txn, client=client)
+        # The remaining deadline budget bounds every shard leg of the
+        # write fan-out, exactly as it already does for queries.
+        self.router.apply_update(txn, client=client, timeout=timeout)
         return len(txn)
 
     def metrics(self) -> dict[str, Any]:
