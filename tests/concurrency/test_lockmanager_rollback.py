@@ -1,0 +1,133 @@
+"""LockManager.acquire timeout rollback: no lock left behind.
+
+A multi-lock acquire that times out partway through the canonical
+sorted plan must release everything it did take, in reverse order —
+and must *not* release a read that was a re-entrant no-op (the caller
+already held the write side; a spurious ``release_read`` would corrupt
+the reader count).
+"""
+
+import threading
+
+import pytest
+
+from repro.concurrency.locks import (
+    LockManager,
+    LockTimeout,
+    set_lock_observer,
+)
+
+
+class EventObserver:
+    """Records (event, lock name) in call order via the observer hook."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_acquire(self, name, mode):
+        self.events.append(("acquire", name))
+
+    def on_release(self, name, mode):
+        self.events.append(("release", name))
+
+
+@pytest.fixture()
+def observer():
+    obs = EventObserver()
+    set_lock_observer(obs)
+    yield obs
+    set_lock_observer(None)
+
+
+def hold_write(manager, name):
+    """Acquire a write lock on another thread and return its releaser."""
+    ready = threading.Event()
+    release = threading.Event()
+
+    def holder():
+        manager.lock(name).acquire_write()
+        ready.set()
+        release.wait(10)
+        manager.lock(name).release_write()
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    ready.wait(10)
+
+    def done():
+        release.set()
+        thread.join()
+
+    return done
+
+
+def test_timeout_releases_partial_acquisitions_in_reverse(observer):
+    manager = LockManager()
+    done = hold_write(manager, "m3")
+    try:
+        with pytest.raises(LockTimeout):
+            with manager.acquire(writes=["m1", "m2", "m3"], timeout=0.05):
+                pytest.fail("body must not run on a partial acquisition")
+    finally:
+        done()
+    # Plan is sorted (m1, m2, m3): m1 and m2 were taken, m3 timed out,
+    # and the rollback released m2 before m1.
+    main_events = [e for e in observer.events if e[1] != "m3"]
+    assert main_events == [
+        ("acquire", "m1"), ("acquire", "m2"),
+        ("release", "m2"), ("release", "m1"),
+    ]
+
+
+def test_locks_are_free_again_after_rollback():
+    manager = LockManager()
+    done = hold_write(manager, "m2")
+    try:
+        with pytest.raises(LockTimeout):
+            with manager.acquire(writes=["m1", "m2"], timeout=0.05):
+                pass
+    finally:
+        done()
+    # Every lock is immediately acquirable from a fresh thread.
+    acquired = threading.Event()
+
+    def prober():
+        with manager.acquire(writes=["m1", "m2"], timeout=1.0):
+            acquired.set()
+
+    thread = threading.Thread(target=prober)
+    thread.start()
+    thread.join(5)
+    assert acquired.is_set()
+
+
+def test_noop_reentrant_read_is_not_released_on_rollback(observer):
+    manager = LockManager()
+    # The caller already holds the write side of "a": the planned read
+    # on "a" is a documented no-op (acquire_read returns False).
+    manager.lock("a").acquire_write()
+    done = hold_write(manager, "b")
+    try:
+        with pytest.raises(LockTimeout):
+            with manager.acquire(reads=["a"], writes=["b"], timeout=0.05):
+                pass
+        # The rollback must not have touched "a": the write side is
+        # still ours (a further read is still a no-op) ...
+        assert manager.lock("a").acquire_read() is False
+        # ... and the observer saw no acquire/release for "a" at all.
+        assert [e for e in observer.events if e[1] == "a"] == [
+            ("acquire", "a")  # the explicit acquire_write above
+        ]
+    finally:
+        done()
+        manager.lock("a").release_write()
+
+
+def test_successful_acquire_releases_everything_in_reverse(observer):
+    manager = LockManager()
+    with manager.acquire(writes=["rel"], reads=["v1", "v2"]):
+        pass
+    assert observer.events == [
+        ("acquire", "rel"), ("acquire", "v1"), ("acquire", "v2"),
+        ("release", "v2"), ("release", "v1"), ("release", "rel"),
+    ]
