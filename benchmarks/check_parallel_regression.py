@@ -1,10 +1,14 @@
-"""Gate: fail when serving throughput regresses >20% vs the baseline.
+"""Gate: fail when benchmark throughput regresses >20% vs a baseline.
 
-Compares a fresh ``BENCH_parallel.json`` against the committed
-``BENCH_parallel.baseline.json``.  The report holds named qps
-*series* — ``threads`` (one process, N client threads) and ``shards``
-(N worker processes) — and this gate compares only the series present
-in **both** files:
+With no arguments, compares every default report/baseline pair:
+``BENCH_parallel.json`` vs ``BENCH_parallel.baseline.json`` (the
+paced serving benchmarks) and ``BENCH_engine.json`` vs
+``BENCH_engine.baseline.json`` (the single-thread engine kernels).
+With arguments, gates just the given pair.  A report holds named qps
+*series* — e.g. ``threads`` (one process, N client threads),
+``shards`` (N worker processes), ``engine_screen`` (batch kernel
+throughput) — and the gate compares only the series present in
+**both** files of a pair:
 
 * a series in the baseline but missing from the current report fails
   with a message naming it (a benchmark stopped producing a series it
@@ -64,16 +68,12 @@ def first_point(series: dict) -> tuple[str, dict]:
     return label, series[label]
 
 
-def main(argv: list[str] | None = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    here = Path(__file__).parent
-    result_path = Path(argv[0]) if argv else here / "BENCH_parallel.json"
-    baseline_path = (
-        Path(argv[1]) if len(argv) > 1 else here / "BENCH_parallel.baseline.json"
-    )
-    result = json.loads(result_path.read_text())
-    baseline = json.loads(baseline_path.read_text())
+#: Report stems gated when the script runs with no arguments.
+DEFAULT_STEMS = ("BENCH_parallel", "BENCH_engine")
 
+
+def check_pair(result: dict, baseline: dict) -> bool:
+    """Gate one report against its baseline; returns True on failure."""
     failed = False
     for key in sorted(result):
         if key.endswith("equivalence_violations") and result[key] != 0:
@@ -149,12 +149,38 @@ def main(argv: list[str] | None = None) -> int:
             print(f"note: series {name!r} gained p95_ms with no baseline "
                   "value yet (not latency-gated)")
 
-    if failed:
-        return 1
-    for key in ("speedup_4t", "shard_speedup_4"):
-        if key in result:
-            print(f"{key}: {result[key]}x (scaling floors asserted in-bench)")
-    return 0
+    if not failed:
+        for key in ("speedup_4t", "shard_speedup_4"):
+            if key in result:
+                print(f"{key}: {result[key]}x (scaling floors asserted in-bench)")
+    return failed
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    here = Path(__file__).parent
+    if argv:
+        pairs = [(
+            Path(argv[0]),
+            Path(argv[1]) if len(argv) > 1 else here / "BENCH_parallel.baseline.json",
+        )]
+    else:
+        pairs = [
+            (here / f"{stem}.json", here / f"{stem}.baseline.json")
+            for stem in DEFAULT_STEMS
+        ]
+
+    failed = False
+    for result_path, baseline_path in pairs:
+        print(f"== {result_path.name} vs {baseline_path.name}")
+        if not result_path.exists():
+            print(f"FAIL: report {result_path} is missing — the gate went blind")
+            failed = True
+            continue
+        result = json.loads(result_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+        failed |= check_pair(result, baseline)
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -10,7 +10,9 @@ Each rule mechanizes one convention the stack's correctness depends on
 * ``seeded-determinism`` — chaos/fault/experiment code draws only from
   injected ``random.Random(seed)`` instances;
 * ``snapshot-iteration`` — dict attributes shared across threads are
-  snapshotted (``list(...)``) before iteration.
+  snapshotted (``list(...)``) before iteration;
+* ``batch-hot-path`` — the engine's hot modules stay batch-native (no
+  per-record kernels over relation/delta iterators).
 
 Rules are deliberately syntactic: they run on one file at a time with
 no import resolution, so every check is a conservative pattern over
@@ -34,6 +36,7 @@ __all__ = [
     "DeadlineThreadingRule",
     "SeededDeterminismRule",
     "SnapshotIterationRule",
+    "BatchHotPathRule",
     "ALL_RULES",
     "default_rules",
 ]
@@ -671,12 +674,112 @@ class SnapshotIterationRule(Rule):
         return protected
 
 
+class BatchHotPathRule(Rule):
+    """Keep the engine hot path batch-native.
+
+    The vectorization work (columnar batches, selection vectors) moved
+    the per-tuple kernels — predicate screening, net-change toggling,
+    delta projection — into batch methods.  This rule guards against
+    regressions: in the hot modules it flags any ``for`` loop or
+    comprehension that iterates a relation/delta source (``scan*``,
+    ``range_scan``, ``.inserted``/``.deleted``) *and* does per-record
+    kernel work in its body (``matches``/``project``/``combine``/
+    ``screen``/``_unwrap`` calls, or ``Record``/``ViewTuple``
+    construction).  Bookkeeping loops (folding deltas into base files,
+    merging sets) iterate the same sources without per-record kernel
+    calls and stay clean; the tuple-at-a-time reference formulations
+    live in ``repro.maintenance.reference``, outside this rule's scope.
+    """
+
+    name = "batch-hot-path"
+    description = (
+        "per-record loop over a relation/delta iterator doing per-tuple "
+        "kernel work in a hot module; use the batch kernels "
+        "(matches_batch / screen_batch / _net_from_entries)"
+    )
+    scopes = ("repro.views.delta", "repro.maintenance.screening", "repro.hr")
+
+    _SCAN_CALLS = frozenset(
+        {"scan", "scan_all", "scan_logical", "range_scan", "scan_range"}
+    )
+    _DELTA_ATTRS = frozenset({"inserted", "deleted"})
+    _WORK_CALLS = frozenset({"matches", "project", "combine", "screen", "_unwrap"})
+    _WORK_CTORS = frozenset({"Record", "ViewTuple"})
+
+    def check(self, ctx: LintContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(ctx.tree):
+            for iter_expr, body, anchor in self._loops(node):
+                source = self._record_source(iter_expr)
+                if source is None:
+                    continue
+                work = self._per_record_work(body)
+                if work is None:
+                    continue
+                findings.append(
+                    self.finding(
+                        ctx,
+                        anchor,
+                        f"per-record loop over {source} calls {work} per tuple; "
+                        "route this through the batch kernel",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _loops(
+        node: ast.AST,
+    ) -> Iterator[tuple[ast.expr, list[ast.AST], ast.AST]]:
+        """Yield (iterable, body nodes, anchor) for loop-shaped nodes."""
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, [*node.body, *node.orelse], node
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            body: list[ast.AST] = [node.elt]
+            for gen in node.generators:
+                body.extend(gen.ifs)
+            for gen in node.generators:
+                yield gen.iter, body, node
+        elif isinstance(node, ast.DictComp):
+            body = [node.key, node.value]
+            for gen in node.generators:
+                body.extend(gen.ifs)
+            for gen in node.generators:
+                yield gen.iter, body, node
+
+    def _record_source(self, iter_expr: ast.expr) -> str | None:
+        """Name of the relation/delta source iterated, if any."""
+        for sub in ast.walk(iter_expr):
+            if isinstance(sub, ast.Call):
+                name = _terminal_name(sub.func)
+                if name in self._SCAN_CALLS:
+                    return f"{name}()"
+            elif isinstance(sub, ast.Attribute) and sub.attr in self._DELTA_ATTRS:
+                return f".{sub.attr}"
+        return None
+
+    def _per_record_work(self, body: Sequence[ast.AST]) -> str | None:
+        """Name of the per-tuple kernel call in the loop body, if any."""
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                if (
+                    isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr in self._WORK_CALLS
+                ):
+                    return f"{sub.func.attr}()"
+                if isinstance(sub.func, ast.Name) and sub.func.id in self._WORK_CTORS:
+                    return f"{sub.func.id}()"
+        return None
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     AsyncBlockingRule,
     LockDisciplineRule,
     DeadlineThreadingRule,
     SeededDeterminismRule,
     SnapshotIterationRule,
+    BatchHotPathRule,
 )
 
 

@@ -19,6 +19,7 @@ import bisect
 from typing import Any
 
 from repro.hr.differential import ClusteredRelation
+from repro.storage.columnar import ColumnBatch
 from repro.storage.hashindex import HashFile
 from repro.storage.pager import CostMeter
 from repro.storage.tuples import Record
@@ -95,11 +96,11 @@ def clustered_scan(
     One B+-tree descent, then leaf pages of the range; every tuple in
     the range is screened at ``c1``.
     """
-    result = []
-    for record in relation.range_scan(lo, hi):
-        meter.record_screen()
-        if predicate.matches(record):
-            result.append(record)
+    result: list[Record] = []
+    for records in relation.tree.range_batches(lo, hi):
+        meter.record_screen(len(records))
+        batch = ColumnBatch.from_records(records)
+        result.extend(batch.take(predicate.matches_batch(batch)))
     return result
 
 
@@ -149,11 +150,10 @@ def sequential_scan(
     relation: ClusteredRelation, predicate: Predicate, meter: CostMeter
 ) -> list[Record]:
     """Full scan: every page read, every tuple screened."""
-    result = []
-    for record in relation.scan_all():
-        meter.record_screen()
-        if predicate.matches(record):
-            result.append(record)
+    result: list[Record] = []
+    for batch in relation.tree.scan_batches():
+        meter.record_screen(len(batch))
+        result.extend(batch.take(predicate.matches_batch(batch)))
     return result
 
 

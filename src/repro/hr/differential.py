@@ -25,7 +25,8 @@ into the base file and clears ``AD`` — Section 2.2.1's
 from __future__ import annotations
 
 import itertools
-from typing import Any, Iterator
+from operator import itemgetter
+from typing import Any, Iterable, Iterator
 
 from repro.storage.bloom import BloomFilter
 from repro.storage.bplustree import BPlusTree
@@ -40,6 +41,49 @@ _ROLE_FIELD = "_role"
 _SEQ_FIELD = "_seq"
 ROLE_APPENDED = "A"
 ROLE_DELETED = "D"
+
+
+def _net_from_entries(relation: str, entries: Iterable[Record]) -> DeltaSet:
+    """Build ``A-net``/``D-net`` from raw AD entries, columnar-style.
+
+    One pass extracts ``(seq, role, key, values)`` rows, a sort by
+    sequence restores arrival order, and the net toggling runs on
+    cheap ``(key, values)`` tokens — ``values`` is the AD format's
+    sorted item tuple, so token equality coincides with
+    :class:`Record` equality.  Records are constructed only for the
+    surviving net entries (an update's cancelled D/A pair never
+    builds one), via :meth:`Record.from_sorted_items` which skips
+    re-sorting.  Result order and content match feeding each entry to
+    :meth:`DeltaSet.add_insert` / :meth:`DeltaSet.add_delete` in
+    sequence order (the reference spec in
+    ``repro.maintenance.reference``).
+    """
+    # One C-level extraction per entry; sequence numbers are unique,
+    # so a plain tuple sort orders by them without a key function.
+    getter = itemgetter(_SEQ_FIELD, _ROLE_FIELD, "_k", "_values")
+    rows = [getter(e.values) for e in entries]
+    rows.sort()
+    inserted: dict[tuple, None] = {}
+    deleted: dict[tuple, None] = {}
+    for _seq, role, key, values in rows:
+        token = (key, values)
+        if role == ROLE_APPENDED:
+            if token in deleted:
+                del deleted[token]
+            else:
+                inserted[token] = None
+        else:
+            if token in inserted:
+                del inserted[token]
+            else:
+                deleted[token] = None
+    # The token (key, values) is exactly what Record.__hash__ hashes,
+    # so survivors are built with their value hash precomputed.
+    return DeltaSet.from_disjoint(
+        relation,
+        [Record.from_sorted_items(k, v, value_hash=hash((k, v))) for k, v in inserted],
+        [Record.from_sorted_items(k, v, value_hash=hash((k, v))) for k, v in deleted],
+    )
 
 
 class ClusteredRelation:
@@ -259,14 +303,7 @@ class HypotheticalRelation:
     def net_changes(self) -> DeltaSet:
         """Compute ``A-net``/``D-net`` by reading the whole AD file."""
         self.net_reads += 1
-        delta = DeltaSet(self.schema.name)
-        for entry in sorted(self.ad.scan_all(), key=lambda e: e[_SEQ_FIELD]):
-            record = self._unwrap(entry)
-            if entry[_ROLE_FIELD] == ROLE_APPENDED:
-                delta.add_insert(record)
-            else:
-                delta.add_delete(record)
-        return delta
+        return _net_from_entries(self.schema.name, self.ad.scan_all())
 
     def ad_entry_count(self) -> int:
         """Entries currently in AD (no I/O; catalog statistic)."""
@@ -412,15 +449,8 @@ class SeparateFilesHR(HypotheticalRelation):
     def net_changes(self) -> DeltaSet:
         """Compute the net delta by reading both differential files."""
         self.net_reads += 1
-        delta = DeltaSet(self.schema.name)
-        entries = list(self.a_file.scan_all()) + list(self.d_file.scan_all())
-        for entry in sorted(entries, key=lambda e: e[_SEQ_FIELD]):
-            record = self._unwrap(entry)
-            if entry[_ROLE_FIELD] == ROLE_APPENDED:
-                delta.add_insert(record)
-            else:
-                delta.add_delete(record)
-        return delta
+        entries = itertools.chain(self.a_file.scan_all(), self.d_file.scan_all())
+        return _net_from_entries(self.schema.name, entries)
 
     def reset(self, net: DeltaSet | None = None) -> None:
         """Fold both files into the base and clear them."""

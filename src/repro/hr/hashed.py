@@ -24,7 +24,13 @@ from repro.storage.bloom import BloomFilter
 from repro.storage.hashindex import HashFile
 from repro.storage.tuples import Record
 from repro.views.delta import DeltaSet
-from .differential import ROLE_APPENDED, ROLE_DELETED, _ROLE_FIELD, _SEQ_FIELD
+from .differential import (
+    ROLE_APPENDED,
+    ROLE_DELETED,
+    _ROLE_FIELD,
+    _SEQ_FIELD,
+    _net_from_entries,
+)
 
 __all__ = ["HashedHypotheticalRelation"]
 
@@ -143,14 +149,7 @@ class HashedHypotheticalRelation:
     def net_changes(self) -> DeltaSet:
         """Compute the net delta by reading the whole AD file."""
         self.net_reads += 1
-        delta = DeltaSet(self.schema.name)
-        for entry in sorted(self.ad.scan_all(), key=lambda e: e[_SEQ_FIELD]):
-            record = Record(entry["_k"], dict(entry["_values"]))
-            if entry[_ROLE_FIELD] == ROLE_APPENDED:
-                delta.add_insert(record)
-            else:
-                delta.add_delete(record)
-        return delta
+        return _net_from_entries(self.schema.name, self.ad.scan_all())
 
     def ad_entry_count(self) -> int:
         """Entries currently in AD (no I/O; catalog statistic)."""

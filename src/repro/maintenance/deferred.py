@@ -197,11 +197,8 @@ class DeferredSelectProject(_DeferredBase):
         self.refresh()
         lo = _UNBOUNDED_LO if lo is None else lo
         hi = _UNBOUNDED_HI if hi is None else hi
-        meter = self.relation.meter
-        result = []
-        for vt in self.matview.scan_range(lo, hi):
-            meter.record_screen()
-            result.append(vt)
+        result = self.matview.read_range(lo, hi)
+        self.relation.meter.record_screen(len(result))
         return result
 
 
@@ -323,11 +320,8 @@ class DeferredJoin(_DeferredBase):
         self.refresh()
         lo = _UNBOUNDED_LO if lo is None else lo
         hi = _UNBOUNDED_HI if hi is None else hi
-        meter = self.relation.meter
-        result = []
-        for vt in self.matview.scan_range(lo, hi):
-            meter.record_screen()
-            result.append(vt)
+        result = self.matview.read_range(lo, hi)
+        self.relation.meter.record_screen(len(result))
         return result
 
 

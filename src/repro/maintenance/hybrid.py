@@ -154,13 +154,9 @@ class HybridSelectProject(ImmediateSelectProject):
 
     def _query_view(self, field: str, lo: Any, hi: Any) -> list[ViewTuple]:
         meter = self.relation.meter
-        result = []
         if field == self.definition.view_key:
-            candidates = self.matview.scan_range(lo, hi)
+            candidates = self.matview.read_range(lo, hi)
         else:
-            candidates = self.matview.scan_all()
-        for vt in candidates:
-            meter.record_screen()
-            if lo <= vt[field] <= hi:
-                result.append(vt)
-        return result
+            candidates = list(self.matview.scan_all())
+        meter.record_screen(len(candidates))
+        return [vt for vt in candidates if lo <= vt[field] <= hi]

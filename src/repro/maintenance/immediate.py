@@ -86,11 +86,8 @@ class ImmediateSelectProject(_ImmediateBase):
     def query(self, lo: Any = None, hi: Any = None) -> list[ViewTuple]:
         lo = _UNBOUNDED_LO if lo is None else lo
         hi = _UNBOUNDED_HI if hi is None else hi
-        meter = self.relation.meter
-        result = []
-        for vt in self.matview.scan_range(lo, hi):
-            meter.record_screen()  # c1 per tuple read from the view
-            result.append(vt)
+        result = self.matview.read_range(lo, hi)
+        self.relation.meter.record_screen(len(result))  # c1 per tuple read
         return result
 
 
@@ -184,11 +181,8 @@ class ImmediateJoin(_ImmediateBase):
     def query(self, lo: Any = None, hi: Any = None) -> list[ViewTuple]:
         lo = _UNBOUNDED_LO if lo is None else lo
         hi = _UNBOUNDED_HI if hi is None else hi
-        meter = self.relation.meter
-        result = []
-        for vt in self.matview.scan_range(lo, hi):
-            meter.record_screen()
-            result.append(vt)
+        result = self.matview.read_range(lo, hi)
+        self.relation.meter.record_screen(len(result))
         return result
 
 

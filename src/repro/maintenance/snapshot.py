@@ -105,11 +105,8 @@ class SnapshotSelectProject(MaintenanceStrategy):
         self.queries_since_rebuild += 1
         lo = _UNBOUNDED_LO if lo is None else lo
         hi = _UNBOUNDED_HI if hi is None else hi
-        meter = self.relation.meter
-        result = []
-        for vt in self.matview.scan_range(lo, hi):
-            meter.record_screen()
-            result.append(vt)
+        result = self.matview.read_range(lo, hi)
+        self.relation.meter.record_screen(len(result))
         return result
 
 
@@ -157,9 +154,6 @@ class RecomputeOnChangeSelectProject(SnapshotSelectProject):
         self.queries_since_rebuild = 1  # disable the periodic schedule
         lo = _UNBOUNDED_LO if lo is None else lo
         hi = _UNBOUNDED_HI if hi is None else hi
-        meter = self.relation.meter
-        result = []
-        for vt in self.matview.scan_range(lo, hi):
-            meter.record_screen()
-            result.append(vt)
+        result = self.matview.read_range(lo, hi)
+        self.relation.meter.record_screen(len(result))
         return result

@@ -980,10 +980,8 @@ class ViewServer:
         else:
             lo_b = float("-inf") if lo is None else lo
             hi_b = float("inf") if hi is None else hi
-            answer = []
-            for vt in impl.matview.scan_range(lo_b, hi_b):
-                meter.record_screen()
-                answer.append(vt)
+            answer = impl.matview.read_range(lo_b, hi_b)
+            meter.record_screen(len(answer))
         self.database.pool.flush_all()
         self.database.queries_answered += 1
         return answer

@@ -11,6 +11,7 @@ formulas use.
 
 from .bloom import BloomFilter, optimal_bits, optimal_hashes
 from .bplustree import BPlusTree, TreeStats
+from .columnar import ColumnBatch, SelectionVector
 from .hashindex import HashFile
 from .heap import HeapFile
 from .pager import (
@@ -29,6 +30,7 @@ __all__ = [
     "BloomFilter",
     "BPlusTree",
     "BufferPool",
+    "ColumnBatch",
     "CostMeter",
     "HashFile",
     "HeapFile",
@@ -39,6 +41,7 @@ __all__ = [
     "Record",
     "Schema",
     "SchemaError",
+    "SelectionVector",
     "SimulatedDisk",
     "TreeStats",
     "optimal_bits",

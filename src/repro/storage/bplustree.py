@@ -23,6 +23,7 @@ import bisect
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from .columnar import ColumnBatch
 from .pager import BufferPool, Page, PageId
 from .tuples import Record
 
@@ -131,31 +132,100 @@ class BPlusTree:
         """Records with ``lo <= sort_key <= hi`` in key order.
 
         One descent plus one read per leaf visited (leaves are chained).
+        Thin per-record adapter over :meth:`range_batches`.
+        """
+        for records in self.range_batches(lo, hi):
+            yield from records
+
+    def range_batches(self, lo: Any, hi: Any) -> Iterator[list[Record]]:
+        """Range scan yielding one record list per leaf page visited.
+
+        The page-get sequence (and therefore every metered read) is
+        identical to :meth:`range_scan`: one descent, then each chained
+        leaf up to and including the first one holding a key past
+        ``hi``.  Leaves with no in-range entries yield nothing.
         """
         leaf_id, _ = self._descend(lo, _NEG_INF)
         current: PageId | None = leaf_id
         while current is not None:
             page = self.pool.get(current)
-            advanced_past_hi = False
-            for (entry_key, _), record in page.records:
-                if entry_key < lo:
-                    continue
-                if entry_key > hi:
-                    advanced_past_hi = True
-                    break
-                yield record
-            if advanced_past_hi:
+            entries = page.records
+            batch = [r for (k, _t), r in entries if lo <= k <= hi]
+            if batch:
+                yield batch
+            if entries and entries[-1][0][0] > hi:
                 return
             current = page.next_page
 
+    def range_records(self, lo: Any, hi: Any) -> list[Record]:
+        """Eager range read: all in-range records as one list."""
+        out: list[Record] = []
+        for records in self.range_batches(lo, hi):
+            out.extend(records)
+        return out
+
     def scan_all(self) -> Iterator[Record]:
         """Full scan in sort order via the leaf chain."""
+        for batch in self.scan_batches():
+            yield from batch.to_records()
+
+    def scan_batches(self) -> Iterator[ColumnBatch]:
+        """Full scan yielding one :class:`ColumnBatch` per leaf page.
+
+        Page-sized batches are the natural vectorization unit: each
+        batch corresponds to exactly one metered leaf read, so batch
+        kernels inherit the tuple scan's page cost unchanged.
+        """
         current: PageId | None = self._leftmost_leaf()
         while current is not None:
             page = self.pool.get(current)
-            for _, record in page.records:
-                yield record
+            if page.records:
+                yield ColumnBatch.from_records([r for _, r in page.records])
             current = page.next_page
+
+    def locate(self, sort_key_value: Any, tiebreak: Any) -> tuple[Page, int, Record] | None:
+        """Find the entry with exactly this ``(sort_key, tiebreak)``.
+
+        Returns ``(leaf_page, index, record)`` for in-place patching
+        via :meth:`replace_at` / :meth:`delete_at`, or ``None``.  The
+        page-get sequence is the same as an equality ``range_scan``
+        consumed up to the match, so locate-and-patch and
+        delete-then-insert touch the same page set.
+        """
+        leaf_id, _ = self._descend(sort_key_value, _NEG_INF)
+        target = (sort_key_value, tiebreak)
+        current: PageId | None = leaf_id
+        while current is not None:
+            page = self.pool.get(current)
+            for i, (entry, record) in enumerate(page.records):
+                key = entry[0]
+                if key < sort_key_value:
+                    continue
+                if key > sort_key_value:
+                    return None
+                if entry == target:
+                    return page, i, record
+            current = page.next_page
+        return None
+
+    def replace_at(self, page: Page, index: int, new_record: Record) -> None:
+        """Overwrite one located entry's record in place (same key).
+
+        The entry key is preserved, so this is only valid when the new
+        record has the same sort key and tiebreak as the old — the
+        duplicate-count patch in :class:`repro.views.matview`.  One
+        leaf write; layout-identical to delete-then-reinsert (a unique
+        ``(sort_key, tiebreak)`` reinserts at the same index and the
+        leaf never overflows).
+        """
+        page.records[index] = (page.records[index][0], new_record)
+        self.pool.put(page, dirty=True)
+
+    def delete_at(self, page: Page, index: int) -> None:
+        """Remove one located entry in place (one leaf write)."""
+        del page.records[index]
+        self.pool.put(page, dirty=True)
+        self._entries -= 1
 
     def update(self, old: Record, new: Record) -> bool:
         """Replace one entry; returns False if ``old`` is absent.

@@ -1,0 +1,276 @@
+"""Columnar batches and selection vectors for the vectorized hot path.
+
+The engine's hot loops — stage-2 screening, net-change computation,
+differential apply, view-range reads — process *batches* of records
+rather than one tuple at a time.  A :class:`ColumnBatch` is the unit of
+that processing: a fixed set of rows exposed both as the original
+record objects (zero-copy — the batch just references the caller's
+list) and, on demand, as cached per-field *column* lists that
+comprehension-style kernels iterate at C speed.
+
+Filters do not materialize intermediate batches.  They narrow a
+:class:`SelectionVector` — a list of row indices into one batch — so a
+conjunction of predicates is evaluated as successive index-list
+shrinking (`repro.views.predicate.Predicate.matches_batch`), and only
+the final survivors are gathered with :meth:`ColumnBatch.take`.
+
+Cost accounting is unaffected by batching **by construction**: batches
+are built from exactly the page reads the tuple-at-a-time iterators
+performed, and CPU charges (``c1`` screens, ``c3`` ad ops) are metered
+per batch with the same totals (``meter.record_screen(n)`` instead of
+``n`` calls).  See docs/performance.md ("Columnar batches").
+
+Fixed-width integer columns can additionally be packed into an
+``array('q')`` (:meth:`ColumnBatch.pack_fixed`) whose ``memoryview``
+slices share the buffer — useful for dense numeric post-processing;
+the general engine path keeps plain list columns because field values
+are arbitrary Python objects.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Any, Iterator, Sequence
+
+from .tuples import Record
+
+__all__ = ["ColumnBatch", "SelectionVector"]
+
+
+class SelectionVector:
+    """An ordered index mask over one batch's rows.
+
+    Indices are strictly increasing row positions, so composing filters
+    by narrowing a selection preserves row order, and a selection is
+    also a stable identifier of "which rows" independently of the
+    values stored in them.
+    """
+
+    __slots__ = ("indices",)
+
+    def __init__(self, indices: list[int]) -> None:
+        self.indices = indices
+
+    @classmethod
+    def full(cls, length: int) -> "SelectionVector":
+        """Every row of a batch of ``length`` rows."""
+        return cls(list(range(length)))
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.indices)
+
+    def __bool__(self) -> bool:
+        return bool(self.indices)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SelectionVector):
+            return self.indices == other.indices
+        return NotImplemented
+
+    def complement(self, length: int) -> "SelectionVector":
+        """Rows of a ``length``-row batch *not* in this selection."""
+        member = bytearray(length)
+        for i in self.indices:
+            member[i] = 1
+        return SelectionVector([i for i in range(length) if not member[i]])
+
+    def __repr__(self) -> str:
+        return f"SelectionVector({self.indices!r})"
+
+
+#: Sentinel distinguishing "field absent" from a stored ``None`` when a
+#: column is materialized with :meth:`ColumnBatch.column` (which maps
+#: absent fields to ``None``, matching ``Record.get``).
+_ABSENT = object()
+
+
+class ColumnBatch:
+    """A batch of records with lazily materialized per-field columns.
+
+    ``from_records`` is zero-copy: the batch aliases the caller's
+    sequence and only builds a column (one list per field) the first
+    time a kernel asks for it; columns are cached for the batch's
+    lifetime, so a multi-clause predicate touches each field's values
+    exactly once.  Batches are treated as immutable once built.
+    """
+
+    __slots__ = ("_records", "_columns", "_length", "_key_field")
+
+    def __init__(self) -> None:  # use the classmethod constructors
+        self._records: Sequence[Record] | None = None
+        self._columns: dict[Any, list] = {}
+        self._length = 0
+        self._key_field: str | None = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(cls, records: Sequence[Record]) -> "ColumnBatch":
+        """Wrap an existing record sequence without copying it."""
+        batch = cls()
+        batch._records = records
+        batch._length = len(records)
+        return batch
+
+    @classmethod
+    def from_columns(
+        cls,
+        columns: dict[str, list],
+        key_field: str | None = None,
+    ) -> "ColumnBatch":
+        """Build from per-field value lists (all the same length).
+
+        ``key_field`` names the column holding each row's record key;
+        it is required only if :meth:`record_at` / :meth:`to_records`
+        will be called on this batch.
+        """
+        lengths = {len(col) for col in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        batch = cls()
+        batch._columns = {field: list(col) for field, col in columns.items()}
+        batch._length = lengths.pop() if lengths else 0
+        batch._key_field = key_field
+        return batch
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    @property
+    def fields(self) -> tuple[str, ...]:
+        """Fields with a materialized or materializable column."""
+        if self._records is not None:
+            seen: dict[str, None] = {}
+            for record in self._records:
+                for field in record.values:
+                    seen[field] = None
+            return tuple(seen)
+        return tuple(f for f in self._columns if isinstance(f, str))
+
+    # ------------------------------------------------------------------
+    # column access
+    # ------------------------------------------------------------------
+    def column(self, field: str) -> list:
+        """The field's values, row-aligned (``None`` where absent).
+
+        Built once per batch and cached; kernels index the returned
+        list directly (it must not be mutated).
+        """
+        col = self._columns.get(field)
+        if col is None:
+            if self._records is None:
+                raise KeyError(f"no column {field!r} in this batch")
+            # r._values is the record's mapping slot; going through it
+            # directly keeps the build one C dict.get per row instead
+            # of a Python-level Record.get frame per row.
+            col = [r._values.get(field) for r in self._records]
+            self._columns[field] = col
+        return col
+
+    def presence(self, field: str) -> list[bool]:
+        """Row-aligned ``field in record.values`` flags.
+
+        Distinguishes an absent field from a stored ``None`` (the
+        whole-field t-lock test needs presence, not value).
+        """
+        cache_key = (_ABSENT, field)
+        col = self._columns.get(cache_key)
+        if col is None:
+            if self._records is not None:
+                col = [field in r._values for r in self._records]
+            else:
+                present = field in self._columns
+                col = [present] * self._length
+            self._columns[cache_key] = col
+        return col
+
+    def pack_fixed(self, field: str) -> array | None:
+        """Pack an all-``int`` column into an ``array('q')``.
+
+        Returns ``None`` when any value does not fit a signed 64-bit
+        integer (floats, strings, ``None`` holes, big ints) — the
+        caller then falls back to the plain list column.  The packed
+        array's ``memoryview`` slices share the buffer, so fixed-width
+        post-processing can sub-range rows without copying.
+        """
+        try:
+            return array("q", self.column(field))
+        except (TypeError, OverflowError):
+            return None
+
+    # ------------------------------------------------------------------
+    # row access
+    # ------------------------------------------------------------------
+    def record_at(self, index: int) -> Record:
+        """The row as a :class:`Record` (zero-copy when record-backed)."""
+        if self._records is not None:
+            return self._records[index]
+        return self._build_record(index)
+
+    def to_records(self) -> Sequence[Record]:
+        """All rows as records.
+
+        Record-backed batches return the original sequence unchanged;
+        column-backed batches build records once (requires
+        ``key_field``).
+        """
+        if self._records is not None:
+            return self._records
+        records = [self._build_record(i) for i in range(self._length)]
+        self._records = records
+        return records
+
+    def take(self, selection: SelectionVector) -> list[Record]:
+        """Gather the selected rows as a record list (order-preserving)."""
+        if self._records is not None:
+            records = self._records
+            return [records[i] for i in selection.indices]
+        return [self._build_record(i) for i in selection.indices]
+
+    def slice(self, start: int, stop: int) -> "ColumnBatch":
+        """A contiguous row-range view of this batch.
+
+        Record-backed batches alias the same record objects; already
+        materialized columns are sliced (packed fixed-width columns
+        would share buffers via ``memoryview`` — list columns are
+        Python object vectors, so the slice copies references only).
+        """
+        if self._records is not None:
+            child = ColumnBatch.from_records(self._records[start:stop])
+        else:
+            child = ColumnBatch()
+            child._length = max(0, min(stop, self._length) - max(start, 0))
+            child._key_field = self._key_field
+        for field, col in self._columns.items():
+            child._columns[field] = col[start:stop]
+        return child
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _build_record(self, index: int) -> Record:
+        if self._key_field is None:
+            raise ValueError(
+                "this column-backed batch has no key_field; records "
+                "cannot be reconstructed from it"
+            )
+        values = {
+            field: col[index]
+            for field, col in self._columns.items()
+            if isinstance(field, str)
+        }
+        return Record(values[self._key_field], values)
+
+    def __repr__(self) -> str:
+        kind = "records" if self._records is not None else "columns"
+        return f"ColumnBatch({self._length} rows, {kind}-backed)"

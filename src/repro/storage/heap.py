@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator
 
+from .columnar import ColumnBatch
 from .pager import BufferPool, Page, PageId
 from .tuples import Record
 
@@ -77,9 +78,19 @@ class HeapFile:
 
     def scan(self) -> Iterator[Record]:
         """Sequential scan in page order (one read per page)."""
+        for batch in self.scan_batches():
+            yield from batch.to_records()
+
+    def scan_batches(self) -> Iterator[ColumnBatch]:
+        """Sequential scan yielding one :class:`ColumnBatch` per page.
+
+        Same page-read sequence as :meth:`scan`; each batch aliases the
+        page's record list (zero-copy), one metered read per batch.
+        """
         for page_id in list(self._page_ids):
             page = self.pool.get(page_id)
-            yield from page.records
+            if page.records:
+                yield ColumnBatch.from_records(list(page.records))
 
     def scan_pages(self) -> Iterator[Page]:
         """Yield whole pages (used by utilities that repack files)."""

@@ -88,22 +88,44 @@ class Record:
     Records hash and compare by *value* (key and all fields) so they
     can live in the A/D sets, Bloom filters and duplicate-count maps
     that the maintenance algorithms manipulate.
+
+    The value hash is computed lazily on first use: most records flow
+    through scans, screens and batch kernels without ever being hashed,
+    and the eager sort-and-hash at construction dominated the per-tuple
+    CPU cost of the old hot path.
     """
 
     __slots__ = ("key", "_values", "_hash")
 
     def __init__(self, key: Any, values: Mapping[str, Any]) -> None:
-        self.key = key
+        object.__setattr__(self, "key", key)
         object.__setattr__(self, "_values", MappingProxyType(dict(values)))
-        object.__setattr__(
-            self, "_hash", hash((key, tuple(sorted(self._values.items()))))
-        )
+        object.__setattr__(self, "_hash", None)
+
+    @classmethod
+    def from_sorted_items(
+        cls,
+        key: Any,
+        items: Iterable[tuple[str, Any]],
+        value_hash: int | None = None,
+    ) -> "Record":
+        """Fast constructor from already-sorted ``(field, value)`` pairs.
+
+        The net-change kernels store record values as sorted item
+        tuples (the AD-file format); rebuilding records from them can
+        skip the plain constructor's ``dict`` copy of a dict.  A caller
+        that already holds ``hash((key, items_tuple))`` — the exact
+        value :meth:`__hash__` computes — may pass it as ``value_hash``
+        so the record never re-sorts its items to hash itself.
+        """
+        self = cls.__new__(cls)
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "_values", MappingProxyType(dict(items)))
+        object.__setattr__(self, "_hash", value_hash)
+        return self
 
     def __setattr__(self, name: str, value: Any) -> None:
-        if name in ("key",) and not hasattr(self, "_hash"):
-            object.__setattr__(self, name, value)
-        else:
-            raise AttributeError("Record is immutable")
+        raise AttributeError("Record is immutable")
 
     def __getitem__(self, field: str) -> Any:
         return self._values[field]
@@ -119,10 +141,14 @@ class Record:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Record):
             return NotImplemented
-        return self.key == other.key and dict(self._values) == dict(other._values)
+        return self.key == other.key and self._values == other._values
 
     def __hash__(self) -> int:
-        return self._hash
+        value = self._hash
+        if value is None:
+            value = hash((self.key, tuple(sorted(self._values.items()))))
+            object.__setattr__(self, "_hash", value)
+        return value
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v!r}" for k, v in self._values.items())

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import Counter
-from typing import Any
+from typing import Any, Iterable
 
 __all__ = [
     "AggregateFunction",
@@ -54,6 +54,20 @@ class AggregateFunction(ABC):
     def value(self, state: dict[str, Any]) -> Any:
         """Current aggregate value (None over the empty set)."""
 
+    def insert_many(self, state: dict[str, Any], values: Iterable[Any]) -> None:
+        """Fold many inserted values at once (batch apply path).
+
+        Equivalent to inserting each value in order; concrete
+        aggregates override with whole-column folds.
+        """
+        for value in values:
+            self.insert(state, value)
+
+    def delete_many(self, state: dict[str, Any], values: Iterable[Any]) -> None:
+        """Remove many values at once; equivalent to per-value deletes."""
+        for value in values:
+            self.delete(state, value)
+
     def merge(self, state: dict[str, Any], other: dict[str, Any]) -> None:
         """Fold another state into ``state`` (default: not supported)."""
         raise NotImplementedError(f"{self.name} does not support merge")
@@ -74,6 +88,15 @@ class CountAggregate(AggregateFunction):
         if state["count"] <= 0:
             raise ValueError("count aggregate underflow: delete without insert")
         state["count"] -= 1
+
+    def insert_many(self, state: dict[str, Any], values: Iterable[Any]) -> None:
+        state["count"] += len(values) if isinstance(values, (list, tuple)) else sum(1 for _ in values)
+
+    def delete_many(self, state: dict[str, Any], values: Iterable[Any]) -> None:
+        n = len(values) if isinstance(values, (list, tuple)) else sum(1 for _ in values)
+        if n > state["count"]:
+            raise ValueError("count aggregate underflow: delete without insert")
+        state["count"] -= n
 
     def value(self, state: dict[str, Any]) -> int:
         return state["count"]
@@ -99,6 +122,18 @@ class SumAggregate(AggregateFunction):
             raise ValueError("sum aggregate underflow: delete without insert")
         state["sum"] -= value
         state["count"] -= 1
+
+    def insert_many(self, state: dict[str, Any], values: Iterable[Any]) -> None:
+        values = values if isinstance(values, (list, tuple)) else list(values)
+        state["sum"] += sum(values)
+        state["count"] += len(values)
+
+    def delete_many(self, state: dict[str, Any], values: Iterable[Any]) -> None:
+        values = values if isinstance(values, (list, tuple)) else list(values)
+        if len(values) > state["count"]:
+            raise ValueError("sum aggregate underflow: delete without insert")
+        state["sum"] -= sum(values)
+        state["count"] -= len(values)
 
     def value(self, state: dict[str, Any]) -> Any:
         return state["sum"]
@@ -126,6 +161,18 @@ class AverageAggregate(AggregateFunction):
         state["sum"] -= value
         state["count"] -= 1
 
+    def insert_many(self, state: dict[str, Any], values: Iterable[Any]) -> None:
+        values = values if isinstance(values, (list, tuple)) else list(values)
+        state["sum"] += sum(values)
+        state["count"] += len(values)
+
+    def delete_many(self, state: dict[str, Any], values: Iterable[Any]) -> None:
+        values = values if isinstance(values, (list, tuple)) else list(values)
+        if len(values) > state["count"]:
+            raise ValueError("avg aggregate underflow: delete without insert")
+        state["sum"] -= sum(values)
+        state["count"] -= len(values)
+
     def value(self, state: dict[str, Any]) -> Any:
         if state["count"] == 0:
             return None
@@ -152,6 +199,9 @@ class _ExtremeAggregate(AggregateFunction):
 
     def insert(self, state: dict[str, Any], value: Any) -> None:
         state["values"][value] += 1
+
+    def insert_many(self, state: dict[str, Any], values: Iterable[Any]) -> None:
+        state["values"].update(values)
 
     def delete(self, state: dict[str, Any], value: Any) -> None:
         counts = state["values"]

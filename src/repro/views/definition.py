@@ -32,13 +32,21 @@ class ViewDefinitionError(ValueError):
 
 
 class ViewTuple:
-    """A projected result tuple — hashable by value for duplicate counts."""
+    """A projected result tuple — hashable by value for duplicate counts.
 
-    __slots__ = ("values", "_hash")
+    Identity (the sorted item tuple) and the hash derived from it are
+    computed lazily and cached: query results build many view tuples
+    that are returned to the caller without ever being hashed or
+    stored, and the batch apply path calls :meth:`identity` repeatedly
+    on the same tuple.
+    """
+
+    __slots__ = ("values", "_hash", "_identity")
 
     def __init__(self, values: Mapping[str, Any]) -> None:
         object.__setattr__(self, "values", dict(values))
-        object.__setattr__(self, "_hash", hash(tuple(sorted(self.values.items()))))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_identity", None)
 
     def __setattr__(self, name: str, value: Any) -> None:
         raise AttributeError("ViewTuple is immutable")
@@ -52,7 +60,11 @@ class ViewTuple:
 
     def identity(self) -> tuple:
         """Canonical sortable identity used as a storage key."""
-        return tuple(sorted(self.values.items()))
+        identity = self._identity
+        if identity is None:
+            identity = tuple(sorted(self.values.items()))
+            object.__setattr__(self, "_identity", identity)
+        return identity
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, ViewTuple):
@@ -60,7 +72,11 @@ class ViewTuple:
         return self.values == other.values
 
     def __hash__(self) -> int:
-        return self._hash
+        value = self._hash
+        if value is None:
+            value = hash(self.identity())
+            object.__setattr__(self, "_hash", value)
+        return value
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}={v!r}" for k, v in sorted(self.values.items()))

@@ -25,6 +25,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Iterable, Sequence
 
+from repro.storage.columnar import ColumnBatch
 from repro.storage.tuples import Record
 from .definition import AggregateView, JoinView, SelectProjectView, ViewTuple
 
@@ -54,6 +55,24 @@ class DeltaSet:
         self.relation = relation
         self._inserted: dict[Record, None] = {}
         self._deleted: dict[Record, None] = {}
+
+    @classmethod
+    def from_disjoint(
+        cls,
+        relation: str,
+        inserted: Iterable[Record],
+        deleted: Iterable[Record],
+    ) -> "DeltaSet":
+        """Build directly from already-net sets (``A ∩ D = ∅``).
+
+        The batch net-change kernels resolve cancellations on cheap
+        tokens before constructing any :class:`Record`; this adopts
+        their results without re-running the per-record toggling.
+        """
+        delta = cls(relation)
+        delta._inserted = dict.fromkeys(inserted)
+        delta._deleted = dict.fromkeys(deleted)
+        return delta
 
     @property
     def inserted(self) -> tuple[Record, ...]:
@@ -180,12 +199,16 @@ def select_project_changes(
     counts are maintained.
     """
     changes = ChangeSet()
-    for record in delta.inserted:
-        if view.predicate.matches(record):
-            changes.insert(view.project(record))
-    for record in delta.deleted:
-        if view.predicate.matches(record):
-            changes.delete(view.project(record))
+    inserted = delta.inserted
+    if inserted:
+        batch = ColumnBatch.from_records(inserted)
+        for i in view.predicate.matches_batch(batch).indices:
+            changes.insert(view.project(inserted[i]))
+    deleted = delta.deleted
+    if deleted:
+        batch = ColumnBatch.from_records(deleted)
+        for i in view.predicate.matches_batch(batch).indices:
+            changes.delete(view.project(deleted[i]))
     return changes
 
 
@@ -312,10 +335,17 @@ def aggregate_changes(
     view: AggregateView, delta: DeltaSet
 ) -> tuple[list[Any], list[Any]]:
     """Values entering / leaving a Model 3 aggregate for one batch."""
-    entering = [
-        r[view.field] for r in delta.inserted if view.predicate.matches(r)
-    ]
-    leaving = [
-        r[view.field] for r in delta.deleted if view.predicate.matches(r)
-    ]
-    return entering, leaving
+    return (
+        _selected_values(view, delta.inserted),
+        _selected_values(view, delta.deleted),
+    )
+
+
+def _selected_values(view: AggregateView, records: Sequence[Record]) -> list[Any]:
+    """Aggregated-field values of the records passing the view predicate."""
+    if not records:
+        return []
+    batch = ColumnBatch.from_records(records)
+    selection = view.predicate.matches_batch(batch)
+    field = view.field
+    return [records[i][field] for i in selection.indices]

@@ -108,15 +108,49 @@ class MaterializedView:
             self._tree.update(existing, self._record(vt, remaining))
 
     def apply_changes(self, changes: ChangeSet) -> tuple[int, int]:
-        """Apply a signed change multiset; returns (inserted, deleted) counts."""
+        """Apply a signed change multiset; returns (inserted, deleted) counts.
+
+        Batch-native differential apply: each distinct tuple is located
+        once and its duplicate count patched in place on the leaf,
+        instead of the tuple path's find + delete + reinsert descent
+        pair.  The stored bytes and the page set touched are identical
+        to applying :meth:`insert_tuple` / :meth:`delete_tuple` item by
+        item (the reference spec in ``repro.maintenance.reference``):
+        a duplicate-count patch reuses the entry's ``(sort, tiebreak)``
+        key, so reinsertion would land at the same leaf index, and a
+        delete-then-reinsert never overflows the leaf.
+        """
         inserted = deleted = 0
+        tree = self._tree
         for vt, signed in changes.items():
+            located = self._locate(vt)
             if signed > 0:
-                self.insert_tuple(vt, signed)
+                if located is None:
+                    tree.insert(self._record(vt, signed))
+                else:
+                    page, index, existing = located
+                    tree.replace_at(
+                        page, index, self._record(vt, existing[_DUP_FIELD] + signed)
+                    )
                 inserted += signed
             else:
-                self.delete_tuple(vt, -signed)
-                deleted += -signed
+                count = -signed
+                if located is None:
+                    raise DuplicateCountError(
+                        f"view {self.name!r} does not contain {vt!r}"
+                    )
+                page, index, existing = located
+                remaining = existing[_DUP_FIELD] - count
+                if remaining < 0:
+                    raise DuplicateCountError(
+                        f"view {self.name!r}: duplicate count underflow for {vt!r} "
+                        f"({existing[_DUP_FIELD]} stored, {count} deleted)"
+                    )
+                if remaining == 0:
+                    tree.delete_at(page, index)
+                else:
+                    tree.replace_at(page, index, self._record(vt, remaining))
+                deleted += count
         return inserted, deleted
 
     # ------------------------------------------------------------------
@@ -128,6 +162,25 @@ class MaterializedView:
             vt = self._view_tuple(record)
             for _ in range(record[_DUP_FIELD]):
                 yield vt
+
+    def read_range(self, lo: Any, hi: Any) -> list[ViewTuple]:
+        """Eager range read — the query paths' bulk entry point.
+
+        Same page reads as :meth:`scan_range` (both ride the leaf-chain
+        batches); builds the duplicate-expanded result list in one pass
+        so callers can charge one bulk ``record_screen(len(result))``
+        instead of a call per tuple.
+        """
+        out: list[ViewTuple] = []
+        for records in self._tree.range_batches(lo, hi):
+            for record in records:
+                vt = self._view_tuple(record)
+                dup = record[_DUP_FIELD]
+                if dup == 1:
+                    out.append(vt)
+                else:
+                    out.extend([vt] * dup)
+        return out
 
     def scan_all(self) -> Iterator[ViewTuple]:
         """Every stored view tuple, duplicates expanded."""
@@ -171,6 +224,10 @@ class MaterializedView:
             if record.key == vt.identity():
                 return record
         return None
+
+    def _locate(self, vt: ViewTuple):
+        """Find the stored record's leaf position for in-place patching."""
+        return self._tree.locate(vt[self.view_key], vt.identity())
 
 
 class AggregateStateStore:
@@ -216,9 +273,7 @@ class AggregateStateStore:
         if not entering and not leaving:
             return False
         state = self.read_state()
-        for value in entering:
-            self.function.insert(state, value)
-        for value in leaving:
-            self.function.delete(state, value)
+        self.function.insert_many(state, entering)
+        self.function.delete_many(state, leaving)
         self.write_state(state)
         return True

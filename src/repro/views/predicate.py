@@ -21,6 +21,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Iterable
 
+from repro.storage.columnar import ColumnBatch, SelectionVector
 from repro.storage.tuples import Record
 
 __all__ = [
@@ -60,6 +61,23 @@ class Predicate(ABC):
     def matches(self, record: Record) -> bool:
         """True when the record satisfies the predicate."""
 
+    def matches_batch(
+        self, batch: ColumnBatch, selection: SelectionVector | None = None
+    ) -> SelectionVector:
+        """Rows of ``batch`` (within ``selection``) satisfying the predicate.
+
+        The returned selection preserves row order and, for every
+        predicate class, selects exactly the rows whose records pass
+        :meth:`matches` — the per-record method remains the executable
+        specification (asserted by the hypothesis equivalence suite).
+        This base implementation is that specification applied row by
+        row; the concrete classes override it with column kernels.
+        """
+        indices = range(len(batch)) if selection is None else selection.indices
+        matches = self.matches
+        record_at = batch.record_at
+        return SelectionVector([i for i in indices if matches(record_at(i))])
+
     @abstractmethod
     def fields_read(self) -> frozenset[str]:
         """Fields the predicate inspects (drives the RIU test)."""
@@ -93,6 +111,13 @@ class TruePredicate(Predicate):
     def matches(self, record: Record) -> bool:
         return True
 
+    def matches_batch(
+        self, batch: ColumnBatch, selection: SelectionVector | None = None
+    ) -> SelectionVector:
+        if selection is None:
+            return SelectionVector.full(len(batch))
+        return SelectionVector(list(selection.indices))
+
     def fields_read(self) -> frozenset[str]:
         return frozenset()
 
@@ -123,6 +148,16 @@ class IntervalPredicate(Predicate):
     def matches(self, record: Record) -> bool:
         value = record.get(self.field)
         return value is not None and self.lo <= value <= self.hi
+
+    def matches_batch(
+        self, batch: ColumnBatch, selection: SelectionVector | None = None
+    ) -> SelectionVector:
+        col = batch.column(self.field)
+        lo, hi = self.lo, self.hi
+        indices = range(len(batch)) if selection is None else selection.indices
+        return SelectionVector(
+            [i for i in indices if (v := col[i]) is not None and lo <= v <= hi]
+        )
 
     def fields_read(self) -> frozenset[str]:
         return frozenset((self.field,))
@@ -165,6 +200,29 @@ class ComparisonPredicate(Predicate):
             return False
         return _OPS[self.op](value, self.constant)
 
+    def matches_batch(
+        self, batch: ColumnBatch, selection: SelectionVector | None = None
+    ) -> SelectionVector:
+        col = batch.column(self.field)
+        c = self.constant
+        indices = range(len(batch)) if selection is None else selection.indices
+        # One comprehension per operator: dispatching through the _OPS
+        # lambda per row costs more than the comparison itself.
+        op = self.op
+        if op == "==":
+            hits = [i for i in indices if (v := col[i]) is not None and v == c]
+        elif op == "!=":
+            hits = [i for i in indices if (v := col[i]) is not None and v != c]
+        elif op == "<":
+            hits = [i for i in indices if (v := col[i]) is not None and v < c]
+        elif op == "<=":
+            hits = [i for i in indices if (v := col[i]) is not None and v <= c]
+        elif op == ">":
+            hits = [i for i in indices if (v := col[i]) is not None and v > c]
+        else:
+            hits = [i for i in indices if (v := col[i]) is not None and v >= c]
+        return SelectionVector(hits)
+
     def fields_read(self) -> frozenset[str]:
         return frozenset((self.field,))
 
@@ -185,6 +243,26 @@ class AndPredicate(Predicate):
 
     def matches(self, record: Record) -> bool:
         return all(clause.matches(record) for clause in self.clauses)
+
+    def matches_batch(
+        self, batch: ColumnBatch, selection: SelectionVector | None = None
+    ) -> SelectionVector:
+        # Successive narrowing: each clause sees only the survivors of
+        # the previous one, so selective leading clauses short-circuit
+        # the rest without materializing intermediate batches.  A None
+        # selection is handed to the first clause as-is — leaf kernels
+        # iterate a bare range for it, which beats materializing the
+        # full index list here.
+        sel = selection
+        for clause in self.clauses:
+            if sel is not None and not sel.indices:
+                break
+            sel = clause.matches_batch(batch, sel)
+        if sel is None:
+            return SelectionVector.full(len(batch))
+        if sel is selection:
+            sel = SelectionVector(list(sel.indices))
+        return sel
 
     def fields_read(self) -> frozenset[str]:
         return frozenset().union(*(c.fields_read() for c in self.clauses)) if self.clauses else frozenset()
@@ -214,6 +292,23 @@ class OrPredicate(Predicate):
     def matches(self, record: Record) -> bool:
         return any(clause.matches(record) for clause in self.clauses)
 
+    def matches_batch(
+        self, batch: ColumnBatch, selection: SelectionVector | None = None
+    ) -> SelectionVector:
+        # Each clause tests only the rows no earlier clause matched
+        # (the batch analogue of any()'s short-circuit); matched rows
+        # are marked in a byte mask and re-emitted in original order.
+        indices = list(range(len(batch))) if selection is None else selection.indices
+        matched = bytearray(len(batch))
+        pending = indices
+        for clause in self.clauses:
+            if not pending:
+                break
+            for i in clause.matches_batch(batch, SelectionVector(pending)).indices:
+                matched[i] = 1
+            pending = [i for i in pending if not matched[i]]
+        return SelectionVector([i for i in indices if matched[i]])
+
     def fields_read(self) -> frozenset[str]:
         return frozenset().union(*(c.fields_read() for c in self.clauses)) if self.clauses else frozenset()
 
@@ -237,6 +332,15 @@ class NotPredicate(Predicate):
 
     def matches(self, record: Record) -> bool:
         return not self.clause.matches(record)
+
+    def matches_batch(
+        self, batch: ColumnBatch, selection: SelectionVector | None = None
+    ) -> SelectionVector:
+        indices = range(len(batch)) if selection is None else selection.indices
+        hit = bytearray(len(batch))
+        for i in self.clause.matches_batch(batch, selection).indices:
+            hit[i] = 1
+        return SelectionVector([i for i in indices if not hit[i]])
 
     def fields_read(self) -> frozenset[str]:
         return self.clause.fields_read()

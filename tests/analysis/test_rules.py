@@ -23,6 +23,7 @@ CASES = {
     "deadline-threading": ("deadline_threading", "repro.cluster.corpus"),
     "seeded-determinism": ("seeded_determinism", "repro.experiments.corpus"),
     "snapshot-iteration": ("snapshot_iteration", "repro.storage.corpus"),
+    "batch-hot-path": ("batch_hot_path", "repro.views.delta.corpus"),
 }
 
 

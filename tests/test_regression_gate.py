@@ -111,6 +111,40 @@ class TestLatencyGate:
         assert run_gate(gate, tmp_path, current, baseline) == 0
 
 
+class TestDefaultPairs:
+    def test_no_args_gates_every_default_pair(self, gate, capsys):
+        """Default invocation checks the committed parallel AND engine
+        reports against their committed baselines — and they must pass
+        (a PR that regresses a committed report fails right here)."""
+        assert gate.main([]) == 0
+        out = capsys.readouterr().out
+        for stem in gate.DEFAULT_STEMS:
+            assert f"{stem}.json vs {stem}.baseline.json" in out
+
+    def test_missing_default_report_fails_loudly(self, gate, tmp_path, capsys,
+                                                 monkeypatch):
+        for stem in gate.DEFAULT_STEMS:
+            (tmp_path / f"{stem}.baseline.json").write_text("{}")
+        monkeypatch.setattr(gate, "__file__", str(tmp_path / "gate.py"))
+        assert gate.main([]) == 1
+        assert "went blind" in capsys.readouterr().out
+
+
+class TestEngineBaseline:
+    def test_committed_engine_baseline_carries_every_kernel(self, gate):
+        baseline = json.loads(
+            (GATE_PATH.parent / "BENCH_engine.baseline.json").read_text()
+        )
+        series = gate.qps_series(baseline)
+        for name in ("engine_screen", "engine_net_change",
+                     "engine_apply", "engine_refresh"):
+            assert name in series, f"engine baseline lost the {name} series"
+            label, point = gate.first_point(series[name])
+            assert label == "1"  # single-thread kernels
+            assert point["speedup_vs_tuple"] >= 1.0
+        assert baseline["engine_equivalence_violations"] == 0
+
+
 class TestCommittedBaseline:
     def test_committed_baseline_is_latency_gated(self, gate):
         """The repo's own baseline must keep the p95 gate armed."""
